@@ -1,0 +1,123 @@
+// Command seculator-bench regenerates the paper's evaluation: every figure
+// and table of the experiment index in DESIGN.md.
+//
+// Usage:
+//
+//	seculator-bench               # everything
+//	seculator-bench -exp fig7     # one experiment
+//	seculator-bench -exp table6
+//
+// Experiments: fig4, fig5, fig7, fig8, fig9, table5, table6, matrix, energy,
+// sensitivity, patterns, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seculator"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig4, fig5, fig7, fig8, fig9, table5, table6, matrix, energy, sensitivity, patterns, all)")
+	format := flag.String("format", "text", "output format: text or markdown")
+	flag.Parse()
+
+	show := func(t seculator.Table) {
+		if *format == "markdown" {
+			fmt.Println(t.Markdown())
+			return
+		}
+		fmt.Println(t)
+	}
+
+	cfg := seculator.DefaultConfig()
+	ran := false
+	want := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+
+	if want("fig4") || want("fig5") {
+		res, err := seculator.Fig4Characterization(cfg)
+		check(err)
+		if *exp != "fig5" {
+			show(res.Fig4Table())
+		}
+		if *exp != "fig4" {
+			show(res.Fig5Table())
+		}
+	}
+	if want("fig7") || want("fig8") {
+		res, err := seculator.Fig7Performance(cfg)
+		check(err)
+		if *exp != "fig8" {
+			show(res.Fig7Table())
+			fmt.Printf("mean speedup of Seculator over TNPU: %.1f%%\n",
+				(res.Mean(seculator.Seculator, false)/res.Mean(seculator.TNPU, false)-1)*100)
+			fmt.Printf("mean speedup of Seculator over GuardNN: %.1f%%\n\n",
+				(res.Mean(seculator.Seculator, false)/res.Mean(seculator.GuardNN, false)-1)*100)
+		}
+		if *exp != "fig7" {
+			show(res.Fig8Table())
+		}
+	}
+	if want("fig9") {
+		res, err := seculator.Fig9Widening(cfg)
+		check(err)
+		show(res.Fig9Table())
+	}
+	if want("table5") {
+		show(seculator.Table5Matrix())
+	}
+	if want("table6") {
+		show(seculator.Table6Hardware())
+	}
+	if want("energy") {
+		net, err := seculator.NetworkByName("ResNet18")
+		check(err)
+		tbl, err := seculator.EnergyTable(net, cfg)
+		check(err)
+		show(tbl)
+	}
+	if want("sensitivity") {
+		net, err := seculator.NetworkByName("ResNet18")
+		check(err)
+		bw, err := seculator.SweepBandwidth(net, cfg, []float64{0.11, 0.22, 0.44})
+		check(err)
+		show(seculator.SweepTable(bw))
+		gb, err := seculator.SweepGlobalBuffer(net, cfg, []int{120, 240, 480})
+		check(err)
+		show(seculator.SweepTable(gb))
+		pe, err := seculator.SweepPEArray(net, cfg, []int{16, 32, 64})
+		check(err)
+		show(seculator.SweepTable(pe))
+		mc, err := seculator.SweepMACCache(net, cfg, []int{2, 8, 32, 64})
+		check(err)
+		show(seculator.SweepTable(mc))
+	}
+	if want("matrix") {
+		tbl, err := seculator.DetectionMatrixTable(seculator.DefaultAttackScenario())
+		check(err)
+		show(tbl)
+	}
+	if want("patterns") {
+		g := seculator.PatternGrid{AlphaHW: 4, AlphaC: 3, AlphaK: 2, OfmapTileBlocks: 1}
+		show(seculator.PatternTable("all", g))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "seculator-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seculator-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command seculator-patterns prints the paper's VN pattern tables
+// (Tables 2-4 and 8-10) for a chosen tile grid, and can expand the VN
+// stream of an arbitrary triplet — the tool behind Section 5's analysis.
+//
+// Usage:
+//
+//	seculator-patterns -table table2-ir -ahw 3 -ac 4 -ak 2
+//	seculator-patterns -table all
+//	seculator-patterns -expand 2,3,4     # stream of (1^2,2^2,3^2)^4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"seculator"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "pattern table: table2-ir, table2-or, table3, table4, table8, table9, table10-ir, table10-or, all")
+		ahw      = flag.Int("ahw", 4, "alpha_HW: spatial tiles per fmap")
+		ac       = flag.Int("ac", 3, "alpha_C: input channel groups")
+		ak       = flag.Int("ak", 2, "alpha_K: output channel groups")
+		expand   = flag.String("expand", "", "expand a triplet eta,kappa,rho into its VN stream")
+		parseExp = flag.String("parse", "", "parse a symbolic expression like '(1^2,2^2...4^2)^3'")
+	)
+	flag.Parse()
+
+	if *parseExp != "" {
+		tr, err := seculator.ParsePattern(*parseExp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seculator-patterns: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("triplet : eta=%d kappa=%d rho=%d  (%s, class %s, %d VNs)\n",
+			tr.Eta, tr.Kappa, tr.Rho, tr, seculator.ClassifyPattern(tr), tr.Len())
+		return
+	}
+	if *expand != "" {
+		expandTriplet(*expand)
+		return
+	}
+	g := seculator.PatternGrid{AlphaHW: *ahw, AlphaC: *ac, AlphaK: *ak, OfmapTileBlocks: 1}
+	tbl := seculator.PatternTable(*table, g)
+	if len(tbl.Rows) == 0 {
+		fmt.Fprintf(os.Stderr, "seculator-patterns: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	fmt.Println(tbl)
+}
+
+func expandTriplet(spec string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		fmt.Fprintln(os.Stderr, "seculator-patterns: -expand wants eta,kappa,rho")
+		os.Exit(2)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "seculator-patterns: bad triplet component %q\n", p)
+			os.Exit(2)
+		}
+		vals[i] = v
+	}
+	tr := seculator.Triplet{Eta: vals[0], Kappa: vals[1], Rho: vals[2]}
+	fmt.Printf("triplet : %s  (class %s, %d VNs)\n", tr, seculator.ClassifyPattern(tr), tr.Len())
+	gen := seculator.NewVNGenerator(tr)
+	fmt.Print("stream  : ")
+	for {
+		v, ok := gen.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("%d ", v)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,67 @@
+// Patternexplorer walks the analytical core of the paper (Section 5): it
+// derives the master-equation triplet for every pattern-table row, streams
+// the VN sequence from the hardware FSM, and cross-checks both against the
+// ground truth of the simulated dataflow — the experiment that justifies
+// replacing VN tables with a 40 um^2 generator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seculator"
+	"seculator/internal/dataflow"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+func main() {
+	grid := seculator.PatternGrid{
+		AlphaHW: 3, AlphaC: 4, AlphaK: 2,
+		IfmapTileBlocks: 4, OfmapTileBlocks: 4, WeightTileBlocks: 1,
+	}
+
+	fmt.Println("VN pattern explorer (Section 5 master equation)")
+	fmt.Printf("grid: aHW=%d aC=%d aK=%d\n\n", grid.AlphaHW, grid.AlphaC, grid.AlphaK)
+
+	verified := 0
+	for _, entry := range seculator.PatternTables() {
+		m := entry.Build(grid)
+
+		// Analytical derivation.
+		wp := seculator.DeriveWritePattern(m)
+		rp := seculator.DeriveReadPattern(m)
+
+		// Ground truth from the simulated dataflow.
+		var simWrites []int
+		err := dataflow.Generate(m, func(e dataflow.Event) bool {
+			if e.Tensor == tensor.Ofmap && e.Kind == sim.Write {
+				simWrites = append(simWrites, e.VN)
+			}
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simTriplet, ok := seculator.CompressPattern(simWrites)
+		if !ok {
+			log.Fatalf("%s row %d: simulated VNs are not a master-equation instance", entry.Table, entry.Row)
+		}
+
+		// The FSM must regenerate the stream exactly.
+		gen := seculator.NewVNGenerator(wp)
+		for i, want := range simWrites {
+			got, ok := gen.Next()
+			if !ok || got != want {
+				log.Fatalf("%s row %d: FSM diverges at position %d", entry.Table, entry.Row, i)
+			}
+		}
+		verified++
+
+		fmt.Printf("%-11s row %d  %-14s order %-12s  WP %-22s RP %-20s class %s (sim: %s)\n",
+			entry.Table, entry.Row, entry.Style, entry.OrderDesc,
+			wp, rp, seculator.ClassifyPattern(wp), simTriplet)
+	}
+	fmt.Printf("\n%d table rows verified: derivation == FSM == simulation\n", verified)
+	fmt.Println("hardware cost of the generator: 6 x 32-bit registers (Table 6: 40 um^2, 4.4 uW)")
+}

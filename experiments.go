@@ -1,0 +1,433 @@
+package seculator
+
+import (
+	"fmt"
+	"strings"
+
+	"seculator/internal/hw"
+	"seculator/internal/pattern"
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/widen"
+	"seculator/internal/workload"
+)
+
+// Table is a rendered experiment result: a titled grid of cells plus notes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown, for pasting into
+// EXPERIMENTS.md-style reports.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	row := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %s |", c)
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// PerfPoint is one (network, design) performance/traffic measurement,
+// normalized to the network's Baseline run.
+type PerfPoint struct {
+	Network     string
+	Design      Design
+	Performance float64 // 1/time, baseline = 1.0
+	Traffic     float64 // total DRAM blocks, baseline = 1.0
+	Cycles      uint64
+}
+
+// CharacterizationResult is Experiment E1/E2 (Figures 4 and 5): the
+// motivation study of Section 4.
+type CharacterizationResult struct {
+	Points []PerfPoint // Baseline, Secure, TNPU, GuardNN per network
+
+	// Secure-configuration cache behaviour per network (Figure 5).
+	MACMissRate     map[string]float64
+	CounterMissRate map[string]float64
+}
+
+// Fig4Characterization reproduces Figure 4 (and gathers Figure 5's cache
+// data): Baseline vs Secure vs TNPU vs GuardNN across the five benchmarks.
+func Fig4Characterization(cfg Config) (CharacterizationResult, error) {
+	res := CharacterizationResult{
+		MACMissRate:     map[string]float64{},
+		CounterMissRate: map[string]float64{},
+	}
+	designs := []Design{Baseline, Secure, TNPU, GuardNN}
+	for _, n := range workload.All() {
+		rs, err := runner.RunAll(n, designs, cfg)
+		if err != nil {
+			return res, err
+		}
+		base := rs[0]
+		for _, r := range rs {
+			res.Points = append(res.Points, PerfPoint{
+				Network:     n.Name,
+				Design:      r.Design,
+				Performance: r.Performance(base),
+				Traffic:     r.NormalizedTraffic(base),
+				Cycles:      uint64(r.Cycles),
+			})
+			if r.Design == Secure {
+				res.MACMissRate[n.Name] = r.MACCache.MissRate()
+				res.CounterMissRate[n.Name] = r.CounterCache.MissRate()
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig4Table renders the performance side (Figure 4).
+func (r CharacterizationResult) Fig4Table() Table {
+	return perfTable("Figure 4: characterization — normalized performance",
+		r.Points, []Design{Baseline, Secure, TNPU, GuardNN})
+}
+
+// Fig5Table renders the cache miss-rate side (Figure 5).
+func (r CharacterizationResult) Fig5Table() Table {
+	t := Table{
+		Title:  "Figure 5: Secure-config cache miss rates",
+		Header: []string{"network", "mac-cache miss", "counter-cache miss", "ratio"},
+		Notes: []string{
+			"one MAC line tracks 8x fewer pixels than one counter line; the miss-rate ratio shows it",
+		},
+	}
+	for _, n := range workload.All() {
+		m, c := r.MACMissRate[n.Name], r.CounterMissRate[n.Name]
+		ratio := 0.0
+		if c > 0 {
+			ratio = m / c
+		}
+		t.Rows = append(t.Rows, []string{
+			n.Name, fmt.Sprintf("%.3f", m), fmt.Sprintf("%.3f", c), fmt.Sprintf("%.1fx", ratio),
+		})
+	}
+	return t
+}
+
+// EvaluationResult is Experiments E9/E10 (Figures 7 and 8): all six
+// designs across the five benchmarks.
+type EvaluationResult struct {
+	Points []PerfPoint
+}
+
+// Fig7Performance reproduces Figures 7 and 8.
+func Fig7Performance(cfg Config) (EvaluationResult, error) {
+	var res EvaluationResult
+	for _, n := range workload.All() {
+		rs, err := runner.RunAll(n, protect.Designs(), cfg)
+		if err != nil {
+			return res, err
+		}
+		base := rs[0]
+		for _, r := range rs {
+			res.Points = append(res.Points, PerfPoint{
+				Network:     n.Name,
+				Design:      r.Design,
+				Performance: r.Performance(base),
+				Traffic:     r.NormalizedTraffic(base),
+				Cycles:      uint64(r.Cycles),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig7Table renders normalized performance (Figure 7).
+func (r EvaluationResult) Fig7Table() Table {
+	return perfTable("Figure 7: normalized performance", r.Points, protect.Designs())
+}
+
+// Fig8Table renders normalized memory traffic (Figure 8).
+func (r EvaluationResult) Fig8Table() Table {
+	t := Table{
+		Title:  "Figure 8: normalized memory traffic",
+		Header: []string{"network"},
+	}
+	for _, d := range protect.Designs() {
+		t.Header = append(t.Header, d.String())
+	}
+	byNet := groupByNetwork(r.Points)
+	for _, n := range workload.All() {
+		row := []string{n.Name}
+		for _, d := range protect.Designs() {
+			row = append(row, fmt.Sprintf("%.3f", byNet[n.Name][d].Traffic))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Mean returns the across-network mean of a design's metric.
+func (r EvaluationResult) Mean(d Design, traffic bool) float64 {
+	var sum float64
+	var n int
+	for _, p := range r.Points {
+		if p.Design != d {
+			continue
+		}
+		if traffic {
+			sum += p.Traffic
+		} else {
+			sum += p.Performance
+		}
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WideningPoint is one bar of Figure 9: a design's execution latency on a
+// widened layer, normalized to its own 32x32x3 latency.
+type WideningPoint struct {
+	Design    Design
+	InputSize int // widened H = W (channels fixed at 3)
+	Latency   float64
+}
+
+// WideningResult is Experiment E11 (Figure 9).
+type WideningResult struct {
+	Points []WideningPoint
+	Sizes  []int
+}
+
+// Fig9Widening reproduces Figure 9: a base 32x32x3 conv layer widened to
+// 56, 64, 128, 160 and 192 pixels, run on every design. Latencies are
+// normalized to one common reference — the unprotected Baseline at
+// 32x32x3 — so the curves compare both protection overhead and its growth
+// with the widening factor.
+func Fig9Widening(cfg Config) (WideningResult, error) {
+	sizes := []int{32, 56, 64, 128, 160, 192}
+	res := WideningResult{Sizes: sizes}
+	baseLayer := workload.Layer{
+		Name: "base", Type: workload.Conv,
+		C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1,
+	}
+	run := func(d Design, size int) (float64, error) {
+		l, err := widen.Layer(baseLayer, size, size, 3)
+		if err != nil {
+			return 0, err
+		}
+		net := workload.Network{Name: fmt.Sprintf("widen-%d", size), Layers: []workload.Layer{l}}
+		r, err := runner.Run(net, d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return float64(r.Cycles), nil
+	}
+	ref, err := run(Baseline, sizes[0])
+	if err != nil {
+		return res, err
+	}
+	for _, d := range protect.Designs() {
+		for _, size := range sizes {
+			cyc, err := run(d, size)
+			if err != nil {
+				return res, err
+			}
+			res.Points = append(res.Points, WideningPoint{
+				Design: d, InputSize: size, Latency: cyc / ref,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig9Table renders Figure 9.
+func (r WideningResult) Fig9Table() Table {
+	t := Table{
+		Title:  "Figure 9: layer-widening latency (normalized to 32x32x3)",
+		Header: []string{"design"},
+		Notes:  []string{"lower growth = more scalable; Seculator(+) should grow slowest"},
+	}
+	for _, s := range r.Sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%dx%dx3", s, s))
+	}
+	byDesign := map[Design]map[int]float64{}
+	for _, p := range r.Points {
+		if byDesign[p.Design] == nil {
+			byDesign[p.Design] = map[int]float64{}
+		}
+		byDesign[p.Design][p.InputSize] = p.Latency
+	}
+	for _, d := range protect.Designs() {
+		row := []string{d.String()}
+		for _, s := range r.Sizes {
+			row = append(row, fmt.Sprintf("%.2f", byDesign[d][s]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Growth returns a design's latency at the largest widening size — the
+// scalability metric of Figure 9.
+func (r WideningResult) Growth(d Design) float64 {
+	max := 0.0
+	size := 0
+	for _, p := range r.Points {
+		if p.Design == d && p.InputSize > size {
+			size = p.InputSize
+			max = p.Latency
+		}
+	}
+	return max
+}
+
+// Table5Matrix renders the design feature matrix.
+func Table5Matrix() Table {
+	t := Table{
+		Title:  "Table 5: simulated designs",
+		Header: []string{"design", "integrity", "encryption", "anti-replay", "MEA"},
+	}
+	for _, d := range protect.Designs() {
+		p := protect.PropertiesOf(d)
+		mea := "x"
+		if p.MEAProtection {
+			mea = "widen layers"
+		}
+		enc, integ, replay := p.Encryption, p.IntegrityLevel, p.AntiReplay
+		if enc == "" {
+			enc, integ, replay = "x", "x", "x"
+		}
+		t.Rows = append(t.Rows, []string{d.String(), "per-" + integ, enc, replay, mea})
+	}
+	t.Rows[0] = []string{Baseline.String(), "x", "x", "x", "x"}
+	return t
+}
+
+// Table6Hardware renders the hardware-overhead model.
+func Table6Hardware() Table {
+	t := Table{
+		Title:  "Table 6: security-hardware overhead (8 nm model)",
+		Header: []string{"module", "gates", "area (um^2)", "power (uW)"},
+		Notes: []string{
+			fmt.Sprintf("Seculator on-chip security state: %d bits vs %d bits of metadata caches in prior work",
+				hw.RegisterFileBits(), hw.PriorWorkStorageBits()),
+		},
+	}
+	for _, m := range hw.SeculatorModules() {
+		t.Rows = append(t.Rows, []string{
+			m.Name, fmt.Sprintf("%d", m.GateCount),
+			fmt.Sprintf("%.1f", m.AreaUM2), fmt.Sprintf("%.1f", m.PowerUW),
+		})
+	}
+	ms := hw.SeculatorModules()
+	t.Rows = append(t.Rows, []string{
+		"TOTAL", "", fmt.Sprintf("%.1f", hw.TotalArea(ms)), fmt.Sprintf("%.1f", hw.TotalPower(ms)),
+	})
+	return t
+}
+
+// PatternTable renders one of the paper's pattern tables ("table2-ir",
+// "table2-or", "table3", "table4", "table8", "table9", "table10-ir",
+// "table10-or", or "all") for a sample grid.
+func PatternTable(which string, g PatternGrid) Table {
+	t := Table{
+		Title: fmt.Sprintf("Pattern table %s (aHW=%d aC=%d aK=%d)",
+			which, g.AlphaHW, g.AlphaC, g.AlphaK),
+		Header: []string{"table", "row", "style", "loop order", "WP", "RP", "class"},
+	}
+	for _, e := range PatternTables() {
+		if which != "all" && e.Table != which {
+			continue
+		}
+		m := e.Build(g)
+		eff := PatternGrid{AlphaHW: m.AlphaHW, AlphaC: m.AlphaC, AlphaK: m.AlphaK}
+		wp := e.PaperWP(eff)
+		rp := e.PaperRP(eff)
+		t.Rows = append(t.Rows, []string{
+			e.Table, fmt.Sprintf("%d", e.Row), e.Style, e.OrderDesc,
+			wp.String(), rp.String(), pattern.Classify(wp).String(),
+		})
+		if e.Note != "" {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s row %d: %s", e.Table, e.Row, e.Note))
+		}
+	}
+	return t
+}
+
+// perfTable builds a network x design grid of normalized performance.
+func perfTable(title string, points []PerfPoint, designs []Design) Table {
+	t := Table{Title: title, Header: []string{"network"}}
+	for _, d := range designs {
+		t.Header = append(t.Header, d.String())
+	}
+	byNet := groupByNetwork(points)
+	for _, n := range workload.All() {
+		row := []string{n.Name}
+		for _, d := range designs {
+			row = append(row, fmt.Sprintf("%.3f", byNet[n.Name][d].Performance))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func groupByNetwork(points []PerfPoint) map[string]map[Design]PerfPoint {
+	out := map[string]map[Design]PerfPoint{}
+	for _, p := range points {
+		if out[p.Network] == nil {
+			out[p.Network] = map[Design]PerfPoint{}
+		}
+		out[p.Network][p.Design] = p
+	}
+	return out
+}

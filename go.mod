@@ -1,0 +1,3 @@
+module seculator
+
+go 1.22

@@ -1,0 +1,61 @@
+package seculator
+
+import (
+	"seculator/internal/defence"
+	"seculator/internal/host"
+)
+
+// HostCommand is one "run layer" order the host CPU issues to the NPU over
+// the secure command channel (Section 6.1): the layer geometry, the data
+// region bases, the VN triplet and the golden digests.
+type HostCommand = host.Command
+
+// HostPacket is the authenticated wire form of a command.
+type HostPacket = host.Packet
+
+// HostController is the CPU endpoint of the command channel.
+type HostController = host.Controller
+
+// NPUEndpoint is the accelerator endpoint: it authenticates commands and
+// latches a security breach on any channel violation.
+type NPUEndpoint = host.Endpoint
+
+// NewHostController creates the CPU side for a session key.
+func NewHostController(sessionKey []byte) *HostController { return host.NewController(sessionKey) }
+
+// NewNPUEndpoint creates the NPU side for a session key.
+func NewNPUEndpoint(sessionKey []byte) *NPUEndpoint { return host.NewEndpoint(sessionKey) }
+
+// DefencePlan is a chosen Seculator+ obfuscation configuration.
+type DefencePlan = defence.Plan
+
+// DefenceOptions bound the planner's search.
+type DefenceOptions = defence.Options
+
+// DefaultDefenceOptions returns a pragmatic search space.
+func DefaultDefenceOptions() DefenceOptions { return defence.DefaultOptions() }
+
+// PlanDefence searches widening factors (adding dummy-network injection
+// when geometry alone cannot reach the target) for the cheapest Seculator+
+// configuration with model-extraction leakage error >= target and runtime
+// overhead <= maxOverhead.
+func PlanDefence(victim Network, cfg Config, target, maxOverhead float64, opt DefenceOptions) (DefencePlan, error) {
+	return defence.PlanDefence(victim, cfg, target, maxOverhead, opt)
+}
+
+// SessionResult is a full secure-session outcome: the simulated execution
+// plus command-channel accounting.
+type SessionResult = host.SessionResult
+
+// SessionIntercept lets tests/demos play the man in the middle on the
+// PCIe link.
+type SessionIntercept = host.Intercept
+
+// RunSecureSession drives the complete Figure 6 flow on the Seculator
+// design: the host issues one authenticated command per layer (geometry +
+// VN triplet), the NPU endpoint authenticates and cross-derives each
+// triplet, and the commanded network executes. Channel violations abort
+// the session.
+func RunSecureSession(net Network, cfg Config, sessionKey []byte, mitm SessionIntercept) (SessionResult, error) {
+	return host.RunSession(net, cfg, sessionKey, mitm)
+}

@@ -1,0 +1,255 @@
+package seculator
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"seculator/internal/mac"
+)
+
+func demoNet() Network {
+	return Network{
+		Name: "demo",
+		Layers: []Layer{
+			{Name: "c1", Type: Conv, C: 3, H: 12, W: 12, K: 8, R: 3, S: 3, Stride: 1},
+			{Name: "p1", Type: Pool, C: 8, H: 12, W: 12, K: 8, R: 2, S: 2, Stride: 2, Valid: true},
+			{Name: "fc", Type: FC, C: 8 * 6 * 6, H: 1, W: 1, K: 4, R: 1, S: 1, Stride: 1},
+		},
+	}
+}
+
+func TestSecureInferenceEquivalence(t *testing.T) {
+	net := demoNet()
+	in, ws := RandomModel(net, 99)
+	golden, err := ReferenceInference(net, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SecureInference(net, in, ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(golden) {
+		t.Fatal("secure inference diverged from reference")
+	}
+}
+
+func TestSecureInferenceDetectsHookTamper(t *testing.T) {
+	net := demoNet()
+	in, ws := RandomModel(net, 99)
+	_, err := SecureInference(net, in, ws, func(phase int, d *DRAM) {
+		if phase == 0 {
+			var last uint64
+			for addr := uint64(0); addr < 100000; addr++ {
+				if d.Peek(addr) != nil {
+					last = addr
+				}
+			}
+			d.Tamper(last, 1, 0x10)
+		}
+	})
+	if !errors.Is(err, mac.ErrIntegrity) {
+		t.Fatalf("hook tamper not detected: %v", err)
+	}
+}
+
+func TestTransformerSurface(t *testing.T) {
+	net, err := Transformer(TinyTransformer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunAll(net, []Design{Baseline, TNPU, Seculator}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := results[0]
+	if !(results[2].Performance(base) > results[1].Performance(base)) {
+		t.Fatal("Seculator must beat TNPU on the transformer too")
+	}
+	if _, err := Transformer(TransformerConfig{}); err == nil {
+		t.Fatal("invalid transformer config accepted")
+	}
+	if n, err := NetworkByName("TinyTransformer"); err != nil || len(n.Layers) == 0 {
+		t.Fatalf("ByName transformer lookup: %v", err)
+	}
+}
+
+func TestCaptureTraceSurface(t *testing.T) {
+	tr, err := CaptureTrace(demoNet(), Baseline, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 || tr.InferredLayerCount() != len(demoNet().Layers) {
+		t.Fatalf("trace: %s", tr.Summary())
+	}
+}
+
+func TestDetectionMatrixSurface(t *testing.T) {
+	cells, err := DetectionMatrix(DefaultAttackScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 5*6 {
+		t.Fatalf("matrix cells = %d, want 30", len(cells))
+	}
+	for _, c := range cells {
+		if c.Design == Baseline && c.Detected {
+			t.Fatal("baseline cell detected an attack")
+		}
+		if c.Design != Baseline && c.Attack != 0 && !c.Detected {
+			t.Fatalf("%s/%s undetected", c.Design, c.Attack)
+		}
+	}
+	tbl, err := DetectionMatrixTable(DefaultAttackScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "SILENT-CORRUPT") || !strings.Contains(s, "DETECTED") {
+		t.Fatalf("matrix table malformed:\n%s", s)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("matrix rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestNoiseScheduleSurface(t *testing.T) {
+	victim := demoNet()
+	dummy, err := DummyNetwork("noise", 2, 8, 8, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := IntersperseDummy(victim, dummy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLayerSchedule("noisy", sched, SeculatorPlus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(victim, SeculatorPlus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= clean.Cycles {
+		t.Fatal("noise injection must cost cycles")
+	}
+	tr, err := CaptureLayerTrace("noisy", sched, SeculatorPlus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.InferredLayerCount() <= len(victim.Layers) {
+		t.Fatalf("noise did not inflate inferred depth: %d", tr.InferredLayerCount())
+	}
+}
+
+func TestPreprocSurface(t *testing.T) {
+	pp, err := PreprocPipeline(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunAll(pp, []Design{Baseline, Seculator}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := results[1].Performance(results[0]); p <= 0.9 {
+		t.Fatalf("Seculator on preprocessing should be near-free, got %.3f", p)
+	}
+	if _, err := PreprocStage("s", PreprocStyle2, 3, 16, 16, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGANSurface(t *testing.T) {
+	net, err := GANGenerator(TinyGAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ws := RandomModel(net, 3)
+	golden, err := ReferenceInference(net, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SecureInference(net, in, ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.Equal(golden) {
+		t.Fatal("GAN secure inference diverged")
+	}
+	if _, err := Deconv("d", 4, 8, 8, 2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GANGenerator(GANGeneratorConfig{}); err == nil {
+		t.Fatal("invalid GAN config accepted")
+	}
+}
+
+func TestEnergySurface(t *testing.T) {
+	tbl, err := EnergyTable(demoNet(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("energy rows = %d", len(tbl.Rows))
+	}
+	if m := DefaultEnergyModel(); m.DRAMBlockNJ <= 0 {
+		t.Fatal("default energy model degenerate")
+	}
+}
+
+func TestSweepSurface(t *testing.T) {
+	cfg := DefaultConfig()
+	net := demoNet()
+	res, err := SweepBandwidth(net, cfg, []float64{0.11, 0.44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := SweepTable(res)
+	if len(tbl.Rows) != 2 || len(tbl.Header) != 6 {
+		t.Fatalf("sweep table shape: %dx%d", len(tbl.Rows), len(tbl.Header))
+	}
+	if _, err := SweepGlobalBuffer(net, cfg, []int{240}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SweepPEArray(net, cfg, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SweepMACCache(net, cfg, []int{8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostChannelSurface(t *testing.T) {
+	key := []byte("k0")
+	h := NewHostController(key)
+	e := NewNPUEndpoint(key)
+	cmd := HostCommand{
+		LayerIndex: 1,
+		Layer:      Layer{Type: Conv, C: 3, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1},
+		Triplet:    Triplet{Eta: 1, Kappa: 2, Rho: 3},
+	}
+	got, err := e.Receive(h.Issue(cmd))
+	if err != nil || got.Triplet != cmd.Triplet {
+		t.Fatalf("channel round trip: %v %+v", err, got)
+	}
+	p := h.Issue(cmd)
+	p.Payload[0] ^= 1
+	if _, err := e.Receive(p); err == nil {
+		t.Fatal("tampered command accepted")
+	}
+	if !e.Breached() {
+		t.Fatal("breach not latched")
+	}
+}
+
+func TestPlanDefenceSurface(t *testing.T) {
+	p, err := PlanDefence(demoNet(), DefaultConfig(), 0.3, 30, DefaultDefenceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Leakage < 0.3 || p.Overhead <= 0 {
+		t.Fatalf("bad plan: %+v", p)
+	}
+}

@@ -1,0 +1,227 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"seculator/internal/mac"
+	"seculator/internal/mem"
+	"seculator/internal/npu"
+	"seculator/internal/widen"
+	"seculator/internal/workload"
+)
+
+func TestHonestExecutionVerifies(t *testing.T) {
+	if err := RunSeculator(DefaultScenario(), nil, nil); err != nil {
+		t.Fatalf("honest execution failed verification: %v", err)
+	}
+}
+
+func TestDegenerateScenarioRejected(t *testing.T) {
+	if err := RunSeculator(Scenario{}, nil, nil); err == nil {
+		t.Fatal("degenerate scenario accepted")
+	}
+}
+
+// Integrity attack: flip one bit of one ciphertext block in DRAM.
+func TestTamperDetected(t *testing.T) {
+	err := RunSeculator(DefaultScenario(), nil, func(d *mem.DRAM, l Layout) {
+		if !d.Tamper(l.Addr(2, 1), 17, 0x40) {
+			t.Fatal("tamper primitive failed")
+		}
+	})
+	if !errors.Is(err, mac.ErrIntegrity) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+}
+
+// Replay attack: snapshot version-1 ciphertext mid-layer, restore it after
+// the final version was written.
+func TestReplayDetected(t *testing.T) {
+	var snap []byte
+	mid := func(d *mem.DRAM, l Layout) {
+		s, ok := d.Snapshot(l.Addr(1, 0))
+		if !ok {
+			t.Fatal("snapshot failed")
+		}
+		snap = s
+	}
+	mutate := func(d *mem.DRAM, l Layout) {
+		if !d.Restore(l.Addr(1, 0), snap) {
+			t.Fatal("restore failed")
+		}
+	}
+	err := RunSeculator(DefaultScenario(), mid, mutate)
+	if !errors.Is(err, mac.ErrIntegrity) {
+		t.Fatalf("replay not detected: %v", err)
+	}
+}
+
+// Splicing attack: swap two ciphertext blocks between addresses. Both
+// blocks are valid ciphertexts, but each is bound to its (fmap, index)
+// position through the counter and the MAC.
+func TestSpliceDetected(t *testing.T) {
+	err := RunSeculator(DefaultScenario(), nil, func(d *mem.DRAM, l Layout) {
+		if !d.Swap(l.Addr(0, 0), l.Addr(3, 2)) {
+			t.Fatal("swap primitive failed")
+		}
+	})
+	if !errors.Is(err, mac.ErrIntegrity) {
+		t.Fatalf("splicing not detected: %v", err)
+	}
+}
+
+// Swapping two blocks with identical plaintext positions across tiles must
+// still be caught: the MAC binds the fmap ID.
+func TestCrossTileSwapDetected(t *testing.T) {
+	err := RunSeculator(DefaultScenario(), nil, func(d *mem.DRAM, l Layout) {
+		d.Swap(l.Addr(0, 1), l.Addr(1, 1))
+	})
+	if !errors.Is(err, mac.ErrIntegrity) {
+		t.Fatalf("cross-tile swap not detected: %v", err)
+	}
+}
+
+// Property: any single-byte tamper at any position is detected.
+func TestTamperAnywhereDetectedProperty(t *testing.T) {
+	s := DefaultScenario()
+	f := func(tile, block, off, mask uint8) bool {
+		m := mask
+		if m == 0 {
+			m = 1
+		}
+		ti := int(tile) % s.Tiles
+		bl := int(block) % s.BlocksPerTile
+		of := int(off) % 64
+		err := RunSeculator(s, nil, func(d *mem.DRAM, l Layout) {
+			d.Tamper(l.Addr(ti, bl), of, m)
+		})
+		return errors.Is(err, mac.ErrIntegrity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eavesdropping: ciphertext of all-zero plaintext must not leak zeros and
+// must look roughly uniform.
+func TestEavesdropLearnsNothing(t *testing.T) {
+	s := DefaultScenario()
+	s.Tiles, s.BlocksPerTile = 16, 16 // 16 KB of ciphertext
+	leaks, hist, err := Eavesdrop(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaks != 0 {
+		t.Fatalf("%d blocks leaked plaintext", leaks)
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	// Roughly uniform: no byte value above 4x its expected frequency.
+	expected := float64(total) / 256
+	for v, c := range hist {
+		if float64(c) > 4*expected+8 {
+			t.Fatalf("byte value %#x appears %d times (expected ~%.0f): ciphertext is biased", v, c, expected)
+		}
+	}
+}
+
+// MEA against an unwidened network: the address trace reveals layer
+// volumes almost exactly.
+func TestMEAExtractsUnprotectedShapes(t *testing.T) {
+	n := workload.MobileNet()
+	leak, err := NetworkLeakage(n, n, npu.DefaultConfig(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block padding causes small rounding error; the attacker is
+	// essentially exact.
+	if leak > 0.25 {
+		t.Fatalf("unprotected leakage error = %.3f, attacker should reconstruct shapes", leak)
+	}
+}
+
+// MEA against a widened execution (Seculator+): reconstruction error grows
+// with the widening factor.
+func TestWideningDefeatsMEA(t *testing.T) {
+	real := workload.Network{
+		Name: "victim",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 16, H: 32, W: 32, K: 32, R: 3, S: 3, Stride: 1},
+		},
+	}
+	base, err := NetworkLeakage(real, real, npu.DefaultConfig(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base
+	for _, factor := range []float64{1.75, 3.0, 5.0} {
+		wnet, err := widen.Network(real, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leak, err := NetworkLeakage(real, wnet, npu.DefaultConfig(), mem.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak <= prev {
+			t.Fatalf("widening %.2fx did not increase confusion: %.3f <= %.3f", factor, leak, prev)
+		}
+		prev = leak
+	}
+	if prev < 0.55 {
+		t.Fatalf("5x widening leaves error %.3f; expected heavy obfuscation", prev)
+	}
+}
+
+// Dummy-network injection: the observed trace has extra layers, so the
+// attacker cannot even align layers with the real model.
+func TestDummyNetworkConfusesAlignment(t *testing.T) {
+	real := workload.MobileNet()
+	dummy, err := widen.Dummy("noise", 4, 28, 28, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := workload.Network{Name: "mixed", Layers: append(append([]workload.Layer{}, real.Layers...), dummy.Layers...)}
+	// The combined network does not chain; leakage analysis observes each
+	// mapped layer independently, so craft the observation directly.
+	leak, err := NetworkLeakage(real, workload.Network{Name: "obs", Note: "", Layers: combined.Layers}, npu.DefaultConfig(), mem.DefaultConfig())
+	if err == nil && leak != 1 {
+		t.Fatalf("misaligned trace should give total confusion, got %.3f (err=%v)", leak, err)
+	}
+}
+
+func TestObserveFootprints(t *testing.T) {
+	n := workload.Network{
+		Name: "single",
+		Layers: []workload.Layer{
+			{Name: "c", Type: workload.Conv, C: 4, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
+		},
+	}
+	obs, err := Observe(n, npu.DefaultConfig(), mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("observed %d layers", len(obs))
+	}
+	inf := Infer(obs[0])
+	truth := TrueShape(n.Layers[0])
+	if inf.OutputVolume < truth.OutputVolume {
+		t.Fatalf("inferred output volume %d below truth %d", inf.OutputVolume, truth.OutputVolume)
+	}
+	if ShapeError(n.Layers[0], truth) != 0 {
+		t.Fatal("self shape error must be 0")
+	}
+}
+
+func TestLayoutAddr(t *testing.T) {
+	l := Layout{Base: 100, Tiles: 4, BlocksPerTile: 8}
+	if l.Addr(2, 3) != 100+19 {
+		t.Fatalf("Addr = %d", l.Addr(2, 3))
+	}
+}

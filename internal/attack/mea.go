@@ -1,0 +1,130 @@
+package attack
+
+import (
+	"math"
+
+	"seculator/internal/mem"
+	"seculator/internal/npu"
+	"seculator/internal/sched"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// ObservedLayer is what an address-trace snooper extracts for one layer:
+// the distinct footprints of the three tensor regions, in blocks. Encrypted
+// traffic hides values but not addresses, so these volumes leak directly on
+// designs without MEA protection (Table 5).
+type ObservedLayer struct {
+	Name         string
+	IfmapBlocks  uint64
+	OfmapBlocks  uint64
+	WeightBlocks uint64
+}
+
+// Observe records the per-layer address-range footprints an attacker on
+// the memory bus accumulates: the extents of the stored ifmap, ofmap and
+// weight regions each layer touches. The mapper is consulted only to
+// confirm the network is executable (an unmappable network produces no
+// trace); footprints are the tensor regions themselves, which is exactly
+// what distinct-address observation reconstructs.
+func Observe(n workload.Network, cfg npu.Config, dram mem.Config) ([]ObservedLayer, error) {
+	if _, err := sched.MapNetwork(n, cfg, dram); err != nil {
+		return nil, err
+	}
+	denseBlocks := func(elems int) uint64 {
+		return uint64(tensor.CeilDiv(elems*tensor.PixelBytes, tensor.BlockBytes))
+	}
+	out := make([]ObservedLayer, len(n.Layers))
+	for i, l := range n.Layers {
+		o := ObservedLayer{
+			Name:        l.Name,
+			IfmapBlocks: denseBlocks(l.C * l.H * l.W),
+			OfmapBlocks: denseBlocks(l.K * l.OutH() * l.OutW()),
+		}
+		if l.Type != workload.Pool {
+			o.WeightBlocks = denseBlocks(int(l.Params()))
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// InferredShape is the attacker's reconstruction of a layer from observed
+// footprints: the activation and weight volumes in scalar elements.
+type InferredShape struct {
+	InputVolume  int64 // ~ C*H*W
+	OutputVolume int64 // ~ K*OutH*OutW
+	WeightVolume int64 // ~ K*C*R*S
+}
+
+// Infer converts observed block footprints into volume estimates.
+func Infer(o ObservedLayer) InferredShape {
+	return InferredShape{
+		InputVolume:  int64(o.IfmapBlocks) * tensor.PixelsPerBlock,
+		OutputVolume: int64(o.OfmapBlocks) * tensor.PixelsPerBlock,
+		WeightVolume: int64(o.WeightBlocks) * tensor.PixelsPerBlock,
+	}
+}
+
+// TrueShape returns the real volumes of a layer, the attacker's target.
+func TrueShape(l workload.Layer) InferredShape {
+	s := InferredShape{
+		InputVolume:  int64(l.C) * int64(l.H) * int64(l.W),
+		OutputVolume: int64(l.K) * int64(l.OutH()) * int64(l.OutW()),
+	}
+	if l.Type != workload.Pool {
+		s.WeightVolume = l.Params()
+	}
+	return s
+}
+
+// ShapeError is the attacker's mean normalized reconstruction error across
+// the three volumes, against the REAL layer: each component scores
+// |observed - true| / max(observed, true), so the error lives in [0, 1) —
+// 0 means perfect extraction, values near 1 mean the observation says
+// nothing about the true magnitude. Layer widening drives it up because
+// the observed footprints describe the padded geometry.
+func ShapeError(real workload.Layer, inferred InferredShape) float64 {
+	truth := TrueShape(real)
+	var sum float64
+	var n int
+	for _, pair := range [][2]int64{
+		{truth.InputVolume, inferred.InputVolume},
+		{truth.OutputVolume, inferred.OutputVolume},
+		{truth.WeightVolume, inferred.WeightVolume},
+	} {
+		if pair[0] == 0 {
+			continue
+		}
+		a, b := float64(pair[0]), float64(pair[1])
+		sum += math.Abs(b-a) / math.Max(a, math.Max(b, 1))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// NetworkLeakage runs the full extraction against a (possibly widened)
+// execution of realNet: the attacker observes observedNet's traffic and
+// reconstructs shapes, which are scored against the real layers. Returns
+// the mean shape error across layers, in [0, 1] — the paper's qualitative
+// MEA metric: near 0 for unprotected designs, approaching 1 under heavy
+// Seculator+ obfuscation; 1 exactly when decoy layers destroy alignment.
+func NetworkLeakage(realNet, observedNet workload.Network, cfg npu.Config, dram mem.Config) (float64, error) {
+	obs, err := Observe(observedNet, cfg, dram)
+	if err != nil {
+		return 0, err
+	}
+	if len(obs) != len(realNet.Layers) {
+		// Dummy-layer injection changed the layer count: the attacker
+		// cannot even align layers; report total confusion.
+		return 1, nil
+	}
+	var sum float64
+	for i, o := range obs {
+		sum += ShapeError(realNet.Layers[i], Infer(o))
+	}
+	return sum / float64(len(obs)), nil
+}

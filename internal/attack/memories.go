@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"fmt"
+
+	"seculator/internal/mem"
+	"seculator/internal/protect"
+)
+
+// NewFunctionalMemory constructs the functional memory of a design over a
+// fresh DRAM, returning its off-chip MAC store when the design has one
+// (nil for Baseline and Seculator). Seculator+ shares Seculator's memory.
+func NewFunctionalMemory(d protect.Design) (protect.FunctionalMemory, *protect.MACStore, *mem.DRAM, error) {
+	dram := mem.MustNew(mem.DefaultConfig())
+	switch d {
+	case protect.Baseline:
+		return protect.NewBaselineMemory(dram), nil, dram, nil
+	case protect.Secure:
+		m, err := protect.NewSGXMemory(dram, 0x5ec_0001, 0x5ec_0002, 64)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return m, m.MACs(), dram, nil
+	case protect.TNPU:
+		m := protect.NewTNPUMemory(dram, 0x5ec_0003, 0x5ec_0004)
+		return m, m.MACs(), dram, nil
+	case protect.GuardNN:
+		m := protect.NewGuardNNMemory(dram, 0x5ec_0005, 0x5ec_0006)
+		return m, m.MACs(), dram, nil
+	case protect.Seculator, protect.SeculatorPlus:
+		return protect.NewSeculatorFunctional(dram, 0x5ec_0007, 0x5ec_0008), nil, dram, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("attack: no functional memory for design %d", uint8(d))
+	}
+}
+
+// DetectionCell is one (design, attack) outcome of the behavioural Table 5.
+type DetectionCell struct {
+	Design    protect.Design
+	Attack    MatrixAttack
+	Detected  bool
+	Corrupted bool
+}
+
+// DetectionMatrix runs every attack against every design's functional
+// memory and returns the full matrix.
+func DetectionMatrix(s Scenario) ([]DetectionCell, error) {
+	designs := []protect.Design{
+		protect.Baseline, protect.Secure, protect.TNPU, protect.GuardNN, protect.Seculator,
+	}
+	var out []DetectionCell
+	for _, d := range designs {
+		for _, atk := range MatrixAttacks() {
+			m, macs, dram, err := NewFunctionalMemory(d)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunMatrix(m, macs, dram, s, atk)
+			if err != nil {
+				return nil, fmt.Errorf("attack: %s/%s: %w", d, atk, err)
+			}
+			out = append(out, DetectionCell{
+				Design: d, Attack: atk,
+				Detected: res.Detected, Corrupted: res.Corrupted,
+			})
+		}
+	}
+	return out, nil
+}

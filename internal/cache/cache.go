@@ -1,0 +1,171 @@
+// Package cache provides the set-associative write-back cache used to model
+// the on-chip metadata caches of the secure designs: the 8 KB MAC cache
+// (Secure, TNPU) and the 4 KB counter cache (Secure). Line granularity is
+// 64 bytes; replacement is LRU.
+//
+// The cache is a timing/occupancy model keyed by line address: it tracks
+// hits, misses, dirty state and evictions, but stores no payload — the
+// functional data lives with the protection engines.
+package cache
+
+import (
+	"fmt"
+
+	"seculator/internal/sim"
+)
+
+// LineBytes is the cache line size (matches the DRAM block size).
+const LineBytes = 64
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// MissRate returns Misses/Accesses.
+func (s Stats) MissRate() float64 { return sim.Ratio(s.Misses, s.Accesses) }
+
+// HitRate returns Hits/Accesses.
+func (s Stats) HitRate() float64 { return sim.Ratio(s.Hits, s.Accesses) }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch tick
+}
+
+// Cache is a set-associative, write-back, write-allocate cache model.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []line // sets*ways, row-major by set
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache of capacityBytes with the given associativity.
+// capacityBytes must be a positive multiple of ways*LineBytes and the
+// resulting set count must be a power of two.
+func New(capacityBytes, ways int) (*Cache, error) {
+	if capacityBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d and ways %d must be positive", capacityBytes, ways)
+	}
+	linesTotal := capacityBytes / LineBytes
+	if linesTotal*LineBytes != capacityBytes {
+		return nil, fmt.Errorf("cache: capacity %d is not a multiple of the %d-byte line", capacityBytes, LineBytes)
+	}
+	if linesTotal%ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", linesTotal, ways)
+	}
+	sets := linesTotal / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]line, linesTotal)}, nil
+}
+
+// MustNew is New, panicking on configuration errors (for fixed configs).
+func MustNew(capacityBytes, ways int) *Cache {
+	c, err := New(capacityBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit          bool
+	Evicted      bool   // a valid line was displaced
+	WritebackReq bool   // the displaced line was dirty -> one DRAM write
+	VictimAddr   uint64 // line address of the displaced line, if any
+}
+
+// Access touches the line containing lineAddr (already in line units).
+// write marks the line dirty. Returns hit/miss and any eviction caused.
+func (c *Cache) Access(lineAddr uint64, write bool) Result {
+	c.tick++
+	c.stats.Accesses++
+	set := int(lineAddr % uint64(c.sets))
+	tag := lineAddr / uint64(c.sets)
+	base := set * c.ways
+
+	// Hit path.
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			c.lines[i].lru = c.tick
+			if write {
+				c.lines[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: pick an invalid way or the LRU victim.
+	c.stats.Misses++
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if !c.lines[i].valid {
+			victim = i
+			break
+		}
+		if c.lines[i].lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	res := Result{}
+	v := &c.lines[victim]
+	if v.valid {
+		res.Evicted = true
+		res.VictimAddr = v.tag*uint64(c.sets) + uint64(set)
+		if v.dirty {
+			res.WritebackReq = true
+			c.stats.Writebacks++
+		}
+		c.stats.Evictions++
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return res
+}
+
+// FlushDirty returns the number of dirty lines and marks them clean —
+// modeling the end-of-layer writeback of resident metadata.
+func (c *Cache) FlushDirty() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.lines[i].dirty = false
+			n++
+		}
+	}
+	c.stats.Writebacks += uint64(n)
+	return n
+}
+
+// Invalidate clears the entire cache without writebacks.
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters, keeping contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Sets and Ways expose the geometry.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// CapacityBytes returns the total data capacity.
+func (c *Cache) CapacityBytes() int { return c.sets * c.ways * LineBytes }

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(4096, 0); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+	if _, err := New(100, 1); err == nil {
+		t.Fatal("non-multiple capacity accepted")
+	}
+	if _, err := New(3*64*4, 4); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+	c, err := New(8192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets() != 32 || c.Ways() != 4 || c.CapacityBytes() != 8192 {
+		t.Fatalf("geometry: sets=%d ways=%d cap=%d", c.Sets(), c.Ways(), c.CapacityBytes())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad config")
+		}
+	}()
+	MustNew(7, 3)
+}
+
+func TestHitMiss(t *testing.T) {
+	c := MustNew(4*64, 1) // 4 direct-mapped lines
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0, false); !r.Hit {
+		t.Fatal("warm access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.MissRate() != 0.5 || s.HitRate() != 0.5 {
+		t.Fatalf("rates: %g %g", s.MissRate(), s.HitRate())
+	}
+}
+
+func TestConflictEvictionAndWriteback(t *testing.T) {
+	c := MustNew(4*64, 1) // direct mapped, 4 sets
+	c.Access(0, true)     // dirty line in set 0
+	r := c.Access(4, false)
+	if r.Hit || !r.Evicted || !r.WritebackReq || r.VictimAddr != 0 {
+		t.Fatalf("conflict eviction wrong: %+v", r)
+	}
+	// Clean eviction: line 4 was read-only.
+	r = c.Access(8, false)
+	if !r.Evicted || r.WritebackReq || r.VictimAddr != 4 {
+		t.Fatalf("clean eviction wrong: %+v", r)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.Writebacks != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := MustNew(2*64, 2) // one set, two ways
+	c.Access(0, false)
+	c.Access(1, false)
+	c.Access(0, false) // 0 is now MRU
+	r := c.Access(2, false)
+	if r.VictimAddr != 1 {
+		t.Fatalf("LRU should evict addr 1, evicted %d", r.VictimAddr)
+	}
+	if r := c.Access(0, false); !r.Hit {
+		t.Fatal("MRU line was evicted")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := MustNew(2*64, 2)
+	c.Access(0, false) // clean fill
+	c.Access(0, true)  // write hit -> dirty
+	c.Access(1, false)
+	r := c.Access(2, false) // evicts 0 (LRU)... 0 was touched at t=2, 1 at t=3
+	if r.VictimAddr != 0 || !r.WritebackReq {
+		t.Fatalf("write-hit dirtiness lost: %+v", r)
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := MustNew(8*64, 2)
+	c.Access(0, true)
+	c.Access(1, true)
+	c.Access(2, false)
+	if n := c.FlushDirty(); n != 2 {
+		t.Fatalf("FlushDirty = %d, want 2", n)
+	}
+	if n := c.FlushDirty(); n != 0 {
+		t.Fatalf("second FlushDirty = %d, want 0", n)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(4*64, 2)
+	c.Access(0, true)
+	c.Invalidate()
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("hit after Invalidate")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := MustNew(4*64, 2)
+	c.Access(0, false)
+	c.ResetStats()
+	if s := c.Stats(); s.Accesses != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	if r := c.Access(0, false); !r.Hit {
+		t.Fatal("contents should survive ResetStats")
+	}
+}
+
+// Streaming behaviour: sequential lines through a small cache miss once per
+// line and never hit — the paper's observation about MAC caches on
+// streaming DNN data.
+func TestStreamingHasNoReuse(t *testing.T) {
+	c := MustNew(8192, 4) // the 8 KB MAC cache
+	for addr := uint64(0); addr < 4096; addr++ {
+		if r := c.Access(addr, false); r.Hit {
+			t.Fatalf("streaming access %d hit", addr)
+		}
+	}
+	if mr := c.Stats().MissRate(); mr != 1.0 {
+		t.Fatalf("streaming miss rate = %g, want 1.0", mr)
+	}
+}
+
+// Property: hits+misses == accesses, and a second touch of any address with
+// no intervening conflicting fills is a hit.
+func TestAccountingProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustNew(64*64, 4)
+		for _, a := range addrs {
+			c.Access(uint64(a), a%2 == 0)
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Accesses && s.Writebacks <= s.Evictions+uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache never holds more distinct lines than its capacity.
+func TestCapacityProperty(t *testing.T) {
+	f := func(addrs []uint8) bool {
+		c := MustNew(4*64, 2) // 4 lines total
+		resident := map[uint64]bool{}
+		for _, a := range addrs {
+			r := c.Access(uint64(a), false)
+			resident[uint64(a)] = true
+			if r.Evicted {
+				delete(resident, r.VictimAddr)
+			}
+			if len(resident) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

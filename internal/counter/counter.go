@@ -1,0 +1,143 @@
+// Package counter implements the SGX-Client-style encryption counters used
+// by the paper's "Secure" baseline configuration (Section 2.1.1): every
+// 4 KB page carries a 64-bit major counter and each of its 64 blocks a
+// 6-bit minor counter. The combined value (major ‖ minor) seeds the CTR
+// encryption of the block and is bumped on every write-back; a minor
+// counter overflow increments the major counter and forces the whole page
+// to be re-encrypted under fresh minors.
+//
+// One 64-byte counter line holds a page's major counter (8 B) plus its 64
+// minor counters (48 B), so counter lines map 1:1 to pages — the unit the
+// 4 KB counter cache and the Merkle tree operate on.
+package counter
+
+import "fmt"
+
+const (
+	// BlocksPerPage is the number of 64-byte blocks per 4 KB page.
+	BlocksPerPage = 64
+	// MinorBits is the width of a minor counter.
+	MinorBits = 6
+	// MinorLimit is the exclusive upper bound of a minor counter.
+	MinorLimit = 1 << MinorBits
+)
+
+// Value is a combined encryption counter.
+type Value struct {
+	Major uint64
+	Minor uint8
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// page is the counter state of one 4 KB page.
+type page struct {
+	major  uint64
+	minors [BlocksPerPage]uint8
+}
+
+// Store holds the counters of all protected pages. The zero state of a page
+// (major 0, minors 0) is its freshly-initialized value.
+type Store struct {
+	pages map[uint64]*page
+
+	increments uint64
+	overflows  uint64
+}
+
+// NewStore returns an empty counter store.
+func NewStore() *Store {
+	return &Store{pages: make(map[uint64]*page)}
+}
+
+// PageOf returns the page index of a block address (block units).
+func PageOf(blockAddr uint64) uint64 { return blockAddr / BlocksPerPage }
+
+// slotOf returns the minor-counter slot of a block address.
+func slotOf(blockAddr uint64) int { return int(blockAddr % BlocksPerPage) }
+
+// Value returns the current counter of a block.
+func (s *Store) Value(blockAddr uint64) Value {
+	p, ok := s.pages[PageOf(blockAddr)]
+	if !ok {
+		return Value{}
+	}
+	return Value{Major: p.major, Minor: p.minors[slotOf(blockAddr)]}
+}
+
+// Increment bumps the block's minor counter for a write-back and returns
+// the new counter. overflowed reports that the minor wrapped: the major
+// counter was incremented, every minor on the page was reset, and the
+// caller must re-encrypt all other blocks of the page (BlocksPerPage-1
+// extra block writes).
+func (s *Store) Increment(blockAddr uint64) (v Value, overflowed bool) {
+	pi := PageOf(blockAddr)
+	p, ok := s.pages[pi]
+	if !ok {
+		p = &page{}
+		s.pages[pi] = p
+	}
+	s.increments++
+	slot := slotOf(blockAddr)
+	p.minors[slot]++
+	if p.minors[slot] == MinorLimit {
+		s.overflows++
+		p.major++
+		for i := range p.minors {
+			p.minors[i] = 0
+		}
+		p.minors[slot] = 1
+		return Value{Major: p.major, Minor: 1}, true
+	}
+	return Value{Major: p.major, Minor: p.minors[slot]}, false
+}
+
+// Pages returns how many pages have live counters.
+func (s *Store) Pages() int { return len(s.pages) }
+
+// Increments returns the total number of counter bumps.
+func (s *Store) Increments() uint64 { return s.increments }
+
+// Overflows returns how many minor-counter overflows occurred.
+func (s *Store) Overflows() uint64 { return s.overflows }
+
+// Serialize packs a page's counters into its 64-byte counter line image,
+// the quantity the Merkle tree hashes. Missing pages serialize as zeros.
+func (s *Store) Serialize(pageIdx uint64, dst []byte) {
+	if len(dst) != 64 {
+		panic(fmt.Sprintf("counter: line image must be 64 bytes, got %d", len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	p, ok := s.pages[pageIdx]
+	if !ok {
+		return
+	}
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(p.major >> (8 * (7 - i)))
+	}
+	// Pack 64 six-bit minors into 48 bytes, starting after the major.
+	bit := 8 * 8
+	for _, m := range p.minors {
+		for b := MinorBits - 1; b >= 0; b-- {
+			if m&(1<<b) != 0 {
+				dst[bit/8] |= 1 << (7 - bit%8)
+			}
+			bit++
+		}
+	}
+}
+
+// TamperMajor adds delta to a page's major counter without going through
+// Increment — the attacker primitive for counter-corruption tests. It
+// reports whether the page existed.
+func (s *Store) TamperMajor(pageIdx uint64, delta uint64) bool {
+	p, ok := s.pages[pageIdx]
+	if !ok {
+		return false
+	}
+	p.major += delta
+	return true
+}

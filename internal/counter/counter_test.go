@@ -1,0 +1,147 @@
+package counter
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageOfAndValueDefaults(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(63) != 0 || PageOf(64) != 1 || PageOf(129) != 2 {
+		t.Fatal("PageOf wrong")
+	}
+	s := NewStore()
+	v := s.Value(10)
+	if v.Major != 0 || v.Minor != 0 {
+		t.Fatalf("fresh counter = %v", v)
+	}
+	if s.Pages() != 0 {
+		t.Fatal("Value must not allocate pages")
+	}
+}
+
+func TestIncrement(t *testing.T) {
+	s := NewStore()
+	v, of := s.Increment(5)
+	if of || v.Major != 0 || v.Minor != 1 {
+		t.Fatalf("first increment = %v overflow=%v", v, of)
+	}
+	v, _ = s.Increment(5)
+	if v.Minor != 2 {
+		t.Fatalf("second increment = %v", v)
+	}
+	// Another block on the same page has its own minor.
+	v, _ = s.Increment(6)
+	if v.Minor != 1 {
+		t.Fatalf("sibling block minor = %v", v)
+	}
+	if s.Pages() != 1 || s.Increments() != 3 {
+		t.Fatalf("pages=%d increments=%d", s.Pages(), s.Increments())
+	}
+}
+
+func TestMinorOverflow(t *testing.T) {
+	s := NewStore()
+	s.Increment(70) // sibling on page 1 gets minor 1
+	var v Value
+	var of bool
+	for i := 0; i < MinorLimit-1; i++ {
+		v, of = s.Increment(64)
+		if of {
+			t.Fatalf("premature overflow at %d", i)
+		}
+	}
+	if v.Minor != MinorLimit-1 {
+		t.Fatalf("minor before overflow = %v", v)
+	}
+	v, of = s.Increment(64)
+	if !of {
+		t.Fatal("overflow not reported")
+	}
+	if v.Major != 1 || v.Minor != 1 {
+		t.Fatalf("post-overflow counter = %v", v)
+	}
+	// All other minors on the page were reset.
+	if got := s.Value(70); got.Major != 1 || got.Minor != 0 {
+		t.Fatalf("sibling after overflow = %v", got)
+	}
+	if s.Overflows() != 1 {
+		t.Fatalf("Overflows = %d", s.Overflows())
+	}
+}
+
+// Freshness invariant: the combined counter value of a block never repeats
+// across consecutive increments, even through overflows.
+func TestCounterNeverRepeatsProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		s := NewStore()
+		seen := map[Value]bool{{}: true} // initial value
+		for i := 0; i < int(n%200)+MinorLimit+5; i++ {
+			v, _ := s.Increment(3)
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialize(t *testing.T) {
+	s := NewStore()
+	img := make([]byte, 64)
+	s.Serialize(0, img)
+	if !bytes.Equal(img, make([]byte, 64)) {
+		t.Fatal("missing page must serialize as zeros")
+	}
+	s.Increment(0) // page 0, slot 0 -> minor 1
+	s.Serialize(0, img)
+	// Major still 0; first minor (6 bits) = 1 -> bits 64..69 = 000001.
+	if img[8] != 0b00000100 {
+		t.Fatalf("packed minors wrong: byte8=%08b", img[8])
+	}
+	before := append([]byte(nil), img...)
+	s.Increment(1)
+	s.Serialize(0, img)
+	if bytes.Equal(img, before) {
+		t.Fatal("serialization must change when any counter changes")
+	}
+	// Major counter serializes big-endian in the first 8 bytes.
+	s.TamperMajor(0, 0x0102)
+	s.Serialize(0, img)
+	if img[6] != 0x01 || img[7] != 0x02 {
+		t.Fatalf("major bytes = % x", img[:8])
+	}
+}
+
+func TestSerializeBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer should panic")
+		}
+	}()
+	NewStore().Serialize(0, make([]byte, 8))
+}
+
+func TestTamperMajor(t *testing.T) {
+	s := NewStore()
+	if s.TamperMajor(0, 1) {
+		t.Fatal("tampering a missing page should fail")
+	}
+	s.Increment(0)
+	if !s.TamperMajor(0, 5) {
+		t.Fatal("TamperMajor failed")
+	}
+	if v := s.Value(0); v.Major != 5 {
+		t.Fatalf("major after tamper = %v", v)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if (Value{Major: 2, Minor: 3}).String() != "2.3" {
+		t.Fatal("Value.String wrong")
+	}
+}

@@ -1,0 +1,193 @@
+// Package crypto implements the memory-encryption engines of the simulated
+// designs (Section 6.3), functionally and with a pipeline latency model.
+//
+// Seculator, GuardNN and the SGX-like Secure design use AES counter-mode:
+// a 64-byte block is XORed with a one-time pad obtained by encrypting a
+// per-block counter. Following the paper, the 128-bit key concatenates the
+// accelerator's embedded secret ID with a boot-time random number, the
+// major counter concatenates the fmap ID and layer ID, and the minor
+// counter concatenates the block's version number and its index within the
+// fmap — so the same plaintext at the same address encrypts differently on
+// every version.
+//
+// TNPU uses AES-XTS (Table 5), which derives its tweak from the block
+// address alone; we implement the standard XEX construction with GF(2^128)
+// tweak doubling over the four 16-byte lanes of a 64-byte block.
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+// Counter is the per-block counter of the paper's CTR construction.
+type Counter struct {
+	Fmap  uint32 // fmap ID            (major counter, high half)
+	Layer uint32 // layer ID           (major counter, low half)
+	VN    uint32 // version number     (minor counter, high half)
+	Block uint32 // block index in the fmap (minor counter, low half)
+}
+
+// String implements fmt.Stringer.
+func (c Counter) String() string {
+	return fmt.Sprintf("ctr{f=%d l=%d vn=%d b=%d}", c.Fmap, c.Layer, c.VN, c.Block)
+}
+
+// CTREngine is the counter-mode memory encryption engine. Four parallel
+// AES-128 lanes produce the 64-byte one-time pad for a block.
+type CTREngine struct {
+	block cipher.Block
+	key   [16]byte
+}
+
+// NewCTR builds the engine with the hardware-specific key: the
+// accelerator's embedded secret ID concatenated with a random number drawn
+// before execution, so the key changes every run.
+func NewCTR(secretID, bootRandom uint64) *CTREngine {
+	var key [16]byte
+	binary.BigEndian.PutUint64(key[0:8], secretID)
+	binary.BigEndian.PutUint64(key[8:16], bootRandom)
+	b, err := aes.NewCipher(key[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key sizes; 16 is always valid.
+		panic(fmt.Sprintf("crypto: %v", err))
+	}
+	return &CTREngine{block: b, key: key}
+}
+
+// pad computes the 64-byte one-time pad for the counter: four AES blocks,
+// one per 16-byte lane, distinguished by a 2-bit lane index.
+func (e *CTREngine) pad(dst *[tensor.BlockBytes]byte, c Counter) {
+	var in [16]byte
+	binary.BigEndian.PutUint32(in[0:4], c.Fmap)
+	binary.BigEndian.PutUint32(in[4:8], c.Layer)
+	binary.BigEndian.PutUint32(in[8:12], c.VN)
+	for lane := 0; lane < 4; lane++ {
+		binary.BigEndian.PutUint32(in[12:16], c.Block<<2|uint32(lane))
+		e.block.Encrypt(dst[lane*16:(lane+1)*16], in[:])
+	}
+}
+
+// EncryptBlock encrypts one 64-byte block: dst = src XOR pad(counter).
+// dst and src must both be 64 bytes; they may alias.
+func (e *CTREngine) EncryptBlock(dst, src []byte, c Counter) {
+	if len(dst) != tensor.BlockBytes || len(src) != tensor.BlockBytes {
+		panic(fmt.Sprintf("crypto: CTR block must be %d bytes, got dst=%d src=%d",
+			tensor.BlockBytes, len(dst), len(src)))
+	}
+	var p [tensor.BlockBytes]byte
+	e.pad(&p, c)
+	for i := range p {
+		dst[i] = src[i] ^ p[i]
+	}
+}
+
+// DecryptBlock decrypts one block; CTR decryption is encryption.
+func (e *CTREngine) DecryptBlock(dst, src []byte, c Counter) {
+	e.EncryptBlock(dst, src, c)
+}
+
+// XTSEngine is the AES-XTS-style engine TNPU uses: the tweak is the block's
+// address, independent of any version number, so freshness must come from
+// elsewhere (TNPU's tensor table).
+type XTSEngine struct {
+	data  cipher.Block // K1: data encryption
+	tweak cipher.Block // K2: tweak encryption
+}
+
+// NewXTS builds the two-key XTS engine.
+func NewXTS(key1, key2 uint64) *XTSEngine {
+	var k1, k2 [16]byte
+	binary.BigEndian.PutUint64(k1[0:8], key1)
+	binary.BigEndian.PutUint64(k1[8:16], ^key1)
+	binary.BigEndian.PutUint64(k2[0:8], key2)
+	binary.BigEndian.PutUint64(k2[8:16], ^key2)
+	b1, err := aes.NewCipher(k1[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypto: %v", err))
+	}
+	b2, err := aes.NewCipher(k2[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypto: %v", err))
+	}
+	return &XTSEngine{data: b1, tweak: b2}
+}
+
+// gfDouble multiplies a 16-byte tweak by alpha in GF(2^128) with the XTS
+// primitive polynomial x^128 + x^7 + x^2 + x + 1 (little-endian carry).
+func gfDouble(t *[16]byte) {
+	carry := t[15] >> 7
+	for i := 15; i > 0; i-- {
+		t[i] = t[i]<<1 | t[i-1]>>7
+	}
+	t[0] <<= 1
+	if carry != 0 {
+		t[0] ^= 0x87
+	}
+}
+
+// EncryptBlock encrypts a 64-byte block whose global address (in block
+// units) is addr: each 16-byte lane j uses tweak E_K2(addr) * alpha^j.
+func (e *XTSEngine) EncryptBlock(dst, src []byte, addr uint64) {
+	e.process(dst, src, addr, true)
+}
+
+// DecryptBlock reverses EncryptBlock.
+func (e *XTSEngine) DecryptBlock(dst, src []byte, addr uint64) {
+	e.process(dst, src, addr, false)
+}
+
+func (e *XTSEngine) process(dst, src []byte, addr uint64, encrypt bool) {
+	if len(dst) != tensor.BlockBytes || len(src) != tensor.BlockBytes {
+		panic(fmt.Sprintf("crypto: XTS block must be %d bytes, got dst=%d src=%d",
+			tensor.BlockBytes, len(dst), len(src)))
+	}
+	var seed, tw [16]byte
+	binary.BigEndian.PutUint64(seed[8:16], addr)
+	e.tweak.Encrypt(tw[:], seed[:])
+	var buf [16]byte
+	for lane := 0; lane < 4; lane++ {
+		o := lane * 16
+		for i := 0; i < 16; i++ {
+			buf[i] = src[o+i] ^ tw[i]
+		}
+		if encrypt {
+			e.data.Encrypt(buf[:], buf[:])
+		} else {
+			e.data.Decrypt(buf[:], buf[:])
+		}
+		for i := 0; i < 16; i++ {
+			dst[o+i] = buf[i] ^ tw[i]
+		}
+		gfDouble(&tw)
+	}
+}
+
+// LatencyModel describes a pipelined crypto unit: the first block pays the
+// full pipeline depth, subsequent back-to-back blocks are hidden behind the
+// pipeline and cost only the issue interval.
+type LatencyModel struct {
+	PipelineDepth sim.Cycles // latency of one block through the unit
+	IssueInterval sim.Cycles // cycles between successive block completions
+}
+
+// Total returns the cycles to process n back-to-back blocks.
+func (l LatencyModel) Total(n int) sim.Cycles {
+	if n <= 0 {
+		return 0
+	}
+	return l.PipelineDepth.Add(l.IssueInterval * sim.Cycles(n-1))
+}
+
+// Default latencies for the synthesized units (Table 6 context): a 40-cycle
+// AES-128 pipeline issuing one 64-byte block per cycle group of four lanes,
+// and an 80-cycle SHA-256 pipeline (64 rounds + ingest).
+var (
+	AESLatency = LatencyModel{PipelineDepth: 40, IssueInterval: 1}
+	SHALatency = LatencyModel{PipelineDepth: 80, IssueInterval: 1}
+)

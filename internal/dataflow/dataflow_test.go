@@ -1,0 +1,373 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"seculator/internal/pattern"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+// equalInts compares element-wise, treating nil and empty as equal.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sampleGrid() GridSpec {
+	return GridSpec{
+		AlphaHW: 3, AlphaC: 4, AlphaK: 2,
+		IfmapTileBlocks: 8, OfmapTileBlocks: 8, WeightTileBlocks: 2,
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	m := mapping("ok", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, sampleGrid(), false)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	bad := *m
+	bad.Order = LoopOrder{LoopS, LoopS}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate loop var accepted")
+	}
+	bad = *m
+	bad.OfmapTileBlocks = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero ofmap tile size accepted")
+	}
+	bad = *m
+	bad.Order = LoopOrder{LoopS, LoopK} // C absent but AlphaC=4
+	if err := bad.Validate(); err == nil {
+		t.Fatal("absent multi-iteration loop accepted")
+	}
+}
+
+func TestLoopOrderString(t *testing.T) {
+	o := LoopOrder{LoopS, LoopC, LoopK}
+	if o.String() != "hT>wT>cT>kT" {
+		t.Fatalf("String = %q", o.String())
+	}
+	if (LoopOrder{}).String() != "(none)" {
+		t.Fatal("empty order string")
+	}
+}
+
+func TestReuseStyleString(t *testing.T) {
+	for _, r := range []ReuseStyle{InputReuse, OutputReuse, WeightReuse} {
+		if r.String() == "" {
+			t.Fatalf("empty string for %d", r)
+		}
+	}
+}
+
+// Table 2 row 1 worked example from the paper: C=2, K=3, one-tile GB.
+// Write pattern must be 1,1,1,2,2,2 per spatial tile.
+func TestPaperWorkedExample(t *testing.T) {
+	m := mapping("worked", InputReuse, LoopOrder{LoopS, LoopC, LoopK},
+		GridSpec{AlphaHW: 1, AlphaC: 2, AlphaK: 3, IfmapTileBlocks: 4, OfmapTileBlocks: 4}, false)
+	evs, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := []int{1, 1, 1, 2, 2, 2}
+	if got := WriteVNs(evs); !reflect.DeepEqual(got, wantW) {
+		t.Fatalf("write VNs = %v, want %v", got, wantW)
+	}
+	// Reads: each ofmap tile read back once at VN 1 before its second write.
+	wantR := []int{1, 1, 1}
+	if got := ReadVNs(evs); !reflect.DeepEqual(got, wantR) {
+		t.Fatalf("read VNs = %v, want %v", got, wantR)
+	}
+}
+
+// The central validation: for every pattern-table row, the simulated VN
+// streams must match both the analytical derivation (DeriveWrite/DeriveRead)
+// and the paper's printed WP/RP expressions.
+func TestAllTableRowsMatchPaper(t *testing.T) {
+	grids := []GridSpec{
+		sampleGrid(),
+		{AlphaHW: 1, AlphaC: 2, AlphaK: 3, IfmapTileBlocks: 1, OfmapTileBlocks: 1, WeightTileBlocks: 1},
+		{AlphaHW: 4, AlphaC: 3, AlphaK: 1, IfmapTileBlocks: 2, OfmapTileBlocks: 2, WeightTileBlocks: 1},
+		{AlphaHW: 2, AlphaC: 5, AlphaK: 4, IfmapTileBlocks: 16, OfmapTileBlocks: 8, WeightTileBlocks: 4},
+	}
+	for _, entry := range AllTableEntries() {
+		for gi, g := range grids {
+			m := entry.Build(g)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("%s row %d grid %d: invalid mapping: %v", entry.Table, entry.Row, gi, err)
+			}
+			evs, err := Collect(m)
+			if err != nil {
+				t.Fatalf("%s row %d grid %d: %v", entry.Table, entry.Row, gi, err)
+			}
+			// Effective grid after the row's Build fixups.
+			eff := GridSpec{AlphaHW: m.AlphaHW, AlphaC: m.AlphaC, AlphaK: m.AlphaK}
+
+			gotW := WriteVNs(evs)
+			wantW := entry.PaperWP(eff)
+			if !equalInts(gotW, wantW.Expand()) {
+				t.Errorf("%s row %d grid %d: write VNs %v != paper WP %v",
+					entry.Table, entry.Row, gi, pattern.FormatRLE(pattern.RunLengthEncode(gotW)), wantW)
+			}
+			if dw := DeriveWrite(m); !pattern.Equal(dw, wantW) {
+				t.Errorf("%s row %d grid %d: DeriveWrite %v != paper WP %v",
+					entry.Table, entry.Row, gi, dw, wantW)
+			}
+
+			gotR := ReadVNs(evs)
+			wantR := entry.PaperRP(eff)
+			if !equalInts(gotR, wantR.Expand()) {
+				t.Errorf("%s row %d grid %d: read VNs %v != paper RP %v",
+					entry.Table, entry.Row, gi, pattern.FormatRLE(pattern.RunLengthEncode(gotR)), wantR)
+			}
+			if dr := DeriveRead(m); !pattern.Equal(dr, wantR) {
+				t.Errorf("%s row %d grid %d: DeriveRead %v != paper RP %v",
+					entry.Table, entry.Row, gi, dr, wantR)
+			}
+		}
+	}
+}
+
+// Property: for random mappings, the simulated write/read VN streams always
+// match the analytical triplets — the core claim enabling Seculator's VN FSM.
+func TestDeriveMatchesSimulationProperty(t *testing.T) {
+	orders := []LoopOrder{
+		{LoopS, LoopC, LoopK},
+		{LoopC, LoopS, LoopK},
+		{LoopS, LoopK, LoopC},
+		{LoopK, LoopC, LoopS},
+		{LoopK, LoopS, LoopC},
+		{LoopC, LoopK, LoopS},
+	}
+	reuses := []ReuseStyle{InputReuse, OutputReuse, WeightReuse}
+	f := func(oi, ri, s, c, k uint8) bool {
+		m := mapping("prop", reuses[int(ri)%len(reuses)], orders[int(oi)%len(orders)],
+			GridSpec{
+				AlphaHW: int(s%5) + 1, AlphaC: int(c%5) + 1, AlphaK: int(k%5) + 1,
+				IfmapTileBlocks: 2, OfmapTileBlocks: 2, WeightTileBlocks: 1,
+			}, false)
+		evs, err := Collect(m)
+		if err != nil {
+			return false
+		}
+		gotW, _ := pattern.Compress(WriteVNs(evs))
+		gotR, _ := pattern.Compress(ReadVNs(evs))
+		return pattern.Equal(gotW, DeriveWrite(m)) && pattern.Equal(gotR, DeriveRead(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conservation — everything written with a non-final VN is read
+// back exactly once in-layer, and final writes are never read in-layer.
+// This is the structural fact behind the MAC_W = MAC_FR xor MAC_R check.
+func TestWriteReadConservationProperty(t *testing.T) {
+	f := func(oi, s, c, k uint8) bool {
+		orders := []LoopOrder{
+			{LoopS, LoopC, LoopK}, {LoopC, LoopS, LoopK}, {LoopS, LoopK, LoopC},
+		}
+		m := mapping("cons", InputReuse, orders[int(oi)%len(orders)],
+			GridSpec{
+				AlphaHW: int(s%4) + 1, AlphaC: int(c%4) + 1, AlphaK: int(k%4) + 1,
+				IfmapTileBlocks: 1, OfmapTileBlocks: 1,
+			}, false)
+		evs, err := Collect(m)
+		if err != nil {
+			return false
+		}
+		type ver struct {
+			tile tensor.TileID
+			vn   int
+		}
+		written := map[ver]bool{}
+		finals := map[ver]bool{}
+		for _, e := range evs {
+			if e.Tensor != tensor.Ofmap {
+				continue
+			}
+			v := ver{e.Tile, e.VN}
+			if e.Kind == sim.Write {
+				if written[v] {
+					return false // same version written twice
+				}
+				written[v] = true
+				if e.Final {
+					finals[v] = true
+				}
+			}
+		}
+		for _, e := range evs {
+			if e.Tensor != tensor.Ofmap || e.Kind != sim.Read {
+				continue
+			}
+			v := ver{e.Tile, e.VN}
+			if !written[v] || finals[v] {
+				return false // read something never written, or a final
+			}
+			delete(written, v)
+		}
+		// Whatever remains unread must be exactly the final writes.
+		for v := range written {
+			if !finals[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// First-touch marking: every ifmap tile is First exactly once.
+func TestIfmapFirstReads(t *testing.T) {
+	m := mapping("first", OutputReuse, LoopOrder{LoopS, LoopK, LoopC}, sampleGrid(), false)
+	evs, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firsts := map[tensor.TileID]int{}
+	total := map[tensor.TileID]int{}
+	for _, e := range evs {
+		if e.Tensor != tensor.Ifmap {
+			continue
+		}
+		total[e.Tile]++
+		if e.First {
+			firsts[e.Tile]++
+		}
+	}
+	wantTiles := m.AlphaC * m.AlphaHW
+	if len(total) != wantTiles {
+		t.Fatalf("saw %d distinct ifmap tiles, want %d", len(total), wantTiles)
+	}
+	for tile, n := range firsts {
+		if n != 1 {
+			t.Fatalf("tile %v marked First %d times", tile, n)
+		}
+	}
+	// Output reuse with K between S and C: each ifmap tile is re-fetched
+	// for every k group.
+	for tile, n := range total {
+		if n != m.AlphaK {
+			t.Fatalf("tile %v fetched %d times, want %d", tile, n, m.AlphaK)
+		}
+	}
+	if fb := FirstReadBlocks(evs); fb != wantTiles*m.IfmapTileBlocks {
+		t.Fatalf("FirstReadBlocks = %d, want %d", fb, wantTiles*m.IfmapTileBlocks)
+	}
+}
+
+// Hardware first-read predicate: a tile read is First iff all loop indices
+// of loops not binding the tile's identity are zero. This is the pure
+// function of loop indices that Seculator's first-read detector implements.
+func TestFirstReadIsPureFunctionOfIndices(t *testing.T) {
+	for _, entry := range AllTableEntries() {
+		m := entry.Build(sampleGrid())
+		evs, err := Collect(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range evs {
+			if e.Kind != sim.Read {
+				continue
+			}
+			var want bool
+			switch e.Tensor {
+			case tensor.Ifmap:
+				want = e.Idx.K == 0 // K does not bind (c, s)
+			case tensor.Weight:
+				if m.WeightsResident {
+					continue // loaded once by definition
+				}
+				want = e.Idx.S == 0 // S does not bind (k, c)
+			default:
+				continue
+			}
+			if e.First != want {
+				t.Fatalf("%s row %d: %v read at %+v: First=%v, predicate says %v",
+					entry.Table, entry.Row, e.Tensor, e.Idx, e.First, want)
+			}
+		}
+	}
+}
+
+// Ifmap residency: with K innermost, each ifmap tile is fetched exactly once.
+func TestIfmapResidencyKInnermost(t *testing.T) {
+	m := mapping("resident", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, sampleGrid(), false)
+	evs, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range evs {
+		if e.Tensor == tensor.Ifmap {
+			n++
+			if !e.First {
+				t.Fatal("re-fetch of a resident ifmap tile")
+			}
+		}
+	}
+	if n != m.AlphaC*m.AlphaHW {
+		t.Fatalf("ifmap fetches = %d, want %d", n, m.AlphaC*m.AlphaHW)
+	}
+}
+
+func TestWeightsResidentLoadsOnce(t *testing.T) {
+	g := sampleGrid()
+	m := mapping("wres", WeightReuse, LoopOrder{LoopC, LoopK}, GridSpec{
+		AlphaHW: 1, AlphaC: g.AlphaC, AlphaK: g.AlphaK,
+		IfmapTileBlocks: 4, OfmapTileBlocks: 4, WeightTileBlocks: 2,
+	}, true)
+	evs, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range evs {
+		if e.Tensor == tensor.Weight {
+			n++
+		}
+	}
+	if n != m.AlphaC*m.AlphaK {
+		t.Fatalf("weight group loads = %d, want %d", n, m.AlphaC*m.AlphaK)
+	}
+}
+
+func TestGenerateStops(t *testing.T) {
+	m := mapping("stop", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, sampleGrid(), false)
+	count := 0
+	if err := Generate(m, func(Event) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("visitor called %d times after stop, want 5", count)
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	m := mapping("bad", InputReuse, LoopOrder{LoopS}, sampleGrid(), false)
+	if err := Generate(m, func(Event) bool { return true }); err == nil {
+		t.Fatal("invalid mapping accepted")
+	}
+}
+
+func TestLoopVarString(t *testing.T) {
+	if LoopS.String() != "hT>wT" || LoopC.String() != "cT" || LoopK.String() != "kT" {
+		t.Fatal("LoopVar strings wrong")
+	}
+}

@@ -1,0 +1,471 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"seculator/internal/pattern"
+)
+
+// GridSpec parameterizes a pattern-table row with a concrete tile grid and
+// tile transfer sizes. The alpha factors follow the paper:
+// AlphaHW = H*W / (HT*WT), AlphaC = C/CT, AlphaK = K/KT.
+type GridSpec struct {
+	AlphaHW int
+	AlphaC  int
+	AlphaK  int
+
+	IfmapTileBlocks  int
+	OfmapTileBlocks  int
+	WeightTileBlocks int
+}
+
+func (g GridSpec) withDefaults() GridSpec {
+	if g.AlphaHW < 1 {
+		g.AlphaHW = 1
+	}
+	if g.AlphaC < 1 {
+		g.AlphaC = 1
+	}
+	if g.AlphaK < 1 {
+		g.AlphaK = 1
+	}
+	if g.OfmapTileBlocks < 1 {
+		g.OfmapTileBlocks = 1
+	}
+	if g.IfmapTileBlocks < 0 {
+		g.IfmapTileBlocks = 0
+	}
+	if g.WeightTileBlocks < 0 {
+		g.WeightTileBlocks = 0
+	}
+	return g
+}
+
+// TableEntry is one row of one pattern table from the paper, with a
+// constructor for the mapping and the analytically expected write/read
+// pattern triplets (the paper's WP/RP columns).
+type TableEntry struct {
+	Table     string // "table2-ir", "table2-or", "table3", "table4", "table8", "table9", "table10-or", "table10-ir"
+	Row       int
+	Style     string // tiling-style label from the paper
+	OrderDesc string // the paper's loop-order notation
+	Note      string // discrepancy / clarification notes
+
+	// Build constructs the mapping for a concrete grid.
+	Build func(g GridSpec) *Mapping
+
+	// PaperWP/PaperRP give the WP/RP columns of the paper as triplets in
+	// terms of the grid. They must agree with DeriveWrite/DeriveRead.
+	PaperWP func(g GridSpec) pattern.Triplet
+	PaperRP func(g GridSpec) pattern.Triplet
+}
+
+func mapping(name string, reuse ReuseStyle, order LoopOrder, g GridSpec, weightsResident bool) *Mapping {
+	g = g.withDefaults()
+	return &Mapping{
+		Name:             name,
+		Reuse:            reuse,
+		Order:            order,
+		AlphaHW:          g.AlphaHW,
+		AlphaC:           g.AlphaC,
+		AlphaK:           g.AlphaK,
+		IfmapTileBlocks:  g.IfmapTileBlocks,
+		OfmapTileBlocks:  g.OfmapTileBlocks,
+		WeightTileBlocks: g.WeightTileBlocks,
+		WeightsResident:  weightsResident,
+	}
+}
+
+// Triplet helpers for the expected-pattern closures.
+
+func lineOf(n int) pattern.Triplet {
+	if n <= 0 {
+		return pattern.Empty
+	}
+	return pattern.Triplet{Eta: n, Kappa: 1, Rho: 1}
+}
+
+func rampOf(eta, kappa, rho int) pattern.Triplet {
+	if kappa <= 0 || eta*rho <= 0 {
+		return pattern.Empty
+	}
+	if kappa == 1 {
+		return lineOf(eta * rho)
+	}
+	return pattern.Triplet{Eta: eta, Kappa: kappa, Rho: rho}
+}
+
+func emptyPattern(GridSpec) pattern.Triplet { return pattern.Empty }
+
+// ConvTableEntries returns every row of Table 2 (conv, input & output reuse)
+// and Table 3 (weight reuse).
+func ConvTableEntries() []TableEntry {
+	var entries []TableEntry
+
+	// ---- Table 2, input reuse ----
+	irRamp := func(g GridSpec) pattern.Triplet {
+		return rampOf(g.AlphaK, g.AlphaC, g.AlphaHW)
+	}
+	irRampRead := func(g GridSpec) pattern.Triplet {
+		return rampOf(g.AlphaK, g.AlphaC-1, g.AlphaHW)
+	}
+	entries = append(entries,
+		TableEntry{
+			Table: "table2-ir", Row: 1, Style: "Partial channel",
+			OrderDesc: "hT>wT>c>kT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t2r1-ir", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, g, false)
+			},
+			PaperWP: irRamp, PaperRP: irRampRead,
+		},
+		TableEntry{
+			Table: "table2-ir", Row: 2, Style: "Partial-multi-channel",
+			OrderDesc: "hT>wT>cT>kT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t2r2-ir", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, g, false)
+			},
+			PaperWP: irRamp, PaperRP: irRampRead,
+		},
+		TableEntry{
+			Table: "table2-ir", Row: 3, Style: "Partial channel (w/h movement)",
+			OrderDesc: "c>hT>wT>kT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t2r3-ir", InputReuse, LoopOrder{LoopC, LoopS, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK*g.AlphaHW, g.AlphaC, 1)
+			},
+			PaperRP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK*g.AlphaHW, g.AlphaC-1, 1)
+			},
+		},
+		TableEntry{
+			Table: "table2-ir", Row: 4, Style: "Partial-multi-channel (w/h movement)",
+			OrderDesc: "cT>hT>wT>kT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t2r4-ir", InputReuse, LoopOrder{LoopC, LoopS, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK*g.AlphaHW, g.AlphaC, 1)
+			},
+			PaperRP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK*g.AlphaHW, g.AlphaC-1, 1)
+			},
+		},
+		TableEntry{
+			Table: "table2-ir", Row: 5, Style: "Channel-wise",
+			OrderDesc: "c>kT (cT>kT)", Note: "AlphaHW must be 1: a tile is a whole channel",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW = 1
+				return mapping("t2r5-ir", InputReuse, LoopOrder{LoopC, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC, 1) },
+			PaperRP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC-1, 1) },
+		},
+		TableEntry{
+			Table: "table2-ir", Row: 6, Style: "Full-channel",
+			OrderDesc: "hT>wT>kT", Note: "AlphaC must be 1: all input channels resident",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaC = 1
+				return mapping("t2r6-ir", InputReuse, LoopOrder{LoopS, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK * g.AlphaHW) },
+			PaperRP: emptyPattern,
+		},
+	)
+
+	// ---- Table 2, output reuse ----
+	orLine := func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK * g.AlphaHW) }
+	entries = append(entries,
+		TableEntry{
+			Table: "table2-or", Row: 1, Style: "Partial channel",
+			OrderDesc: "hT>wT>kT>c",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t2r1-or", OutputReuse, LoopOrder{LoopS, LoopK, LoopC}, g, false)
+			},
+			PaperWP: orLine, PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table2-or", Row: 2, Style: "Partial-multi-channel",
+			OrderDesc: "hT>wT>kT>cT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t2r2-or", OutputReuse, LoopOrder{LoopS, LoopK, LoopC}, g, false)
+			},
+			PaperWP: orLine, PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table2-or", Row: 5, Style: "Channel-wise",
+			OrderDesc: "kT>c (kT>cT)", Note: "AlphaHW must be 1",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW = 1
+				return mapping("t2r5-or", OutputReuse, LoopOrder{LoopK, LoopC}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table2-or", Row: 6, Style: "Full-channel",
+			OrderDesc: "hT>wT>kT", Note: "AlphaC must be 1",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaC = 1
+				return mapping("t2r6-or", OutputReuse, LoopOrder{LoopS, LoopK}, g, false)
+			},
+			PaperWP: orLine, PaperRP: emptyPattern,
+		},
+	)
+
+	// ---- Table 3, weight reuse ----
+	entries = append(entries,
+		TableEntry{
+			Table: "table3", Row: 1, Style: "Multi-channel wise (filter movement)",
+			OrderDesc: "cT>kT", Note: "tiles are whole fmaps: AlphaHW must be 1",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW = 1
+				return mapping("t3r1", WeightReuse, LoopOrder{LoopC, LoopK}, g, true)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC, 1) },
+			PaperRP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC-1, 1) },
+		},
+		TableEntry{
+			Table: "table3", Row: 2, Style: "Channel-wise",
+			OrderDesc: "kT>c", Note: "AlphaHW must be 1; C innermost keeps the ofmap group stationary",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW = 1
+				return mapping("t3r2", WeightReuse, LoopOrder{LoopK, LoopC}, g, true)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table3", Row: 3, Style: "Full-filter",
+			OrderDesc: "kT", Note: "AlphaHW and AlphaC must be 1",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW, g.AlphaC = 1, 1
+				return mapping("t3r3", WeightReuse, LoopOrder{LoopK}, g, true)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK) },
+			PaperRP: emptyPattern,
+		},
+	)
+	return entries
+}
+
+// MatmulTableEntries returns Table 4: tiled matrix multiplication R = P x Q
+// with P of H x C and Q of C x W. The engine's K axis carries the output row
+// tiles (alphaH) and the S axis the output column tiles (alphaW); C is the
+// shared reduction dimension.
+func MatmulTableEntries() []TableEntry {
+	return []TableEntry{
+		{
+			Table: "table4", Row: 1, Style: "Fix P",
+			OrderDesc: "hT>cT>wT",
+			Build: func(g GridSpec) *Mapping {
+				// K axis = row tiles (outer), S axis = column tiles (inner).
+				return mapping("t4r1", InputReuse, LoopOrder{LoopK, LoopC, LoopS}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaHW, g.AlphaC, g.AlphaK) // (1^aW..aC^aW)^aH
+			},
+			PaperRP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaHW, g.AlphaC-1, g.AlphaK)
+			},
+		},
+		{
+			Table: "table4", Row: 2, Style: "Fix Q",
+			OrderDesc: "cT>wT>hT",
+			Note: "the paper's WP (1^aH..aC^aH)^aW corresponds to nest wT>cT>hT; " +
+				"the printed order cT>wT>hT appears to transpose the outer loops",
+			Build: func(g GridSpec) *Mapping {
+				// S axis = column tiles (outer), K axis = row tiles (inner).
+				return mapping("t4r2", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK, g.AlphaC, g.AlphaHW) // (1^aH..aC^aH)^aW
+			},
+			PaperRP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK, g.AlphaC-1, g.AlphaHW)
+			},
+		},
+		{
+			Table: "table4", Row: 3, Style: "Fix R",
+			OrderDesc: "wT>hT>cT", Note: "C innermost: every R tile is fully reduced before store",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t4r3", InputReuse, LoopOrder{LoopS, LoopK, LoopC}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaHW * g.AlphaK) },
+			PaperRP: emptyPattern,
+		},
+	}
+}
+
+// PreprocTableEntries returns Tables 8-10: image pre-processing and pooling
+// pattern tables for computation Styles 1-3.
+func PreprocTableEntries() []TableEntry {
+	var entries []TableEntry
+
+	// ---- Table 8, Style-1: Sx = Tx(X). One output channel per input
+	// channel, no cross-channel reduction (AlphaC = 1 semantically).
+	style1 := func(row int, style, orderDesc string, order LoopOrder,
+		wp func(GridSpec) pattern.Triplet, fix func(*GridSpec)) TableEntry {
+		return TableEntry{
+			Table: "table8", Row: row, Style: style, OrderDesc: orderDesc,
+			Note: "Style-1: no reduction, AlphaC fixed to 1",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaC = 1
+				if fix != nil {
+					fix(&g)
+				}
+				return mapping(fmt.Sprintf("t8r%d", row), OutputReuse, order, g, false)
+			},
+			PaperWP: wp, PaperRP: emptyPattern,
+		}
+	}
+	entries = append(entries,
+		style1(1, "Channel-wise", "k", LoopOrder{LoopK},
+			func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK) },
+			func(g *GridSpec) { g.AlphaHW = 1 }),
+		style1(2, "Multi-channel", "kT", LoopOrder{LoopK},
+			func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK) },
+			func(g *GridSpec) { g.AlphaHW = 1 }),
+		style1(3, "Partial channel", "h>w>kT", LoopOrder{LoopS, LoopK},
+			func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK * g.AlphaHW) }, nil),
+		style1(4, "Partial-multi-channel", "hT>wT>kT", LoopOrder{LoopS, LoopK},
+			func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK * g.AlphaHW) }, nil),
+		style1(5, "Full-channel", "hT>wT", LoopOrder{LoopS},
+			func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaHW) },
+			func(g *GridSpec) { g.AlphaK = 1 }),
+	)
+
+	// ---- Table 9, Style-2: S = T(R,G,B). All input channels fold into a
+	// single output channel (AlphaK = 1).
+	entries = append(entries,
+		TableEntry{
+			Table: "table9", Row: 1, Style: "Channel-wise", OrderDesc: "c (cT)",
+			Note: "whole channels resident; single accumulated output write. " +
+				"The paper prints RP:1, which we read as the trivial self-read " +
+				"of the final tile by the next layer; in-layer RP is empty",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW, g.AlphaK = 1, 1
+				return mapping("t9r1", OutputReuse, LoopOrder{LoopC}, g, false)
+			},
+			PaperWP: func(GridSpec) pattern.Triplet { return lineOf(1) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table9", Row: 3, Style: "Partial channel (channel movement)",
+			OrderDesc: "hT>wT>c",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaK = 1
+				return mapping("t9r3", InputReuse, LoopOrder{LoopS, LoopC}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaHW) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table9", Row: 5, Style: "Partial channel (w/h movement)",
+			OrderDesc: "c>hT>wT",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaK = 1
+				return mapping("t9r5", InputReuse, LoopOrder{LoopC, LoopS}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaHW, g.AlphaC, 1) },
+			PaperRP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaHW, g.AlphaC-1, 1) },
+		},
+		TableEntry{
+			Table: "table9", Row: 7, Style: "Full-channel", OrderDesc: "hT>wT",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaK, g.AlphaC = 1, 1
+				return mapping("t9r7", InputReuse, LoopOrder{LoopS}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaHW) },
+			PaperRP: emptyPattern,
+		},
+	)
+
+	// ---- Table 10, Style-3: Si = Ti(R,G,B). Multiple transformed outputs
+	// from all input channels; structurally identical to convolution.
+	entries = append(entries,
+		TableEntry{
+			Table: "table10-or", Row: 1, Style: "Channel-wise", OrderDesc: "c>kT",
+			Note: "all K output fmaps resident and accumulated; single write each",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW = 1
+				return mapping("t10r1-or", OutputReuse, LoopOrder{LoopC, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table10-ir", Row: 1, Style: "Channel-wise", OrderDesc: "kT>c",
+			Note: "paper's WP ramp implies the nest c>kT (k innermost); Table 10 " +
+				"transposes IR loop orders relative to Table 2's convention",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaHW = 1
+				return mapping("t10r1-ir", InputReuse, LoopOrder{LoopC, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC, 1) },
+			PaperRP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC-1, 1) },
+		},
+		TableEntry{
+			Table: "table10-or", Row: 3, Style: "Partial channel (channel movement)",
+			OrderDesc: "hT>wT>kT>c",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t10r3-or", OutputReuse, LoopOrder{LoopS, LoopK, LoopC}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK * g.AlphaHW) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table10-ir", Row: 3, Style: "Partial channel (channel movement)",
+			OrderDesc: "kT>hT>wT>c",
+			Note:      "WP (1^aK..aC^aK)^aHW implies nest hT>wT>c>kT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t10r3-ir", InputReuse, LoopOrder{LoopS, LoopC, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC, g.AlphaHW) },
+			PaperRP: func(g GridSpec) pattern.Triplet { return rampOf(g.AlphaK, g.AlphaC-1, g.AlphaHW) },
+		},
+		TableEntry{
+			Table: "table10-ir", Row: 5, Style: "Partial channel (w/h movement)",
+			OrderDesc: "kT>hT>wT>c",
+			Note:      "WP 1^(aK aHW)..aC^(aK aHW) implies nest c>hT>wT>kT",
+			Build: func(g GridSpec) *Mapping {
+				return mapping("t10r5-ir", InputReuse, LoopOrder{LoopC, LoopS, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK*g.AlphaHW, g.AlphaC, 1)
+			},
+			PaperRP: func(g GridSpec) pattern.Triplet {
+				return rampOf(g.AlphaK*g.AlphaHW, g.AlphaC-1, 1)
+			},
+		},
+		TableEntry{
+			Table: "table10-or", Row: 7, Style: "Full-channel", OrderDesc: "hT>wT>kT",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaC = 1
+				return mapping("t10r7-or", OutputReuse, LoopOrder{LoopS, LoopK}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaK * g.AlphaHW) },
+			PaperRP: emptyPattern,
+		},
+		TableEntry{
+			Table: "table10-ir", Row: 7, Style: "Full-channel", OrderDesc: "kT>hT>wT",
+			Build: func(g GridSpec) *Mapping {
+				g.AlphaC = 1
+				return mapping("t10r7-ir", InputReuse, LoopOrder{LoopK, LoopS}, g, false)
+			},
+			PaperWP: func(g GridSpec) pattern.Triplet { return lineOf(g.AlphaHW * g.AlphaK) },
+			PaperRP: emptyPattern,
+		},
+	)
+	return entries
+}
+
+// AllTableEntries returns every pattern-table row in paper order.
+func AllTableEntries() []TableEntry {
+	var all []TableEntry
+	all = append(all, ConvTableEntries()...)
+	all = append(all, MatmulTableEntries()...)
+	all = append(all, PreprocTableEntries()...)
+	return all
+}

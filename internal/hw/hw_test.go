@@ -1,0 +1,64 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+// The model must reproduce Table 6 within 5% per module.
+func TestTable6Calibration(t *testing.T) {
+	want := map[string][2]float64{
+		"AES-128":      {3900, 640},
+		"SHA-256":      {270, 40},
+		"VN generator": {40, 4.4},
+	}
+	ms := SeculatorModules()
+	if len(ms) != 3 {
+		t.Fatalf("module count = %d", len(ms))
+	}
+	for _, m := range ms {
+		w, ok := want[m.Name]
+		if !ok {
+			t.Fatalf("unexpected module %q", m.Name)
+		}
+		if rel := math.Abs(m.AreaUM2-w[0]) / w[0]; rel > 0.05 {
+			t.Errorf("%s area %.1f um^2, Table 6 says %.1f (off %.1f%%)", m.Name, m.AreaUM2, w[0], rel*100)
+		}
+		if rel := math.Abs(m.PowerUW-w[1]) / w[1]; rel > 0.05 {
+			t.Errorf("%s power %.1f uW, Table 6 says %.1f (off %.1f%%)", m.Name, m.PowerUW, w[1], rel*100)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	ms := SeculatorModules()
+	area := TotalArea(ms)
+	// The paper quotes a total of 4210 um^2.
+	if math.Abs(area-4210) > 210 {
+		t.Errorf("total area = %.1f um^2, paper says 4210", area)
+	}
+	if p := TotalPower(ms); p <= 0 || p >= 1000 {
+		t.Errorf("total power = %.1f uW, paper says sub-mW", p)
+	}
+}
+
+// The storage argument of the paper: Seculator's register state is orders
+// of magnitude below the caches of prior work.
+func TestStorageComparison(t *testing.T) {
+	sec := RegisterFileBits()
+	prior := PriorWorkStorageBits()
+	if sec >= prior/32 {
+		t.Fatalf("Seculator state (%d bits) not far below prior work (%d bits)", sec, prior)
+	}
+	if sec != 2*4*256+6*32 {
+		t.Fatalf("register bits = %d", sec)
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	for _, m := range SeculatorModules() {
+		if m.String() == "" || m.GateCount <= 0 {
+			t.Fatalf("bad module: %+v", m)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package mem models the off-chip DRAM of the simulated system: a
+// dual-channel DDR4 memory with a fixed access latency (Table 1: 100 NPU
+// cycles) and a finite per-channel block bandwidth. It also owns the
+// byte-addressable backing store that the functional security layer
+// encrypts into, so attack tests can mutate "DRAM" contents directly.
+//
+// Timing model: a burst of n blocks issued together overlaps its requests
+// across channels and banks, so it completes in
+//
+//	latency + ceil(n / blocksPerCycle)
+//
+// cycles, where blocksPerCycle is the aggregate channel bandwidth expressed
+// in 64-byte blocks per NPU cycle. Traffic is accounted per purpose
+// (sim.Traffic) so experiments can attribute overhead to MACs, counters,
+// Merkle nodes, or metadata tables.
+package mem
+
+import (
+	"fmt"
+
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+// Config parameterizes the DRAM model.
+type Config struct {
+	Channels       int        // independent channels (Table 1: 2)
+	LatencyCycles  sim.Cycles // closed-row access latency in NPU cycles (Table 1: 100)
+	BlocksPerCycle float64    // aggregate 64-byte blocks transferable per NPU cycle
+}
+
+// DefaultConfig matches Table 1: dual-channel DDR4 under a 2.75 GHz NPU.
+// One DDR4-2400 channel moves 19.2 GB/s; two channels at 2.75 GHz give
+// 38.4e9 / 64 / 2.75e9 ≈ 0.22 blocks per NPU cycle.
+func DefaultConfig() Config {
+	return Config{Channels: 2, LatencyCycles: 100, BlocksPerCycle: 0.22}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("mem: channels must be positive, got %d", c.Channels)
+	}
+	if c.BlocksPerCycle <= 0 {
+		return fmt.Errorf("mem: bandwidth must be positive, got %g", c.BlocksPerCycle)
+	}
+	return nil
+}
+
+// TrafficStats counts blocks moved per purpose and direction.
+type TrafficStats struct {
+	ReadBlocks  [6]uint64 // indexed by sim.Traffic
+	WriteBlocks [6]uint64
+}
+
+// Total returns all blocks moved.
+func (t TrafficStats) Total() uint64 {
+	var n uint64
+	for i := range t.ReadBlocks {
+		n += t.ReadBlocks[i] + t.WriteBlocks[i]
+	}
+	return n
+}
+
+// ByKind returns read+write blocks of one traffic class.
+func (t TrafficStats) ByKind(k sim.Traffic) uint64 {
+	return t.ReadBlocks[k] + t.WriteBlocks[k]
+}
+
+// Overhead returns all non-data blocks.
+func (t TrafficStats) Overhead() uint64 { return t.Total() - t.ByKind(sim.DataTraffic) }
+
+// DRAM is the memory model plus functional backing store.
+type DRAM struct {
+	cfg     Config
+	traffic TrafficStats
+	store   map[uint64][]byte // line address -> 64-byte payload
+}
+
+// New builds a DRAM with the given config.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DRAM{cfg: cfg, store: make(map[uint64][]byte)}, nil
+}
+
+// MustNew is New, panicking on bad config.
+func MustNew(cfg Config) *DRAM {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the model parameters.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// ServiceTime returns the cycles to serve a burst of n blocks.
+func (d *DRAM) ServiceTime(n int) sim.Cycles {
+	if n <= 0 {
+		return 0
+	}
+	transfer := sim.Cycles(float64(n)/d.cfg.BlocksPerCycle + 0.999999)
+	return d.cfg.LatencyCycles.Add(transfer)
+}
+
+// Record accounts a transfer of n blocks of the given purpose and
+// direction, without touching the backing store (timing-only path).
+func (d *DRAM) Record(kind sim.AccessKind, purpose sim.Traffic, n int) {
+	if n <= 0 {
+		return
+	}
+	if kind == sim.Read {
+		d.traffic.ReadBlocks[purpose] += uint64(n)
+	} else {
+		d.traffic.WriteBlocks[purpose] += uint64(n)
+	}
+}
+
+// Traffic returns a snapshot of the traffic counters.
+func (d *DRAM) Traffic() TrafficStats { return d.traffic }
+
+// ResetTraffic zeroes the counters.
+func (d *DRAM) ResetTraffic() { d.traffic = TrafficStats{} }
+
+// WriteBlock stores a 64-byte payload at the line address and accounts the
+// traffic. The payload is copied.
+func (d *DRAM) WriteBlock(lineAddr uint64, payload []byte, purpose sim.Traffic) {
+	if len(payload) != tensor.BlockBytes {
+		panic(fmt.Sprintf("mem: payload must be %d bytes, got %d", tensor.BlockBytes, len(payload)))
+	}
+	buf, ok := d.store[lineAddr]
+	if !ok {
+		buf = make([]byte, tensor.BlockBytes)
+		d.store[lineAddr] = buf
+	}
+	copy(buf, payload)
+	d.Record(sim.Write, purpose, 1)
+}
+
+// ReadBlock fetches the 64-byte payload at the line address into dst and
+// accounts the traffic. Reading a never-written line yields zeros.
+func (d *DRAM) ReadBlock(lineAddr uint64, dst []byte, purpose sim.Traffic) {
+	if len(dst) != tensor.BlockBytes {
+		panic(fmt.Sprintf("mem: dst must be %d bytes, got %d", tensor.BlockBytes, len(dst)))
+	}
+	if buf, ok := d.store[lineAddr]; ok {
+		copy(dst, buf)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	d.Record(sim.Read, purpose, 1)
+}
+
+// Peek returns the stored payload without traffic accounting (attacker /
+// test access). The returned slice aliases the store; mutating it mutates
+// DRAM, which is exactly what a physical attacker does.
+func (d *DRAM) Peek(lineAddr uint64) []byte {
+	return d.store[lineAddr]
+}
+
+// Tamper XORs mask into the byte at off within the stored line (attacker
+// primitive). It reports whether the line existed.
+func (d *DRAM) Tamper(lineAddr uint64, off int, mask byte) bool {
+	buf, ok := d.store[lineAddr]
+	if !ok || off < 0 || off >= len(buf) {
+		return false
+	}
+	buf[off] ^= mask
+	return true
+}
+
+// Swap exchanges the payloads of two lines (splicing attack primitive).
+func (d *DRAM) Swap(a, b uint64) bool {
+	pa, oka := d.store[a]
+	pb, okb := d.store[b]
+	if !oka || !okb {
+		return false
+	}
+	for i := range pa {
+		pa[i], pb[i] = pb[i], pa[i]
+	}
+	return true
+}
+
+// Snapshot copies the current payload of a line (replay attack primitive:
+// capture now, restore later with Restore).
+func (d *DRAM) Snapshot(lineAddr uint64) ([]byte, bool) {
+	buf, ok := d.store[lineAddr]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	return cp, true
+}
+
+// Restore overwrites a line with a previously captured payload.
+func (d *DRAM) Restore(lineAddr uint64, payload []byte) bool {
+	buf, ok := d.store[lineAddr]
+	if !ok || len(payload) != len(buf) {
+		return false
+	}
+	copy(buf, payload)
+	return true
+}
+
+// Lines returns the number of distinct lines ever written.
+func (d *DRAM) Lines() int { return len(d.store) }

@@ -1,0 +1,170 @@
+// Package merkle implements the integrity tree that protects the
+// encryption counters of the SGX-Client-style "Secure" configuration
+// (Section 2.1.1). Leaves are the 64-byte counter-line images of protected
+// pages; internal nodes hash their children; the root lives on-chip (in the
+// TCB) and can never be tampered with. Any modification of a counter in
+// DRAM — the lever for replay attacks — breaks the path to the root.
+//
+// The tree has a fixed arity and covers a fixed number of pages chosen at
+// construction. Verification walks leaf-to-root; its DRAM cost in the
+// timing model is the number of non-cached levels.
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Arity is the tree fan-out: one 64-byte node holds 8 8-byte child digests.
+const Arity = 8
+
+// ErrCounterIntegrity is returned when a counter line fails verification.
+var ErrCounterIntegrity = errors.New("merkle: counter integrity violation")
+
+// LeafSource supplies the current 64-byte image of a leaf (a page's
+// counter line). The tree pulls leaf contents on demand so that an
+// attacker mutating the counter store is caught at the next verification.
+type LeafSource interface {
+	Serialize(pageIdx uint64, dst []byte)
+}
+
+// Tree is the counter-integrity tree.
+type Tree struct {
+	leaves int
+	levels int // internal hash levels above the leaves (>= 1)
+	src    LeafSource
+
+	// nodes[l][i] is the digest of node i at level l; level 0 is the
+	// hashes of the leaves, level levels-1 is the root's children. The
+	// root digest itself is held separately (on-chip).
+	nodes [][][32]byte
+	root  [32]byte
+
+	verifications uint64
+	updates       uint64
+}
+
+// New builds a tree over `pages` leaves pulled from src, hashing the
+// current contents. pages must be positive.
+func New(pages int, src LeafSource) (*Tree, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("merkle: page count must be positive, got %d", pages)
+	}
+	if src == nil {
+		return nil, errors.New("merkle: nil leaf source")
+	}
+	t := &Tree{leaves: pages, src: src}
+	// Build level sizes: level 0 has ceil(pages) digests, each next level
+	// shrinks by Arity until a single node remains under the root.
+	n := pages
+	for {
+		t.nodes = append(t.nodes, make([][32]byte, n))
+		if n == 1 {
+			break
+		}
+		n = (n + Arity - 1) / Arity
+	}
+	t.levels = len(t.nodes)
+	for i := 0; i < pages; i++ {
+		t.nodes[0][i] = t.leafHash(uint64(i))
+	}
+	for l := 1; l < t.levels; l++ {
+		for i := range t.nodes[l] {
+			t.nodes[l][i] = t.childHash(l, i)
+		}
+	}
+	t.root = hashNode(t.nodes[t.levels-1])
+	return t, nil
+}
+
+func (t *Tree) leafHash(pageIdx uint64) [32]byte {
+	var img [64]byte
+	t.src.Serialize(pageIdx, img[:])
+	return sha256.Sum256(img[:])
+}
+
+// childHash hashes the up-to-Arity children of node i at level l.
+func (t *Tree) childHash(l, i int) [32]byte {
+	lo := i * Arity
+	hi := lo + Arity
+	if hi > len(t.nodes[l-1]) {
+		hi = len(t.nodes[l-1])
+	}
+	return hashNode(t.nodes[l-1][lo:hi])
+}
+
+func hashNode(children [][32]byte) [32]byte {
+	h := sha256.New()
+	for _, c := range children {
+		h.Write(c[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Levels returns the number of hash levels above the leaves — the
+// worst-case DRAM accesses of an uncached verification walk.
+func (t *Tree) Levels() int { return t.levels }
+
+// Leaves returns the covered page count.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Update re-hashes the path from pageIdx to the root after a legitimate
+// counter change. Must be called by the owner (the secure engine), not by
+// attackers — that is the point.
+func (t *Tree) Update(pageIdx uint64) error {
+	if pageIdx >= uint64(t.leaves) {
+		return fmt.Errorf("merkle: page %d out of range (%d leaves)", pageIdx, t.leaves)
+	}
+	t.updates++
+	t.nodes[0][pageIdx] = t.leafHash(pageIdx)
+	i := int(pageIdx)
+	for l := 1; l < t.levels; l++ {
+		i /= Arity
+		t.nodes[l][i] = t.childHash(l, i)
+	}
+	t.root = hashNode(t.nodes[t.levels-1])
+	return nil
+}
+
+// Verify checks the leaf's current content against the stored path and the
+// on-chip root. It detects any out-of-band mutation of the counter store
+// or of the stored tree nodes.
+func (t *Tree) Verify(pageIdx uint64) error {
+	if pageIdx >= uint64(t.leaves) {
+		return fmt.Errorf("merkle: page %d out of range (%d leaves)", pageIdx, t.leaves)
+	}
+	t.verifications++
+	if t.leafHash(pageIdx) != t.nodes[0][pageIdx] {
+		return fmt.Errorf("%w: page %d leaf hash mismatch", ErrCounterIntegrity, pageIdx)
+	}
+	i := int(pageIdx)
+	for l := 1; l < t.levels; l++ {
+		i /= Arity
+		if t.childHash(l, i) != t.nodes[l][i] {
+			return fmt.Errorf("%w: page %d level %d node mismatch", ErrCounterIntegrity, pageIdx, l)
+		}
+	}
+	if hashNode(t.nodes[t.levels-1]) != t.root {
+		return fmt.Errorf("%w: root mismatch", ErrCounterIntegrity)
+	}
+	return nil
+}
+
+// TamperNode flips a bit in a stored (off-chip) tree node — the attacker
+// primitive. The root is on-chip and cannot be tampered with.
+func (t *Tree) TamperNode(level, index int, mask byte) error {
+	if level < 0 || level >= t.levels || index < 0 || index >= len(t.nodes[level]) {
+		return fmt.Errorf("merkle: no node at level %d index %d", level, index)
+	}
+	t.nodes[level][index][0] ^= mask
+	return nil
+}
+
+// Verifications and Updates expose the operation counts for the stats.
+func (t *Tree) Verifications() uint64 { return t.verifications }
+
+// Updates returns the number of Update calls.
+func (t *Tree) Updates() uint64 { return t.updates }

@@ -1,0 +1,290 @@
+// Package nn provides the numerical layer of the reproduction: exact
+// (int32) tensors and forward-pass kernels for the layer types the
+// simulator schedules — convolution, depthwise convolution, pooling and
+// fully connected layers.
+//
+// Integer arithmetic is deliberate: the secure executor computes layers as
+// tiled partial sums in a dataflow-dependent order, and the end-to-end
+// tests require bit-exact agreement with this package's direct reference
+// implementation, which floating point's non-associativity would forbid.
+// Int32 also matches the 4-byte fixed-point pixels of the NPU model.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seculator/internal/workload"
+)
+
+// Tensor is a dense (Chans, H, W) activation volume of int32 elements in
+// channel-major, row-major order.
+type Tensor struct {
+	Chans, H, W int
+	Data        []int32
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(chans, h, w int) *Tensor {
+	if chans <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%dx%d", chans, h, w))
+	}
+	return &Tensor{Chans: chans, H: h, W: w, Data: make([]int32, chans*h*w)}
+}
+
+// At returns the element at (c, y, x).
+func (t *Tensor) At(c, y, x int) int32 {
+	return t.Data[(c*t.H+y)*t.W+x]
+}
+
+// Set stores v at (c, y, x).
+func (t *Tensor) Set(c, y, x int, v int32) {
+	t.Data[(c*t.H+y)*t.W+x] = v
+}
+
+// AtPadded returns the element at (c, y, x), or 0 outside the bounds —
+// zero padding as the convolution kernels see it.
+func (t *Tensor) AtPadded(c, y, x int) int32 {
+	if y < 0 || y >= t.H || x < 0 || x >= t.W {
+		return 0
+	}
+	return t.At(c, y, x)
+}
+
+// Equal reports element-wise equality of same-shaped tensors.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if t.Chans != o.Chans || t.H != o.H || t.W != o.W {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Randomize fills the tensor with small deterministic values in [-8, 8)
+// from the seed, keeping tiled accumulation far from int32 overflow.
+func (t *Tensor) Randomize(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = int32(rng.Intn(16) - 8)
+	}
+}
+
+// Weights is the filter tensor of one layer: K filters of (C, R, S).
+type Weights struct {
+	K, C, R, S int
+	Data       []int32
+}
+
+// NewWeights allocates zero weights.
+func NewWeights(k, c, r, s int) *Weights {
+	if k <= 0 || c <= 0 || r <= 0 || s <= 0 {
+		panic(fmt.Sprintf("nn: invalid weight shape %dx%dx%dx%d", k, c, r, s))
+	}
+	return &Weights{K: k, C: c, R: r, S: s, Data: make([]int32, k*c*r*s)}
+}
+
+// At returns w[k][c][r][s].
+func (w *Weights) At(k, c, r, s int) int32 {
+	return w.Data[((k*w.C+c)*w.R+r)*w.S+s]
+}
+
+// Randomize fills the weights with small deterministic values in [-4, 4).
+func (w *Weights) Randomize(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range w.Data {
+		w.Data[i] = int32(rng.Intn(8) - 4)
+	}
+}
+
+// WeightsFor allocates the weight tensor a layer needs (nil for pools and
+// upsampling).
+func WeightsFor(l workload.Layer) *Weights {
+	switch l.Type {
+	case workload.Pool, workload.Upsample:
+		return nil
+	case workload.Depthwise:
+		return NewWeights(l.K, 1, l.R, l.S)
+	case workload.FC:
+		return NewWeights(l.K, l.C, l.R, l.S)
+	default:
+		return NewWeights(l.K, l.C, l.R, l.S)
+	}
+}
+
+// PadOrigin returns the top/left padding offsets of a layer: zero for
+// valid padding, centered for "same" padding (TensorFlow convention).
+func PadOrigin(l workload.Layer) (padY, padX int) {
+	if l.Valid {
+		return 0, 0
+	}
+	needY := (l.OutH()-1)*l.Stride + l.R - l.H
+	needX := (l.OutW()-1)*l.Stride + l.S - l.W
+	if needY < 0 {
+		needY = 0
+	}
+	if needX < 0 {
+		needX = 0
+	}
+	return needY / 2, needX / 2
+}
+
+// AccumulateConv adds the partial convolution contribution of input
+// channels [c0, c1) to out for output channels [k0, k1) and output rows
+// [y0, y1), over all output columns. Depthwise layers reduce each output
+// channel against its own input channel regardless of [c0, c1).
+func AccumulateConv(out *Tensor, in *Tensor, w *Weights, l workload.Layer,
+	k0, k1, c0, c1, y0, y1 int) {
+	padY, padX := PadOrigin(l)
+	depthwise := l.Type == workload.Depthwise
+	for k := k0; k < k1 && k < l.K; k++ {
+		for y := y0; y < y1 && y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				var sum int32
+				if depthwise {
+					if c0 > 0 {
+						continue // single reduction step: only c-group 0 contributes
+					}
+					for r := 0; r < l.R; r++ {
+						for s := 0; s < l.S; s++ {
+							sum += in.AtPadded(k, y*l.Stride+r-padY, x*l.Stride+s-padX) * w.At(k, 0, r, s)
+						}
+					}
+				} else {
+					for c := c0; c < c1 && c < l.C; c++ {
+						for r := 0; r < l.R; r++ {
+							for s := 0; s < l.S; s++ {
+								sum += in.AtPadded(c, y*l.Stride+r-padY, x*l.Stride+s-padX) * w.At(k, c, r, s)
+							}
+						}
+					}
+				}
+				out.Set(k, y, x, out.At(k, y, x)+sum)
+			}
+		}
+	}
+}
+
+// AccumulatePool writes the max-pool result for channels [k0, k1) and
+// output rows [y0, y1) into out (pooling has a single reduction step).
+func AccumulatePool(out *Tensor, in *Tensor, l workload.Layer, k0, k1, y0, y1 int) {
+	padY, padX := PadOrigin(l)
+	for k := k0; k < k1 && k < l.K; k++ {
+		for y := y0; y < y1 && y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				first := true
+				var best int32
+				for r := 0; r < l.R; r++ {
+					for s := 0; s < l.S; s++ {
+						iy, ix := y*l.Stride+r-padY, x*l.Stride+s-padX
+						if iy < 0 || iy >= in.H || ix < 0 || ix >= in.W {
+							continue
+						}
+						v := in.At(k, iy, ix)
+						if first || v > best {
+							best, first = v, false
+						}
+					}
+				}
+				out.Set(k, y, x, best)
+			}
+		}
+	}
+}
+
+// AccumulateUpsample writes zero-insertion upsampling for channels [k0, k1)
+// and output rows [y0, y1): output (y, x) carries input (y/f, x/f) when both
+// coordinates are multiples of the factor, zero otherwise — the
+// deconvolution pre-processing of Section 5.2.
+func AccumulateUpsample(out *Tensor, in *Tensor, l workload.Layer, k0, k1, y0, y1 int) {
+	f := l.Stride
+	for k := k0; k < k1 && k < l.K; k++ {
+		for y := y0; y < y1 && y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				var v int32
+				if y%f == 0 && x%f == 0 {
+					v = in.At(k, y/f, x/f)
+				}
+				out.Set(k, y, x, v)
+			}
+		}
+	}
+}
+
+// Forward computes one layer's full output directly — the golden reference
+// the secure executor is checked against. FC layers flatten their input.
+func Forward(l workload.Layer, in *Tensor, w *Weights) (*Tensor, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	in, err := reshapeInput(l, in)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTensor(l.K, l.OutH(), l.OutW())
+	switch l.Type {
+	case workload.Pool:
+		AccumulatePool(out, in, l, 0, l.K, 0, out.H)
+	case workload.Upsample:
+		AccumulateUpsample(out, in, l, 0, l.K, 0, out.H)
+	default:
+		if w == nil {
+			return nil, fmt.Errorf("nn: layer %q needs weights", l.Name)
+		}
+		AccumulateConv(out, in, w, l, 0, l.K, 0, l.ReductionChannels(), 0, out.H)
+	}
+	return out, nil
+}
+
+// reshapeInput flattens the previous activation volume for FC layers and
+// validates the shape otherwise.
+func reshapeInput(l workload.Layer, in *Tensor) (*Tensor, error) {
+	if l.Type == workload.FC && l.H == 1 && l.W == 1 {
+		if len(in.Data) != l.C {
+			return nil, fmt.Errorf("nn: layer %q: flattened input %d != expected %d",
+				l.Name, len(in.Data), l.C)
+		}
+		return &Tensor{Chans: l.C, H: 1, W: 1, Data: in.Data}, nil
+	}
+	if in.Chans != l.C || in.H != l.H || in.W != l.W {
+		return nil, fmt.Errorf("nn: layer %q: input %dx%dx%d != expected %dx%dx%d",
+			l.Name, in.Chans, in.H, in.W, l.C, l.H, l.W)
+	}
+	return in, nil
+}
+
+// ForwardNetwork runs a whole network through the reference path with the
+// given per-layer weights (nil entries for pools).
+func ForwardNetwork(net workload.Network, in *Tensor, weights []*Weights) (*Tensor, error) {
+	if len(weights) != len(net.Layers) {
+		return nil, fmt.Errorf("nn: %d weight tensors for %d layers", len(weights), len(net.Layers))
+	}
+	cur := in
+	for i, l := range net.Layers {
+		out, err := Forward(l, cur, weights[i])
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// RandomModel builds deterministic random weights for every layer of a
+// network plus a random input tensor.
+func RandomModel(net workload.Network, seed int64) (*Tensor, []*Weights) {
+	first := net.Layers[0]
+	in := NewTensor(first.C, first.H, first.W)
+	in.Randomize(seed)
+	ws := make([]*Weights, len(net.Layers))
+	for i, l := range net.Layers {
+		if w := WeightsFor(l); w != nil {
+			w.Randomize(seed + int64(i) + 1)
+			ws[i] = w
+		}
+	}
+	return in, ws
+}

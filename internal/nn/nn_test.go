@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seculator/internal/workload"
+)
+
+func convLayer() workload.Layer {
+	return workload.Layer{
+		Name: "conv", Type: workload.Conv,
+		C: 3, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1,
+	}
+}
+
+func TestTensorBasics(t *testing.T) {
+	tt := NewTensor(2, 3, 4)
+	tt.Set(1, 2, 3, 42)
+	if tt.At(1, 2, 3) != 42 {
+		t.Fatal("Set/At broken")
+	}
+	if tt.AtPadded(1, -1, 0) != 0 || tt.AtPadded(1, 3, 0) != 0 || tt.AtPadded(1, 0, 4) != 0 {
+		t.Fatal("padding must read as zero")
+	}
+	o := NewTensor(2, 3, 4)
+	if tt.Equal(o) {
+		t.Fatal("different tensors reported equal")
+	}
+	o.Set(1, 2, 3, 42)
+	if !tt.Equal(o) {
+		t.Fatal("equal tensors reported different")
+	}
+	if tt.Equal(NewTensor(1, 3, 4)) {
+		t.Fatal("shape mismatch reported equal")
+	}
+}
+
+func TestNewTensorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape should panic")
+		}
+	}()
+	NewTensor(0, 1, 1)
+}
+
+func TestRandomizeDeterministic(t *testing.T) {
+	a := NewTensor(2, 4, 4)
+	b := NewTensor(2, 4, 4)
+	a.Randomize(7)
+	b.Randomize(7)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same tensor")
+	}
+	b.Randomize(8)
+	if a.Equal(b) {
+		t.Fatal("different seeds should differ")
+	}
+	for _, v := range a.Data {
+		if v < -8 || v >= 8 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+}
+
+func TestWeights(t *testing.T) {
+	w := NewWeights(2, 3, 3, 3)
+	w.Data[((1*3+2)*3+1)*3+2] = 9
+	if w.At(1, 2, 1, 2) != 9 {
+		t.Fatal("Weights.At broken")
+	}
+	if WeightsFor(workload.Layer{Type: workload.Pool, C: 1, K: 1, R: 1, S: 1}) != nil {
+		t.Fatal("pool has no weights")
+	}
+	dw := WeightsFor(workload.Layer{Type: workload.Depthwise, C: 4, K: 4, R: 3, S: 3})
+	if dw.C != 1 || dw.K != 4 {
+		t.Fatalf("depthwise weights shape: %+v", dw)
+	}
+}
+
+func TestPadOrigin(t *testing.T) {
+	l := convLayer() // same padding, 3x3 stride 1 on 8x8 -> pad 1
+	if py, px := PadOrigin(l); py != 1 || px != 1 {
+		t.Fatalf("same pad = (%d,%d)", py, px)
+	}
+	l.Valid = true
+	if py, px := PadOrigin(l); py != 0 || px != 0 {
+		t.Fatal("valid padding must be zero")
+	}
+	// 1x1 conv: no padding needed even in same mode.
+	pw := workload.Layer{Type: workload.Pointwise, C: 2, H: 4, W: 4, K: 2, R: 1, S: 1, Stride: 1}
+	if py, px := PadOrigin(pw); py != 0 || px != 0 {
+		t.Fatal("1x1 conv needs no padding")
+	}
+}
+
+// A hand-computed 1-channel convolution.
+func TestForwardKnownValues(t *testing.T) {
+	l := workload.Layer{Type: workload.Conv, C: 1, H: 3, W: 3, K: 1, R: 3, S: 3, Stride: 1, Valid: true}
+	in := NewTensor(1, 3, 3)
+	w := NewWeights(1, 1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = int32(i + 1) // 1..9
+	}
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	out, err := Forward(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 1 || out.W != 1 || out.At(0, 0, 0) != 45 {
+		t.Fatalf("conv sum = %d, want 45", out.At(0, 0, 0))
+	}
+}
+
+func TestForwardPoolKnownValues(t *testing.T) {
+	l := workload.Layer{Type: workload.Pool, C: 1, H: 4, W: 4, K: 1, R: 2, S: 2, Stride: 2, Valid: true}
+	in := NewTensor(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = int32(i)
+	}
+	out, err := Forward(l, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{5, 7}, {13, 15}}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			if out.At(0, y, x) != want[y][x] {
+				t.Fatalf("pool[%d][%d] = %d, want %d", y, x, out.At(0, y, x), want[y][x])
+			}
+		}
+	}
+}
+
+func TestForwardFCFlatten(t *testing.T) {
+	l := workload.Layer{Type: workload.FC, C: 8, H: 1, W: 1, K: 2, R: 1, S: 1, Stride: 1}
+	in := NewTensor(2, 2, 2) // flattens to 8
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := NewWeights(2, 8, 1, 1)
+	for i := range w.Data {
+		w.Data[i] = 2
+	}
+	out, err := Forward(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0) != 16 || out.At(1, 0, 0) != 16 {
+		t.Fatalf("fc out = %d,%d want 16,16", out.At(0, 0, 0), out.At(1, 0, 0))
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	l := convLayer()
+	if _, err := Forward(l, NewTensor(1, 8, 8), NewWeights(4, 3, 3, 3)); err == nil {
+		t.Fatal("channel mismatch accepted")
+	}
+	if _, err := Forward(l, NewTensor(3, 8, 8), nil); err == nil {
+		t.Fatal("missing weights accepted")
+	}
+	bad := workload.Layer{Type: workload.FC, C: 9, H: 1, W: 1, K: 2, R: 1, S: 1, Stride: 1}
+	if _, err := Forward(bad, NewTensor(2, 2, 2), NewWeights(2, 9, 1, 1)); err == nil {
+		t.Fatal("flatten size mismatch accepted")
+	}
+}
+
+// Partial accumulation must compose: summing contributions over channel
+// groups and row bands in any split equals the direct computation.
+func TestAccumulateConvComposesProperty(t *testing.T) {
+	l := convLayer()
+	f := func(seed int64, split uint8) bool {
+		in := NewTensor(l.C, l.H, l.W)
+		in.Randomize(seed)
+		w := NewWeights(l.K, l.C, l.R, l.S)
+		w.Randomize(seed + 1)
+
+		direct, err := Forward(l, in, w)
+		if err != nil {
+			return false
+		}
+
+		tiled := NewTensor(l.K, l.OutH(), l.OutW())
+		cSplit := int(split%3) + 1
+		for c0 := 0; c0 < l.C; c0 += cSplit {
+			for y0 := 0; y0 < l.OutH(); y0 += 3 {
+				for k0 := 0; k0 < l.K; k0 += 2 {
+					AccumulateConv(tiled, in, w, l, k0, k0+2, c0, c0+cSplit, y0, y0+3)
+				}
+			}
+		}
+		return tiled.Equal(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthwiseForward(t *testing.T) {
+	l := workload.Layer{Type: workload.Depthwise, C: 2, H: 4, W: 4, K: 2, R: 3, S: 3, Stride: 1}
+	in := NewTensor(2, 4, 4)
+	in.Randomize(3)
+	w := NewWeights(2, 1, 3, 3)
+	w.Randomize(4)
+	out, err := Forward(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0 of the output must be independent of channel 1 of the input.
+	in2 := NewTensor(2, 4, 4)
+	copy(in2.Data, in.Data)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			in2.Set(1, y, x, 99)
+		}
+	}
+	out2, err := Forward(l, in2, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			if out.At(0, y, x) != out2.At(0, y, x) {
+				t.Fatal("depthwise channel 0 depends on input channel 1")
+			}
+		}
+	}
+}
+
+func TestForwardNetworkAndRandomModel(t *testing.T) {
+	net := workload.Network{
+		Name: "mini",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 2, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1},
+			{Name: "p1", Type: workload.Pool, C: 4, H: 8, W: 8, K: 4, R: 2, S: 2, Stride: 2, Valid: true},
+			{Name: "fc", Type: workload.FC, C: 4 * 4 * 4, H: 1, W: 1, K: 3, R: 1, S: 1, Stride: 1},
+		},
+	}
+	in, ws := RandomModel(net, 11)
+	out, err := ForwardNetwork(net, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chans != 3 || out.H != 1 || out.W != 1 {
+		t.Fatalf("output shape %dx%dx%d", out.Chans, out.H, out.W)
+	}
+	if _, err := ForwardNetwork(net, in, ws[:1]); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+}

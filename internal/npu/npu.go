@@ -1,0 +1,129 @@
+// Package npu models the compute side of the accelerator: a weight-
+// stationary systolic array (Table 1: 32x32 PEs at 2.75 GHz) fed from a
+// 240 KB global buffer. The timing model follows SCALE-Sim's analytic
+// formulation: a tile pass streams `depth` partial sums through
+// ceil(pixels/rows) x ceil(kt/cols) array waves, plus a fill/drain skew of
+// rows+cols-2 cycles per pass.
+//
+// This is the substitution for the paper's in-house cycle-accurate
+// simulator (see DESIGN.md): protection overheads act at the memory
+// interface, so an analytic compute model with explicit per-tile
+// compute/memory overlap preserves the relative results.
+package npu
+
+import (
+	"fmt"
+
+	"seculator/internal/sim"
+)
+
+// ArrayDataflow selects the systolic array's stationarity — which operand
+// stays pinned in the PEs (SCALE-Sim's WS/OS/IS taxonomy). It changes the
+// per-pass fill/drain skew, not the steady-state MAC throughput.
+type ArrayDataflow uint8
+
+const (
+	// WeightStationary pins weights: refill skew once per reduction sweep.
+	WeightStationary ArrayDataflow = iota
+	// OutputStationary pins partial sums: skew on drain only.
+	OutputStationary
+	// InputStationary pins input pixels: skew on both edges.
+	InputStationary
+)
+
+// String implements fmt.Stringer.
+func (d ArrayDataflow) String() string {
+	switch d {
+	case WeightStationary:
+		return "weight-stationary"
+	case OutputStationary:
+		return "output-stationary"
+	case InputStationary:
+		return "input-stationary"
+	default:
+		return fmt.Sprintf("ArrayDataflow(%d)", uint8(d))
+	}
+}
+
+// Config describes the compute fabric.
+type Config struct {
+	Rows              int     // PE array rows (output pixels dimension)
+	Cols              int     // PE array columns (output channels dimension)
+	GlobalBufferBytes int     // on-chip global buffer capacity
+	FreqHz            float64 // NPU clock
+	Dataflow          ArrayDataflow
+}
+
+// DefaultConfig matches Table 1: a 32x32 array, 240 KB GB, 2.75 GHz.
+func DefaultConfig() Config {
+	return Config{Rows: 32, Cols: 32, GlobalBufferBytes: 240 * 1024, FreqHz: 2.75e9}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("npu: array dims must be positive, got %dx%d", c.Rows, c.Cols)
+	}
+	if c.GlobalBufferBytes <= 0 {
+		return fmt.Errorf("npu: global buffer must be positive, got %d", c.GlobalBufferBytes)
+	}
+	if c.FreqHz <= 0 {
+		return fmt.Errorf("npu: frequency must be positive, got %g", c.FreqHz)
+	}
+	return nil
+}
+
+// PEs returns the processing-element count.
+func (c Config) PEs() int { return c.Rows * c.Cols }
+
+// TilePassCycles returns the cycles to compute one tile pass producing
+// `pixels` output positions for `kt` output channels with a reduction depth
+// of `depth` MACs per output (CT*R*S for convolution). The steady-state
+// term (waves x depth) is dataflow-independent; the array dataflow sets the
+// skew paid around it, following SCALE-Sim's formulation.
+func (c Config) TilePassCycles(pixels, kt, depth int) sim.Cycles {
+	if pixels <= 0 || kt <= 0 || depth <= 0 {
+		return 0
+	}
+	pixelWaves := uint64(ceilDiv(pixels, c.Rows))
+	chanWaves := uint64(ceilDiv(kt, c.Cols))
+	waves := pixelWaves * chanWaves
+
+	var skew uint64
+	switch c.Dataflow {
+	case OutputStationary:
+		// Partial sums stay put; operands skew in, results drain once.
+		skew = uint64(c.Rows+c.Cols-2) + uint64(c.Rows)
+	case InputStationary:
+		// Inputs pinned; weights stream through and outputs skew out,
+		// paying the diagonal on both edges per channel wave.
+		skew = 2 * uint64(c.Rows+c.Cols-2) * chanWaves
+	default: // WeightStationary
+		// Weights preloaded once per pass; the input diagonal fills and
+		// the output diagonal drains.
+		skew = uint64(c.Rows + c.Cols - 2)
+	}
+	return sim.Cycles(waves*uint64(depth) + skew)
+}
+
+// LayerComputeCycles returns the total compute cycles of a layer executed
+// as `passes` identical tile passes.
+func (c Config) LayerComputeCycles(passes, pixels, kt, depth int) sim.Cycles {
+	if passes <= 0 {
+		return 0
+	}
+	return c.TilePassCycles(pixels, kt, depth) * sim.Cycles(passes)
+}
+
+// Utilization returns the fraction of peak MAC throughput achieved by a
+// tile pass — a mapping-quality diagnostic.
+func (c Config) Utilization(pixels, kt, depth int) float64 {
+	cyc := c.TilePassCycles(pixels, kt, depth)
+	if cyc == 0 {
+		return 0
+	}
+	ideal := float64(pixels) * float64(kt) * float64(depth) / float64(c.PEs())
+	return ideal / float64(cyc)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

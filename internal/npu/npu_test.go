@@ -1,0 +1,125 @@
+package npu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 32 || c.Cols != 32 || c.GlobalBufferBytes != 240*1024 || c.FreqHz != 2.75e9 {
+		t.Fatalf("default config diverges from Table 1: %+v", c)
+	}
+	if c.PEs() != 1024 {
+		t.Fatalf("PEs = %d", c.PEs())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Rows: 0, Cols: 1, GlobalBufferBytes: 1, FreqHz: 1},
+		{Rows: 1, Cols: 0, GlobalBufferBytes: 1, FreqHz: 1},
+		{Rows: 1, Cols: 1, GlobalBufferBytes: 0, FreqHz: 1},
+		{Rows: 1, Cols: 1, GlobalBufferBytes: 1, FreqHz: 0},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestTilePassCycles(t *testing.T) {
+	c := Config{Rows: 4, Cols: 4, GlobalBufferBytes: 1, FreqHz: 1}
+	// 8 pixels, 8 channels, depth 10: waves = 2*2 = 4 -> 40 + fill 6.
+	if got := c.TilePassCycles(8, 8, 10); got != 46 {
+		t.Fatalf("TilePassCycles = %d, want 46", got)
+	}
+	if c.TilePassCycles(0, 8, 10) != 0 || c.TilePassCycles(8, 0, 10) != 0 {
+		t.Fatal("degenerate pass should be free")
+	}
+}
+
+func TestLayerComputeCycles(t *testing.T) {
+	c := Config{Rows: 4, Cols: 4, GlobalBufferBytes: 1, FreqHz: 1}
+	per := c.TilePassCycles(8, 8, 10)
+	if got := c.LayerComputeCycles(3, 8, 8, 10); got != per*3 {
+		t.Fatalf("LayerComputeCycles = %d, want %d", got, per*3)
+	}
+	if c.LayerComputeCycles(0, 8, 8, 10) != 0 {
+		t.Fatal("zero passes should be free")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	c := DefaultConfig()
+	// Perfectly shaped pass: full array, long depth -> near 1.
+	u := c.Utilization(32*100, 32, 288)
+	if u <= 0.5 || u > 1.0 {
+		t.Fatalf("well-shaped utilization = %g", u)
+	}
+	// Tiny pass: dominated by fill -> low.
+	if v := c.Utilization(1, 1, 1); v >= u {
+		t.Fatalf("tiny pass utilization %g not below %g", v, u)
+	}
+	if c.Utilization(0, 1, 1) != 0 {
+		t.Fatal("empty pass utilization should be 0")
+	}
+}
+
+// Property: cycles scale monotonically with every shape parameter.
+func TestCyclesMonotoneProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(p, k, d uint16) bool {
+		pixels, kt, depth := int(p%200)+1, int(k%64)+1, int(d%512)+1
+		base := c.TilePassCycles(pixels, kt, depth)
+		return c.TilePassCycles(pixels+1, kt, depth) >= base &&
+			c.TilePassCycles(pixels, kt+1, depth) >= base &&
+			c.TilePassCycles(pixels, kt, depth+1) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization never exceeds 1 (can't beat peak throughput).
+func TestUtilizationCapProperty(t *testing.T) {
+	c := DefaultConfig()
+	f := func(p, k, d uint16) bool {
+		u := c.Utilization(int(p%4096)+1, int(k%512)+1, int(d%2048)+1)
+		return u > 0 && u <= 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayDataflowSkews(t *testing.T) {
+	base := Config{Rows: 4, Cols: 4, GlobalBufferBytes: 1, FreqHz: 1}
+	ws := base
+	os := base
+	os.Dataflow = OutputStationary
+	is := base
+	is.Dataflow = InputStationary
+
+	// Same steady state, different skew: WS <= OS <= IS for multi-wave
+	// passes on this geometry.
+	w := ws.TilePassCycles(8, 8, 10)
+	o := os.TilePassCycles(8, 8, 10)
+	i := is.TilePassCycles(8, 8, 10)
+	if !(w <= o && o <= i) {
+		t.Fatalf("skew ordering broken: WS=%d OS=%d IS=%d", w, o, i)
+	}
+	// WS keeps the original closed-form: waves*depth + rows+cols-2.
+	if w != 46 {
+		t.Fatalf("WS cycles = %d, want 46", w)
+	}
+	for _, d := range []ArrayDataflow{WeightStationary, OutputStationary, InputStationary, ArrayDataflow(9)} {
+		if d.String() == "" {
+			t.Fatalf("empty string for dataflow %d", d)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a pattern expression in the paper's symbolic notation back
+// into a triplet — the inverse of Triplet.String. Accepted forms:
+//
+//	"-"                      the empty pattern
+//	"1^6"                    a Line (κ=1)
+//	"1,2...5"                a plain ramp (η=1, ρ=1)
+//	"1^2,2^2...4^2"          a ramp of runs (ρ=1)
+//	"(1^2,2^2...4^2)^3"      a repeated ramp
+//	"(1,2...4)^3"            a repeated plain ramp
+//
+// The ellipsis may be written "..." or "…". Whitespace is ignored.
+func Parse(s string) (Triplet, error) {
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "…", "...")
+	if s == "" || s == "-" {
+		return Empty, nil
+	}
+
+	rho := 1
+	if strings.HasPrefix(s, "(") {
+		close := strings.LastIndexByte(s, ')')
+		if close < 0 {
+			return Empty, fmt.Errorf("pattern: unbalanced parenthesis in %q", s)
+		}
+		tail := s[close+1:]
+		if !strings.HasPrefix(tail, "^") {
+			return Empty, fmt.Errorf("pattern: parenthesized ramp needs ^rho in %q", s)
+		}
+		r, err := strconv.Atoi(tail[1:])
+		if err != nil || r <= 0 {
+			return Empty, fmt.Errorf("pattern: bad repeat count in %q", s)
+		}
+		rho = r
+		s = s[1:close]
+	}
+
+	ramp, err := parseRamp(s)
+	if err != nil {
+		return Empty, err
+	}
+	ramp.Rho = rho
+	// Canonicalize Lines: fold the repeat into η, as Compress does.
+	if ramp.Kappa == 1 {
+		return Triplet{Eta: ramp.Eta * ramp.Rho, Kappa: 1, Rho: 1}, nil
+	}
+	return ramp, nil
+}
+
+// parseRamp parses "1^e,2^e...k^e", "1,2...k" or "1^e" (η,κ with ρ=1).
+func parseRamp(s string) (Triplet, error) {
+	parts := strings.Split(s, "...")
+	switch len(parts) {
+	case 1:
+		// An explicitly enumerated ramp: "1^e", "1,2", "1^e,2^e,3^e".
+		runs := strings.Split(parts[0], ",")
+		eta := 0
+		for i, run := range runs {
+			v, e, err := parseRun(run)
+			if err != nil {
+				return Empty, err
+			}
+			if v != i+1 {
+				return Empty, fmt.Errorf("pattern: enumerated ramp %q does not count from 1", s)
+			}
+			if i == 0 {
+				eta = e
+			} else if e != eta {
+				return Empty, fmt.Errorf("pattern: ragged run lengths in %q", s)
+			}
+		}
+		return Triplet{Eta: eta, Kappa: len(runs), Rho: 1}, nil
+	case 2:
+		head := strings.Split(parts[0], ",")
+		if len(head) == 0 || head[0] == "" {
+			return Empty, fmt.Errorf("pattern: empty ramp head in %q", s)
+		}
+		// Head runs must count 1,2,... with a uniform exponent.
+		eta := 0
+		for i, h := range head {
+			v, e, err := parseRun(h)
+			if err != nil {
+				return Empty, err
+			}
+			if v != i+1 {
+				return Empty, fmt.Errorf("pattern: ramp head %q does not count from 1", s)
+			}
+			if i == 0 {
+				eta = e
+			} else if e != eta {
+				return Empty, fmt.Errorf("pattern: ragged run lengths in %q", s)
+			}
+		}
+		kv, ke, err := parseRun(parts[1])
+		if err != nil {
+			return Empty, err
+		}
+		if ke != eta {
+			return Empty, fmt.Errorf("pattern: final run length %d != %d in %q", ke, eta, s)
+		}
+		if kv <= len(head) {
+			return Empty, fmt.Errorf("pattern: ramp top %d not beyond head in %q", kv, s)
+		}
+		return Triplet{Eta: eta, Kappa: kv, Rho: 1}, nil
+	default:
+		return Empty, fmt.Errorf("pattern: multiple ellipses in %q", s)
+	}
+}
+
+// parseRun parses "v^e" or "v" (e=1).
+func parseRun(s string) (value, exp int, err error) {
+	v, e := s, "1"
+	if i := strings.IndexByte(s, '^'); i >= 0 {
+		v, e = s[:i], s[i+1:]
+	}
+	value, err = strconv.Atoi(v)
+	if err != nil || value <= 0 {
+		return 0, 0, fmt.Errorf("pattern: bad run value %q", s)
+	}
+	exp, err = strconv.Atoi(e)
+	if err != nil || exp <= 0 {
+		return 0, 0, fmt.Errorf("pattern: bad run exponent %q", s)
+	}
+	return value, exp, nil
+}

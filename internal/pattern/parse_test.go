@@ -1,0 +1,87 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Triplet
+	}{
+		{"-", Empty},
+		{"", Empty},
+		{"1^6", Triplet{Eta: 6, Kappa: 1, Rho: 1}},
+		{"1", Triplet{Eta: 1, Kappa: 1, Rho: 1}},
+		{"1,2...5", Triplet{Eta: 1, Kappa: 5, Rho: 1}},
+		{"1^2,2^2...4^2", Triplet{Eta: 2, Kappa: 4, Rho: 1}},
+		{"(1^2,2^2...4^2)^3", Triplet{Eta: 2, Kappa: 4, Rho: 3}},
+		{"(1,2...4)^3", Triplet{Eta: 1, Kappa: 4, Rho: 3}},
+		{"(1^5)^2", Triplet{Eta: 10, Kappa: 1, Rho: 1}}, // line canonicalized
+		{"1^2,2^2,3^2...9^2", Triplet{Eta: 2, Kappa: 9, Rho: 1}},
+		{" 1^2 , 2^2 ... 4^2 ", Triplet{Eta: 2, Kappa: 4, Rho: 1}},
+		{"1,2…3", Triplet{Eta: 1, Kappa: 3, Rho: 1}}, // unicode ellipsis
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"2^3",           // single run not of 1s
+		"1,3...5",       // head skips a value
+		"1^2,2^3...5^2", // ragged exponents
+		"1^2,2^2...5^3", // final exponent differs
+		"1,2...2",       // top not beyond head
+		"(1,2...4",      // unbalanced paren
+		"(1,2...4)",     // missing ^rho
+		"(1,2...4)^0",   // zero repeat
+		"(1,2...4)^x",   // non-numeric repeat
+		"1,2...4...6",   // multiple ellipses
+		"0^2",           // zero value
+		"1^0",           // zero exponent
+		"a,b...c",       // garbage
+	}
+	for _, s := range bad {
+		if tr, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted as %v", s, tr)
+		}
+	}
+}
+
+// Property: Parse is a left inverse of String for all triplets.
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(e, k, r uint8) bool {
+		tr := Triplet{Eta: int(e%6) + 1, Kappa: int(k%6) + 1, Rho: int(r%5) + 1}
+		got, err := Parse(tr.String())
+		return err == nil && Equal(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse(s).Expand() == the sequence Compress would accept.
+func TestParseAgreesWithCompressProperty(t *testing.T) {
+	f := func(e, k, r uint8) bool {
+		tr := Triplet{Eta: int(e%4) + 1, Kappa: int(k%4) + 1, Rho: int(r%3) + 1}
+		parsed, err := Parse(tr.String())
+		if err != nil {
+			return false
+		}
+		compressed, ok := Compress(tr.Expand())
+		return ok && Equal(parsed, compressed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

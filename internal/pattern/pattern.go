@@ -1,0 +1,261 @@
+// Package pattern implements the analytical characterization of version
+// number (VN) sequences from Section 5 of the Seculator paper.
+//
+// A pair of observers at the NPU's global buffer record the VN of every
+// ofmap tile read or written during a layer. For every dataflow the paper
+// studies, both observed sequences are instances of one master equation:
+//
+//	(1^η, 2^η, …, κ^η)^ρ
+//
+// i.e. the value 1 repeated η times, then 2 repeated η times, up to κ, with
+// the whole ramp repeated ρ times. The triplet ⟨η, κ, ρ⟩ is all the state a
+// hardware generator needs. This package provides the triplet type, its
+// expansion, the P1–P5 pattern taxonomy (Table 2), run-length compression of
+// observed sequences back into triplets, and symbolic rendering used by the
+// pattern-table tooling.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triplet is the master-equation parameter set ⟨η, κ, ρ⟩.
+//
+// Eta (η) is the run length of each VN value, Kappa (κ) the number of
+// distinct VN values in one ramp, and Rho (ρ) the number of times the ramp
+// repeats. A Triplet with any field <= 0 but not all zero is invalid; the
+// zero Triplet denotes an empty sequence (e.g. the read pattern of an
+// output-reuse dataflow, which never reads partial ofmaps back).
+type Triplet struct {
+	Eta   int
+	Kappa int
+	Rho   int
+}
+
+// Empty is the triplet of the empty VN sequence (no reads / no writes).
+var Empty = Triplet{}
+
+// IsEmpty reports whether t denotes the empty sequence.
+func (t Triplet) IsEmpty() bool { return t == Empty }
+
+// Valid reports whether t is either empty or has all-positive fields.
+func (t Triplet) Valid() bool {
+	return t.IsEmpty() || (t.Eta > 0 && t.Kappa > 0 && t.Rho > 0)
+}
+
+// Len returns the length of the expanded sequence, η·κ·ρ.
+func (t Triplet) Len() int {
+	if t.IsEmpty() {
+		return 0
+	}
+	return t.Eta * t.Kappa * t.Rho
+}
+
+// MaxVN returns the largest VN the sequence contains (κ), or 0 when empty.
+func (t Triplet) MaxVN() int { return t.Kappa }
+
+// At returns the i-th VN (0-indexed) of the expanded sequence without
+// materializing it: 1 + (i / η) mod κ. It panics if i is out of range.
+func (t Triplet) At(i int) int {
+	if i < 0 || i >= t.Len() {
+		panic(fmt.Sprintf("pattern: index %d out of range for %v (len %d)", i, t, t.Len()))
+	}
+	return 1 + (i/t.Eta)%t.Kappa
+}
+
+// Expand materializes the full VN sequence. Intended for tests and tools;
+// the simulator uses the streaming Generator in package vngen.
+func (t Triplet) Expand() []int {
+	out := make([]int, t.Len())
+	for i := range out {
+		out[i] = t.At(i)
+	}
+	return out
+}
+
+// String renders the triplet in the paper's symbolic notation, e.g.
+// "(1^4,2^4...8^4)^2". Degenerate dimensions are simplified:
+// κ=1 renders as "1^η·ρ" (a Line), ρ=1 drops the outer exponent.
+func (t Triplet) String() string {
+	if t.IsEmpty() {
+		return "-"
+	}
+	if t.Kappa == 1 {
+		return fmt.Sprintf("1^%d", t.Eta*t.Rho)
+	}
+	var ramp string
+	switch {
+	case t.Kappa == 2 && t.Eta == 1:
+		ramp = "1,2"
+	case t.Kappa == 2:
+		ramp = fmt.Sprintf("1^%d,2^%d", t.Eta, t.Eta)
+	case t.Eta == 1:
+		ramp = fmt.Sprintf("1,2...%d", t.Kappa)
+	default:
+		ramp = fmt.Sprintf("1^%d,2^%d...%d^%d", t.Eta, t.Eta, t.Kappa, t.Eta)
+	}
+	if t.Rho == 1 {
+		return ramp
+	}
+	return fmt.Sprintf("(%s)^%d", ramp, t.Rho)
+}
+
+// Class is the paper's taxonomy of VN patterns (Table 2, P1–P5).
+type Class uint8
+
+const (
+	// ClassEmpty is the empty sequence (no accesses of that kind).
+	ClassEmpty Class = iota
+	// P1 Multi-step: η>1, κ>1, ρ>1 — ramps of runs, repeated.
+	P1MultiStep
+	// P2 Step: η>1, κ>1, ρ=1 — one ramp of runs.
+	P2Step
+	// P3 Linear: η=1, κ>1, ρ=1 — 1,2,3,…,κ.
+	P3Linear
+	// P4 Sawtooth: η=1, κ>1, ρ>1 — plain ramps, repeated.
+	P4Sawtooth
+	// P5 Line: κ=1 — a constant run of 1s.
+	P5Line
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassEmpty:
+		return "empty"
+	case P1MultiStep:
+		return "P1:Multi-step"
+	case P2Step:
+		return "P2:Step"
+	case P3Linear:
+		return "P3:Linear"
+	case P4Sawtooth:
+		return "P4:Sawtooth"
+	case P5Line:
+		return "P5:Line"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Classify maps a triplet to its pattern class.
+func Classify(t Triplet) Class {
+	switch {
+	case t.IsEmpty():
+		return ClassEmpty
+	case t.Kappa == 1:
+		return P5Line
+	case t.Eta == 1 && t.Rho == 1:
+		return P3Linear
+	case t.Eta == 1:
+		return P4Sawtooth
+	case t.Rho == 1:
+		return P2Step
+	default:
+		return P1MultiStep
+	}
+}
+
+// Compress infers the unique canonical triplet that expands to seq, or
+// returns ok=false if seq is not an instance of the master equation.
+// Canonical form: for constant sequences of 1s (κ=1) the run is folded into
+// η with ρ=1; otherwise η is the (uniform) run length, κ the ramp height,
+// and ρ the repeat count.
+func Compress(seq []int) (t Triplet, ok bool) {
+	if len(seq) == 0 {
+		return Empty, true
+	}
+	// Uniform run length check: first value must be 1.
+	if seq[0] != 1 {
+		return Empty, false
+	}
+	// Measure η: length of the leading run of 1s.
+	eta := 0
+	for eta < len(seq) && seq[eta] == 1 {
+		eta++
+	}
+	if eta == len(seq) {
+		// All ones: a Line. Canonical: η=len, κ=1, ρ=1.
+		return Triplet{Eta: eta, Kappa: 1, Rho: 1}, true
+	}
+	// Walk the first ramp: values must step 1,2,…,κ, each with run length η.
+	i, want := 0, 1
+	for i < len(seq) && seq[i] == want {
+		runLen := 0
+		for i < len(seq) && seq[i] == want {
+			runLen++
+			i++
+		}
+		if runLen != eta {
+			return Empty, false
+		}
+		want++
+	}
+	kappa := want - 1
+	if kappa < 2 {
+		return Empty, false
+	}
+	rampLen := eta * kappa
+	if len(seq)%rampLen != 0 {
+		return Empty, false
+	}
+	rho := len(seq) / rampLen
+	cand := Triplet{Eta: eta, Kappa: kappa, Rho: rho}
+	// Verify the whole sequence (the prefix walk only checked ramp one).
+	for j, v := range seq {
+		if cand.At(j) != v {
+			return Empty, false
+		}
+	}
+	return cand, true
+}
+
+// Equal reports whether two triplets expand to the same sequence. Triplets
+// are compared canonically: Lines with the same total length are equal
+// regardless of the η/ρ split.
+func Equal(a, b Triplet) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return a.IsEmpty() && b.IsEmpty()
+	}
+	if a.Kappa == 1 && b.Kappa == 1 {
+		return a.Len() == b.Len()
+	}
+	return a == b
+}
+
+// RLE is one run of a run-length-encoded VN sequence.
+type RLE struct {
+	VN  int
+	Run int
+}
+
+// RunLengthEncode compresses a VN sequence into runs, the form in which the
+// pattern tables print read/write patterns.
+func RunLengthEncode(seq []int) []RLE {
+	var out []RLE
+	for _, v := range seq {
+		if n := len(out); n > 0 && out[n-1].VN == v {
+			out[n-1].Run++
+			continue
+		}
+		out = append(out, RLE{VN: v, Run: 1})
+	}
+	return out
+}
+
+// FormatRLE renders runs like "1^4,2^4,1^4,2^4".
+func FormatRLE(runs []RLE) string {
+	if len(runs) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(runs))
+	for i, r := range runs {
+		if r.Run == 1 {
+			parts[i] = fmt.Sprintf("%d", r.VN)
+		} else {
+			parts[i] = fmt.Sprintf("%d^%d", r.VN, r.Run)
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,228 @@
+package pattern
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTripletLenAndAt(t *testing.T) {
+	tr := Triplet{Eta: 3, Kappa: 2, Rho: 2}
+	if tr.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", tr.Len())
+	}
+	want := []int{1, 1, 1, 2, 2, 2, 1, 1, 1, 2, 2, 2}
+	if got := tr.Expand(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Expand = %v, want %v", got, want)
+	}
+	if tr.MaxVN() != 2 {
+		t.Fatalf("MaxVN = %d", tr.MaxVN())
+	}
+}
+
+func TestTripletAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range should panic")
+		}
+	}()
+	Triplet{Eta: 1, Kappa: 1, Rho: 1}.At(1)
+}
+
+func TestEmptyTriplet(t *testing.T) {
+	if !Empty.IsEmpty() || Empty.Len() != 0 || !Empty.Valid() {
+		t.Fatal("Empty triplet misbehaves")
+	}
+	if len(Empty.Expand()) != 0 {
+		t.Fatal("Empty.Expand should be empty")
+	}
+	if Empty.String() != "-" {
+		t.Fatalf("Empty.String = %q", Empty.String())
+	}
+}
+
+func TestTripletValid(t *testing.T) {
+	if (Triplet{Eta: 0, Kappa: 2, Rho: 1}).Valid() {
+		t.Fatal("partial-zero triplet should be invalid")
+	}
+	if !(Triplet{Eta: 1, Kappa: 1, Rho: 1}).Valid() {
+		t.Fatal("unit triplet should be valid")
+	}
+}
+
+func TestTripletString(t *testing.T) {
+	cases := []struct {
+		tr   Triplet
+		want string
+	}{
+		{Triplet{Eta: 4, Kappa: 1, Rho: 1}, "1^4"},
+		{Triplet{Eta: 2, Kappa: 1, Rho: 3}, "1^6"},
+		{Triplet{Eta: 1, Kappa: 3, Rho: 1}, "1,2...3"},
+		{Triplet{Eta: 2, Kappa: 3, Rho: 1}, "1^2,2^2...3^2"},
+		{Triplet{Eta: 2, Kappa: 3, Rho: 4}, "(1^2,2^2...3^2)^4"},
+		{Triplet{Eta: 1, Kappa: 2, Rho: 5}, "(1,2)^5"},
+	}
+	for _, c := range cases {
+		if got := c.tr.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.tr, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		tr   Triplet
+		want Class
+	}{
+		{Empty, ClassEmpty},
+		{Triplet{Eta: 4, Kappa: 3, Rho: 2}, P1MultiStep},
+		{Triplet{Eta: 4, Kappa: 3, Rho: 1}, P2Step},
+		{Triplet{Eta: 1, Kappa: 5, Rho: 1}, P3Linear},
+		{Triplet{Eta: 1, Kappa: 5, Rho: 2}, P4Sawtooth},
+		{Triplet{Eta: 9, Kappa: 1, Rho: 1}, P5Line},
+		{Triplet{Eta: 9, Kappa: 1, Rho: 7}, P5Line},
+	}
+	for _, c := range cases {
+		if got := Classify(c.tr); got != c.want {
+			t.Errorf("Classify(%+v) = %v, want %v", c.tr, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassEmpty, P1MultiStep, P2Step, P3Linear, P4Sawtooth, P5Line} {
+		if c.String() == "" {
+			t.Fatalf("empty string for class %d", c)
+		}
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	cases := []Triplet{
+		{Eta: 1, Kappa: 2, Rho: 1},
+		{Eta: 3, Kappa: 4, Rho: 2},
+		{Eta: 1, Kappa: 7, Rho: 3},
+		{Eta: 5, Kappa: 2, Rho: 1},
+	}
+	for _, tr := range cases {
+		got, ok := Compress(tr.Expand())
+		if !ok {
+			t.Fatalf("Compress(%v) failed", tr)
+		}
+		if !Equal(got, tr) {
+			t.Fatalf("Compress(%v.Expand()) = %v", tr, got)
+		}
+	}
+}
+
+func TestCompressLineCanonical(t *testing.T) {
+	// All splits of a constant-1 sequence must compress to the same
+	// canonical Line.
+	got, ok := Compress([]int{1, 1, 1, 1, 1, 1})
+	if !ok {
+		t.Fatal("Compress failed on line")
+	}
+	want := Triplet{Eta: 6, Kappa: 1, Rho: 1}
+	if got != want {
+		t.Fatalf("canonical line = %v, want %v", got, want)
+	}
+	if !Equal(got, Triplet{Eta: 2, Kappa: 1, Rho: 3}) {
+		t.Fatal("Equal should treat equal-length lines as equal")
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	got, ok := Compress(nil)
+	if !ok || !got.IsEmpty() {
+		t.Fatalf("Compress(nil) = %v, %v", got, ok)
+	}
+}
+
+func TestCompressRejectsNonPatterns(t *testing.T) {
+	bad := [][]int{
+		{2, 2, 1, 1},          // doesn't start at 1
+		{1, 1, 2, 1},          // ragged run lengths
+		{1, 2, 2},             // run length grows
+		{1, 2, 3, 1, 2},       // truncated repeat
+		{1, 2, 1, 3},          // ramp changes height mid-way
+		{1, 3},                // skips a VN
+		{1, 2, 2, 1, 2, 2, 2}, // final ramp too long
+	}
+	for _, seq := range bad {
+		if tr, ok := Compress(seq); ok {
+			t.Errorf("Compress(%v) accepted as %v", seq, tr)
+		}
+	}
+}
+
+func TestEqualEmptyHandling(t *testing.T) {
+	if Equal(Empty, Triplet{Eta: 1, Kappa: 1, Rho: 1}) {
+		t.Fatal("empty != non-empty")
+	}
+	if !Equal(Empty, Empty) {
+		t.Fatal("empty == empty")
+	}
+}
+
+func TestRunLengthEncode(t *testing.T) {
+	seq := []int{1, 1, 2, 2, 2, 1}
+	got := RunLengthEncode(seq)
+	want := []RLE{{1, 2}, {2, 3}, {1, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RLE = %v, want %v", got, want)
+	}
+	if FormatRLE(got) != "1^2,2^3,1" {
+		t.Fatalf("FormatRLE = %q", FormatRLE(got))
+	}
+	if FormatRLE(nil) != "-" {
+		t.Fatal("FormatRLE(nil) should be '-'")
+	}
+}
+
+// Property: Compress is a left inverse of Expand for all valid triplets.
+func TestCompressExpandProperty(t *testing.T) {
+	f := func(e, k, r uint8) bool {
+		tr := Triplet{Eta: int(e%5) + 1, Kappa: int(k%5) + 1, Rho: int(r%4) + 1}
+		got, ok := Compress(tr.Expand())
+		return ok && Equal(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: At agrees with Expand at every index.
+func TestAtMatchesExpandProperty(t *testing.T) {
+	f := func(e, k, r uint8) bool {
+		tr := Triplet{Eta: int(e%4) + 1, Kappa: int(k%4) + 1, Rho: int(r%3) + 1}
+		exp := tr.Expand()
+		for i, v := range exp {
+			if tr.At(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the sequence never exceeds κ and every ramp starts at 1.
+func TestSequenceBoundsProperty(t *testing.T) {
+	f := func(e, k, r uint8) bool {
+		tr := Triplet{Eta: int(e%6) + 1, Kappa: int(k%6) + 1, Rho: int(r%4) + 1}
+		for i, v := range tr.Expand() {
+			if v < 1 || v > tr.Kappa {
+				return false
+			}
+			if i%(tr.Eta*tr.Kappa) == 0 && v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package protect
+
+import (
+	"seculator/internal/cache"
+	"seculator/internal/dataflow"
+	"seculator/internal/sim"
+)
+
+// macLineShift converts a data-block address to its MAC-line address:
+// one 64-byte MAC line holds 8 eight-byte per-block MACs.
+const macLineShift = 3 // log2(tensor.MACsPerBlock)
+
+// counterLineShift converts a data-block address to its counter-line
+// address: one counter line covers a 64-block page.
+const counterLineShift = 6
+
+// ---------------------------------------------------------------- baseline
+
+type baselineEngine struct{}
+
+func (*baselineEngine) Design() Design                         { return Baseline }
+func (*baselineEngine) BeginLayer(LayerInfo)                   {}
+func (*baselineEngine) OnEvent(dataflow.Event) Cost            { return Cost{} }
+func (*baselineEngine) EndLayer() Cost                         { return Cost{} }
+func (*baselineEngine) MACCacheStats() (cache.Stats, bool)     { return cache.Stats{}, false }
+func (*baselineEngine) CounterCacheStats() (cache.Stats, bool) { return cache.Stats{}, false }
+
+// ------------------------------------------------------------------ secure
+
+// secureEngine models the SGX-Client-style design: per-block counters
+// behind a 4 KB counter cache protected by a Merkle tree, per-block MACs
+// behind an 8 KB MAC cache, AES-CTR decryption on every block.
+type secureEngine struct {
+	p        Params
+	macCache *cache.Cache
+	ctrCache *cache.Cache
+	li       LayerInfo
+}
+
+func newSecureEngine(p Params) (*secureEngine, error) {
+	mc, err := cache.New(p.MACCacheBytes, p.MACCacheWays)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := cache.New(p.CounterCacheBytes, p.CounterCacheWays)
+	if err != nil {
+		return nil, err
+	}
+	return &secureEngine{p: p, macCache: mc, ctrCache: cc}, nil
+}
+
+func (e *secureEngine) Design() Design          { return Secure }
+func (e *secureEngine) BeginLayer(li LayerInfo) { e.li = li }
+
+func (e *secureEngine) OnEvent(ev dataflow.Event) Cost {
+	var c Cost
+	start, n := e.li.BlockRange(ev)
+	write := ev.Kind == sim.Write
+	for b := uint64(0); b < uint64(n); b++ {
+		addr := start + b
+
+		// Counter lookup: reads need the counter to build the OTP; writes
+		// bump the minor counter (dirtying the line).
+		cr := e.ctrCache.Access(addr>>counterLineShift, write)
+		if !cr.Hit {
+			c.ReadBlocks[sim.CounterTraffic]++
+			c.ReadBlocks[sim.MerkleTraffic] += uint64(e.p.MerkleLevelsDRAM)
+			c.Latency = c.Latency.Add(e.p.CounterMissPenalty)
+		}
+		if cr.WritebackReq {
+			c.WriteBlocks[sim.CounterTraffic]++
+			// The tree path over the evicted counter line is re-hashed;
+			// dirty levels flow out with it.
+			c.WriteBlocks[sim.MerkleTraffic] += uint64(e.p.MerkleLevelsDRAM)
+		}
+
+		// MAC lookup: reads verify, writes update (dirty line).
+		mr := e.macCache.Access(addr>>macLineShift, write)
+		if !mr.Hit {
+			c.ReadBlocks[sim.MACTraffic]++
+		}
+		if mr.WritebackReq {
+			c.WriteBlocks[sim.MACTraffic]++
+		}
+	}
+	return c
+}
+
+// EndLayer charges the crypto pipelines' fill latency once per layer: the
+// AES and SHA units stay full across back-to-back bursts, so only the
+// initial fill is exposed.
+func (e *secureEngine) EndLayer() Cost {
+	return Cost{Latency: e.p.AES.PipelineDepth.Add(e.p.SHA.PipelineDepth)}
+}
+
+func (e *secureEngine) MACCacheStats() (cache.Stats, bool)     { return e.macCache.Stats(), true }
+func (e *secureEngine) CounterCacheStats() (cache.Stats, bool) { return e.ctrCache.Stats(), true }
+
+// -------------------------------------------------------------------- tnpu
+
+// tnpuEngine models TNPU: XTS encryption (no counters), tile-granular VNs
+// in a tensor table held in host secure memory, per-block MACs behind the
+// 8 KB on-chip MAC cache.
+type tnpuEngine struct {
+	p        Params
+	macCache *cache.Cache
+	li       LayerInfo
+}
+
+func newTNPUEngine(p Params) (*tnpuEngine, error) {
+	mc, err := cache.New(p.MACCacheBytes, p.MACCacheWays)
+	if err != nil {
+		return nil, err
+	}
+	return &tnpuEngine{p: p, macCache: mc}, nil
+}
+
+func (e *tnpuEngine) Design() Design          { return TNPU }
+func (e *tnpuEngine) BeginLayer(li LayerInfo) { e.li = li }
+
+func (e *tnpuEngine) OnEvent(ev dataflow.Event) Cost {
+	var c Cost
+	start, n := e.li.BlockRange(ev)
+	write := ev.Kind == sim.Write
+
+	// Tensor-table access per tile: a VN read for loads, a VN bump for
+	// stores. The table lives in the host CPU's secure memory region.
+	if write {
+		c.WriteBlocks[sim.TableTraffic]++
+	} else {
+		c.ReadBlocks[sim.TableTraffic]++
+	}
+	c.Latency = c.Latency.Add(e.p.TableLatency)
+
+	for b := uint64(0); b < uint64(n); b++ {
+		addr := start + b
+		mr := e.macCache.Access(addr>>macLineShift, write)
+		if !mr.Hit {
+			c.ReadBlocks[sim.MACTraffic]++
+		}
+		if mr.WritebackReq {
+			c.WriteBlocks[sim.MACTraffic]++
+		}
+	}
+	return c
+}
+
+// EndLayer charges the crypto pipeline fill once per layer (see secureEngine).
+func (e *tnpuEngine) EndLayer() Cost {
+	return Cost{Latency: e.p.AES.PipelineDepth.Add(e.p.SHA.PipelineDepth)}
+}
+
+func (e *tnpuEngine) MACCacheStats() (cache.Stats, bool)     { return e.macCache.Stats(), true }
+func (e *tnpuEngine) CounterCacheStats() (cache.Stats, bool) { return cache.Stats{}, false }
+
+// ----------------------------------------------------------------- guardnn
+
+// guardnnEngine models GuardNN: per-block MACs read/written straight from
+// DRAM with no cache, and version numbers served by a scheduler on the host
+// CPU over a secure channel — one round trip per tile read.
+type guardnnEngine struct {
+	p  Params
+	li LayerInfo
+}
+
+func (e *guardnnEngine) Design() Design          { return GuardNN }
+func (e *guardnnEngine) BeginLayer(li LayerInfo) { e.li = li }
+
+func (e *guardnnEngine) OnEvent(ev dataflow.Event) Cost {
+	var c Cost
+	_, n := e.li.BlockRange(ev)
+	// Every data block access is accompanied by its own 8-byte MAC request
+	// straight to DRAM — GuardNN has no MAC cache, so each request moves a
+	// burst-chopped beat, partially write-combined by the memory controller
+	// (GuardNNMACFraction blocks per data block; see Params).
+	macBlocks := uint64(float64(n)*e.p.GuardNNMACFraction + 0.999999)
+	if ev.Kind == sim.Read {
+		c.ReadBlocks[sim.MACTraffic] += macBlocks
+		// VNs for reads come from the host scheduler over the secure
+		// channel — one round trip per tile.
+		c.Latency = c.Latency.Add(e.p.HostVNRoundTrip)
+	} else {
+		c.WriteBlocks[sim.MACTraffic] += macBlocks
+		// Write VNs come from on-chip counters: free.
+	}
+	return c
+}
+
+// EndLayer charges the crypto pipeline fill once per layer (see secureEngine).
+func (e *guardnnEngine) EndLayer() Cost {
+	return Cost{Latency: e.p.AES.PipelineDepth.Add(e.p.SHA.PipelineDepth)}
+}
+func (e *guardnnEngine) MACCacheStats() (cache.Stats, bool)     { return cache.Stats{}, false }
+func (e *guardnnEngine) CounterCacheStats() (cache.Stats, bool) { return cache.Stats{}, false }
+
+// --------------------------------------------------------------- seculator
+
+// seculatorEngine models Seculator (and Seculator+): version numbers come
+// from the on-chip FSM and integrity state lives in four 256-bit registers,
+// so no event moves any metadata block. The only residual cost is the
+// crypto pipeline fill per burst and a constant layer-verification step.
+type seculatorEngine struct {
+	p      Params
+	design Design
+}
+
+func (e *seculatorEngine) Design() Design       { return e.design }
+func (e *seculatorEngine) BeginLayer(LayerInfo) {}
+
+func (e *seculatorEngine) OnEvent(ev dataflow.Event) Cost { return Cost{} }
+
+// EndLayer charges the crypto pipeline fill (once per layer, like every
+// design) plus the Equation 1 register comparison — a handful of cycles,
+// no memory traffic.
+func (e *seculatorEngine) EndLayer() Cost {
+	return Cost{Latency: e.p.AES.PipelineDepth.Add(e.p.SHA.PipelineDepth).Add(8)}
+}
+
+func (e *seculatorEngine) MACCacheStats() (cache.Stats, bool)     { return cache.Stats{}, false }
+func (e *seculatorEngine) CounterCacheStats() (cache.Stats, bool) { return cache.Stats{}, false }

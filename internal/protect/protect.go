@@ -1,0 +1,247 @@
+// Package protect implements the memory-protection engines of the six
+// simulated designs (Table 5):
+//
+//	Baseline   — no security.
+//	Secure     — SGX-Client-style: per-block CTR encryption with
+//	             major/minor counters (4 KB counter cache + Merkle tree)
+//	             and per-block MACs (8 KB MAC cache).
+//	TNPU       — AES-XTS encryption, tile VNs in a host-side tensor table,
+//	             per-block MACs in the 8 KB on-chip MAC cache.
+//	GuardNN    — CTR encryption with host-scheduler VNs (secure-channel
+//	             round trip per tile read), per-block MACs stored off-chip
+//	             with no cache.
+//	Seculator  — CTR encryption with FSM-generated VNs and layer-level
+//	             XOR-MACs: no stored metadata at all.
+//	Seculator+ — Seculator plus MEA countermeasures (layer widening /
+//	             dummy traffic), handled by package widen.
+//
+// An Engine consumes the tile-event stream of a layer and returns, per
+// event, the metadata blocks it adds to the DRAM stream and the serialized
+// latency it cannot hide — the two quantities that differentiate the
+// designs in Figures 7 and 8.
+package protect
+
+import (
+	"fmt"
+
+	"seculator/internal/cache"
+	"seculator/internal/crypto"
+	"seculator/internal/dataflow"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+// Design identifies a simulated protection scheme.
+type Design uint8
+
+const (
+	// Baseline has no protection.
+	Baseline Design = iota
+	// Secure is the SGX-Client-style configuration.
+	Secure
+	// TNPU is Lee et al.'s tree-less NPU protection.
+	TNPU
+	// GuardNN is Hua et al.'s host-managed protection.
+	GuardNN
+	// Seculator is the paper's design.
+	Seculator
+	// SeculatorPlus adds MEA protection via layer widening.
+	SeculatorPlus
+
+	numDesigns
+)
+
+// Designs returns every design in Table 5 order.
+func Designs() []Design {
+	out := make([]Design, numDesigns)
+	for i := range out {
+		out[i] = Design(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case Baseline:
+		return "Baseline"
+	case Secure:
+		return "Secure"
+	case TNPU:
+		return "TNPU"
+	case GuardNN:
+		return "GuardNN"
+	case Seculator:
+		return "Seculator"
+	case SeculatorPlus:
+		return "Seculator+"
+	default:
+		return fmt.Sprintf("Design(%d)", uint8(d))
+	}
+}
+
+// Properties is the security feature matrix of Table 5.
+type Properties struct {
+	Encryption     string // "", "CTR", "XTS"
+	IntegrityLevel string // "", "block", "layer"
+	AntiReplay     string // "", "counters", "VN"
+	MEAProtection  bool
+}
+
+// PropertiesOf returns the Table 5 row for a design.
+func PropertiesOf(d Design) Properties {
+	switch d {
+	case Secure:
+		return Properties{Encryption: "CTR", IntegrityLevel: "block", AntiReplay: "counters"}
+	case TNPU:
+		return Properties{Encryption: "XTS", IntegrityLevel: "block", AntiReplay: "VN"}
+	case GuardNN:
+		return Properties{Encryption: "CTR", IntegrityLevel: "block", AntiReplay: "VN"}
+	case Seculator:
+		return Properties{Encryption: "CTR", IntegrityLevel: "layer", AntiReplay: "VN"}
+	case SeculatorPlus:
+		return Properties{Encryption: "CTR", IntegrityLevel: "layer", AntiReplay: "VN", MEAProtection: true}
+	default:
+		return Properties{}
+	}
+}
+
+// Params are the microarchitectural knobs of the protection machinery,
+// with defaults from Table 1 and Section 7.
+type Params struct {
+	MACCacheBytes      int // 8 KB (Secure, TNPU)
+	MACCacheWays       int
+	CounterCacheBytes  int // 4 KB (Secure)
+	CounterCacheWays   int
+	MerkleLevelsDRAM   int // uncached tree levels fetched per counter miss
+	AES                crypto.LatencyModel
+	SHA                crypto.LatencyModel
+	HostVNRoundTrip    sim.Cycles // GuardNN: secure-channel VN fetch per tile read
+	TableLatency       sim.Cycles // TNPU: tensor-table access per tile
+	CounterMissPenalty sim.Cycles // serialized latency per counter-cache miss
+
+	// GuardNNMACFraction is the DRAM blocks each uncached 8-byte MAC
+	// request effectively moves per data block: 8 B requests ride
+	// burst-chopped beats with partial write-combining in the memory
+	// controller. Calibrated to GuardNN's published ~40% traffic overhead.
+	GuardNNMACFraction float64
+}
+
+// DefaultParams returns the configuration of Table 1 / Section 7.
+func DefaultParams() Params {
+	return Params{
+		MACCacheBytes:      8 * 1024,
+		MACCacheWays:       4,
+		CounterCacheBytes:  4 * 1024,
+		CounterCacheWays:   4,
+		MerkleLevelsDRAM:   2,
+		AES:                crypto.AESLatency,
+		SHA:                crypto.SHALatency,
+		HostVNRoundTrip:    40,
+		TableLatency:       40,
+		CounterMissPenalty: 25,
+		GuardNNMACFraction: 0.40,
+	}
+}
+
+// LayerInfo gives an engine the address-space layout of a layer: base
+// block addresses of the three tensors and the tile geometry needed to
+// turn tile IDs into block address ranges.
+type LayerInfo struct {
+	Index        int
+	Mapping      *dataflow.Mapping
+	IfmapBase    uint64 // block address of the ifmap region
+	OfmapBase    uint64
+	WeightBase   uint64
+	SpatialTiles int // tiles per fmap row dimension (Bound(LoopS))
+}
+
+// BlockRange returns the contiguous block range of an event's tile in the
+// layer's address-space layout.
+func (li *LayerInfo) BlockRange(e dataflow.Event) (start uint64, n int) {
+	var base uint64
+	var per int
+	switch e.Tensor {
+	case tensor.Ifmap:
+		base, per = li.IfmapBase, li.Mapping.IfmapTileBlocks
+	case tensor.Ofmap:
+		base, per = li.OfmapBase, li.Mapping.OfmapTileBlocks
+	case tensor.Weight:
+		base, per = li.WeightBase, li.Mapping.WeightTileBlocks
+	}
+	linear := uint64(e.Tile.Fmap*li.SpatialTiles + e.Tile.Spatial)
+	return base + linear*uint64(per), e.Blocks
+}
+
+// Cost is the protection overhead of one event (or of layer finalization):
+// extra DRAM blocks per traffic class and direction, plus serialized
+// latency that cannot be hidden behind the data burst.
+type Cost struct {
+	ReadBlocks  [6]uint64 // indexed by sim.Traffic
+	WriteBlocks [6]uint64
+	Latency     sim.Cycles
+}
+
+// ExtraBlocks returns the total metadata blocks of the cost.
+func (c Cost) ExtraBlocks() uint64 {
+	var n uint64
+	for i := range c.ReadBlocks {
+		n += c.ReadBlocks[i] + c.WriteBlocks[i]
+	}
+	return n
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	for i := range c.ReadBlocks {
+		c.ReadBlocks[i] += o.ReadBlocks[i]
+		c.WriteBlocks[i] += o.WriteBlocks[i]
+	}
+	c.Latency = c.Latency.Add(o.Latency)
+}
+
+// Engine is a protection scheme's timing model.
+type Engine interface {
+	// Design identifies the scheme.
+	Design() Design
+	// BeginLayer resets per-layer state; metadata caches persist.
+	BeginLayer(li LayerInfo)
+	// OnEvent accounts one tile transfer and returns its overhead.
+	OnEvent(e dataflow.Event) Cost
+	// EndLayer performs layer finalization (verification, flushes).
+	EndLayer() Cost
+	// MACCacheStats returns the MAC cache statistics, if the design has one.
+	MACCacheStats() (cache.Stats, bool)
+	// CounterCacheStats returns counter-cache statistics, if present.
+	CounterCacheStats() (cache.Stats, bool)
+}
+
+// New builds the engine for a design. Seculator+ uses the Seculator engine;
+// its extra widening traffic is produced by package widen upstream.
+func New(d Design, p Params) (Engine, error) {
+	switch d {
+	case Baseline:
+		return &baselineEngine{}, nil
+	case Secure:
+		return newSecureEngine(p)
+	case TNPU:
+		return newTNPUEngine(p)
+	case GuardNN:
+		return &guardnnEngine{p: p}, nil
+	case Seculator:
+		return &seculatorEngine{p: p, design: Seculator}, nil
+	case SeculatorPlus:
+		return &seculatorEngine{p: p, design: SeculatorPlus}, nil
+	default:
+		return nil, fmt.Errorf("protect: unknown design %d", uint8(d))
+	}
+}
+
+// MustNew is New, panicking on error.
+func MustNew(d Design, p Params) Engine {
+	e, err := New(d, p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,278 @@
+package protect
+
+import (
+	"testing"
+
+	"seculator/internal/dataflow"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+func testLayerInfo() LayerInfo {
+	m := &dataflow.Mapping{
+		Name:    "test",
+		Reuse:   dataflow.InputReuse,
+		Order:   dataflow.LoopOrder{dataflow.LoopS, dataflow.LoopC, dataflow.LoopK},
+		AlphaHW: 4, AlphaC: 3, AlphaK: 2,
+		IfmapTileBlocks: 16, OfmapTileBlocks: 16, WeightTileBlocks: 4,
+	}
+	return LayerInfo{
+		Index: 1, Mapping: m,
+		IfmapBase: 0, OfmapBase: 10_000, WeightBase: 20_000,
+		SpatialTiles: 4,
+	}
+}
+
+func readEvent(li LayerInfo) dataflow.Event {
+	return dataflow.Event{
+		Kind: sim.Read, Tensor: tensor.Ifmap,
+		Tile:   tensor.TileID{Kind: tensor.Ifmap, Fmap: 1, Spatial: 2},
+		Blocks: li.Mapping.IfmapTileBlocks,
+	}
+}
+
+func writeEvent(li LayerInfo) dataflow.Event {
+	return dataflow.Event{
+		Kind: sim.Write, Tensor: tensor.Ofmap,
+		Tile:   tensor.TileID{Kind: tensor.Ofmap, Fmap: 0, Spatial: 1},
+		Blocks: li.Mapping.OfmapTileBlocks, VN: 1,
+	}
+}
+
+func TestDesignsAndStrings(t *testing.T) {
+	ds := Designs()
+	if len(ds) != 6 {
+		t.Fatalf("Designs = %d, want 6", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		s := d.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad design string %q", s)
+		}
+		seen[s] = true
+	}
+	if Design(99).String() == "" {
+		t.Fatal("unknown design should render")
+	}
+}
+
+// Table 5 feature matrix.
+func TestPropertiesMatrix(t *testing.T) {
+	if p := PropertiesOf(Baseline); p.Encryption != "" || p.IntegrityLevel != "" {
+		t.Fatal("baseline must have no protection")
+	}
+	if p := PropertiesOf(Secure); p.Encryption != "CTR" || p.IntegrityLevel != "block" || p.AntiReplay != "counters" {
+		t.Fatalf("Secure row wrong: %+v", p)
+	}
+	if p := PropertiesOf(TNPU); p.Encryption != "XTS" || p.IntegrityLevel != "block" || p.AntiReplay != "VN" {
+		t.Fatalf("TNPU row wrong: %+v", p)
+	}
+	if p := PropertiesOf(GuardNN); p.Encryption != "CTR" || p.IntegrityLevel != "block" {
+		t.Fatalf("GuardNN row wrong: %+v", p)
+	}
+	if p := PropertiesOf(Seculator); p.IntegrityLevel != "layer" || p.MEAProtection {
+		t.Fatalf("Seculator row wrong: %+v", p)
+	}
+	if p := PropertiesOf(SeculatorPlus); !p.MEAProtection || p.IntegrityLevel != "layer" {
+		t.Fatalf("Seculator+ row wrong: %+v", p)
+	}
+}
+
+func TestNewAllDesigns(t *testing.T) {
+	for _, d := range Designs() {
+		e, err := New(d, DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if e.Design() != d {
+			t.Fatalf("engine for %s reports %s", d, e.Design())
+		}
+	}
+	if _, err := New(Design(99), DefaultParams()); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on unknown design")
+		}
+	}()
+	MustNew(Design(99), DefaultParams())
+}
+
+func TestBaselineCostsNothing(t *testing.T) {
+	e := MustNew(Baseline, DefaultParams())
+	li := testLayerInfo()
+	e.BeginLayer(li)
+	if c := e.OnEvent(readEvent(li)); c.ExtraBlocks() != 0 || c.Latency != 0 {
+		t.Fatal("baseline charged a cost")
+	}
+	if c := e.EndLayer(); c.ExtraBlocks() != 0 || c.Latency != 0 {
+		t.Fatal("baseline EndLayer charged a cost")
+	}
+}
+
+func TestSeculatorCostsNoBlocks(t *testing.T) {
+	e := MustNew(Seculator, DefaultParams())
+	li := testLayerInfo()
+	e.BeginLayer(li)
+	if c := e.OnEvent(readEvent(li)); c.ExtraBlocks() != 0 {
+		t.Fatal("Seculator moved metadata blocks")
+	}
+	if c := e.OnEvent(writeEvent(li)); c.ExtraBlocks() != 0 {
+		t.Fatal("Seculator moved metadata blocks on write")
+	}
+	end := e.EndLayer()
+	if end.ExtraBlocks() != 0 {
+		t.Fatal("Seculator EndLayer moved blocks")
+	}
+	if end.Latency == 0 {
+		t.Fatal("Seculator must still pay the crypto pipeline fill")
+	}
+}
+
+func TestSecureChargesMetadata(t *testing.T) {
+	e := MustNew(Secure, DefaultParams())
+	li := testLayerInfo()
+	e.BeginLayer(li)
+	c := e.OnEvent(readEvent(li))
+	// 16 cold blocks: 2 MAC lines missed, 1 counter line missed (+Merkle).
+	if c.ReadBlocks[sim.MACTraffic] != 2 {
+		t.Fatalf("MAC fetches = %d, want 2", c.ReadBlocks[sim.MACTraffic])
+	}
+	if c.ReadBlocks[sim.CounterTraffic] != 1 {
+		t.Fatalf("counter fetches = %d, want 1", c.ReadBlocks[sim.CounterTraffic])
+	}
+	if c.ReadBlocks[sim.MerkleTraffic] != 2 {
+		t.Fatalf("merkle fetches = %d, want 2 (levels)", c.ReadBlocks[sim.MerkleTraffic])
+	}
+	if c.Latency == 0 {
+		t.Fatal("counter miss must add serialized latency")
+	}
+	// Re-reading the same tile hits everywhere.
+	c2 := e.OnEvent(readEvent(li))
+	if c2.ExtraBlocks() != 0 {
+		t.Fatalf("warm re-read still charged %d blocks", c2.ExtraBlocks())
+	}
+	ms, ok := e.MACCacheStats()
+	if !ok || ms.Accesses != 32 {
+		t.Fatalf("MAC cache stats: %+v ok=%v", ms, ok)
+	}
+	cs, ok := e.CounterCacheStats()
+	if !ok || cs.Accesses != 32 {
+		t.Fatalf("counter cache stats: %+v ok=%v", cs, ok)
+	}
+}
+
+func TestSecureWritebacksOnDirtyEviction(t *testing.T) {
+	p := DefaultParams()
+	p.MACCacheBytes = 2 * 64 // two MAC lines only
+	p.MACCacheWays = 1
+	p.CounterCacheBytes = 2 * 64
+	p.CounterCacheWays = 1
+	e, err := New(Secure, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := testLayerInfo()
+	e.BeginLayer(li)
+	// Dirty the caches with a write, then stream far-away writes to force
+	// dirty evictions.
+	e.OnEvent(writeEvent(li))
+	ev := writeEvent(li)
+	ev.Tile.Spatial = 3
+	ev.Tile.Fmap = 1
+	var total Cost
+	total.Add(e.OnEvent(ev))
+	evw := dataflow.Event{
+		Kind: sim.Write, Tensor: tensor.Weight,
+		Tile: tensor.TileID{Kind: tensor.Weight, Fmap: 1, Spatial: 2}, Blocks: 4,
+	}
+	total.Add(e.OnEvent(evw))
+	if total.WriteBlocks[sim.MACTraffic] == 0 {
+		t.Fatal("dirty MAC lines never written back")
+	}
+}
+
+func TestTNPUTableTraffic(t *testing.T) {
+	e := MustNew(TNPU, DefaultParams())
+	li := testLayerInfo()
+	e.BeginLayer(li)
+	cr := e.OnEvent(readEvent(li))
+	if cr.ReadBlocks[sim.TableTraffic] != 1 || cr.WriteBlocks[sim.TableTraffic] != 0 {
+		t.Fatalf("tile read table traffic: %+v", cr.ReadBlocks)
+	}
+	if cr.Latency == 0 {
+		t.Fatal("tensor table access must cost latency")
+	}
+	cw := e.OnEvent(writeEvent(li))
+	if cw.WriteBlocks[sim.TableTraffic] != 1 {
+		t.Fatal("tile write must update the table")
+	}
+	if cr.ReadBlocks[sim.CounterTraffic] != 0 {
+		t.Fatal("TNPU has no counters")
+	}
+	if _, ok := e.CounterCacheStats(); ok {
+		t.Fatal("TNPU must not report a counter cache")
+	}
+}
+
+func TestGuardNNUncachedMACs(t *testing.T) {
+	e := MustNew(GuardNN, DefaultParams())
+	li := testLayerInfo()
+	e.BeginLayer(li)
+	cr := e.OnEvent(readEvent(li))
+	// 16 blocks x the calibrated 0.4 MAC fraction -> ceil(6.4) = 7 beats.
+	want := uint64(7)
+	if cr.ReadBlocks[sim.MACTraffic] != want {
+		t.Fatalf("read MAC beats = %d, want %d", cr.ReadBlocks[sim.MACTraffic], want)
+	}
+	if cr.Latency < DefaultParams().HostVNRoundTrip {
+		t.Fatal("tile read must pay the host VN round trip")
+	}
+	cw := e.OnEvent(writeEvent(li))
+	if cw.WriteBlocks[sim.MACTraffic] != want {
+		t.Fatalf("write MAC beats = %d, want %d", cw.WriteBlocks[sim.MACTraffic], want)
+	}
+	if cw.Latency != 0 {
+		t.Fatal("writes use on-chip counters: no host round trip")
+	}
+	// No cache: the same tile re-read pays again.
+	cr2 := e.OnEvent(readEvent(li))
+	if cr2.ReadBlocks[sim.MACTraffic] != want {
+		t.Fatal("GuardNN must re-fetch MACs on every access")
+	}
+	if _, ok := e.MACCacheStats(); ok {
+		t.Fatal("GuardNN must not report a MAC cache")
+	}
+}
+
+func TestCostAddAndExtraBlocks(t *testing.T) {
+	var a, b Cost
+	a.ReadBlocks[sim.MACTraffic] = 3
+	a.Latency = 10
+	b.WriteBlocks[sim.CounterTraffic] = 2
+	b.Latency = 5
+	a.Add(b)
+	if a.ExtraBlocks() != 5 || a.Latency != 15 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestBlockRangeLayout(t *testing.T) {
+	li := testLayerInfo()
+	start, n := li.BlockRange(readEvent(li))
+	// Ifmap tile (fmap=1, spatial=2): linear = 1*4+2 = 6; 6*16 = 96.
+	if start != 96 || n != 16 {
+		t.Fatalf("blockRange = (%d, %d), want (96, 16)", start, n)
+	}
+	w := dataflow.Event{Kind: sim.Read, Tensor: tensor.Weight,
+		Tile: tensor.TileID{Kind: tensor.Weight, Fmap: 1, Spatial: 0}, Blocks: 4}
+	start, n = li.BlockRange(w)
+	if start != 20_000+4*4 || n != 4 {
+		t.Fatalf("weight blockRange = (%d, %d)", start, n)
+	}
+}

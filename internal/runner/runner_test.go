@@ -1,0 +1,272 @@
+package runner
+
+import (
+	"testing"
+
+	"seculator/internal/protect"
+	"seculator/internal/sim"
+	"seculator/internal/workload"
+)
+
+// smallNet is a fast three-layer CNN for unit tests.
+func smallNet() workload.Network {
+	return workload.Network{
+		Name: "small",
+		Layers: []workload.Layer{
+			{Name: "conv1", Type: workload.Conv, C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "conv2", Type: workload.Conv, C: 16, H: 32, W: 32, K: 32, R: 3, S: 3, Stride: 2},
+			{Name: "fc", Type: workload.FC, C: 32 * 16 * 16, H: 1, W: 1, K: 10, R: 1, S: 1, Stride: 1},
+		},
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	r, err := Run(smallNet(), protect.Baseline, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	if len(r.Layers) != 3 {
+		t.Fatalf("layer results = %d", len(r.Layers))
+	}
+	if r.Traffic.Overhead() != 0 {
+		t.Fatalf("baseline has metadata traffic: %d", r.Traffic.Overhead())
+	}
+	if r.HasMACCache || r.HasCounterCache {
+		t.Fatal("baseline should have no metadata caches")
+	}
+	for _, lr := range r.Layers {
+		if lr.Cycles < lr.ComputeCycles || lr.Cycles < lr.MemCycles {
+			t.Fatalf("layer %s: cycles %d below max(compute %d, mem %d)",
+				lr.Name, lr.Cycles, lr.ComputeCycles, lr.MemCycles)
+		}
+		if lr.ExtraBlocks != 0 {
+			t.Fatalf("baseline layer %s has extra blocks", lr.Name)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(smallNet(), protect.Baseline, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Run(workload.Network{Name: "empty"}, protect.Baseline, DefaultConfig()); err == nil {
+		t.Fatal("invalid network accepted")
+	}
+}
+
+// The headline ordering of Figure 7: Baseline >= Seculator > TNPU >
+// Secure(~) and GuardNN worst among the metadata-heavy designs.
+func TestDesignOrdering(t *testing.T) {
+	results, err := RunAll(smallNet(), protect.Designs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := map[protect.Design]float64{}
+	for _, r := range results {
+		perf[r.Design] = r.Performance(results[0])
+	}
+	if perf[protect.Baseline] != 1.0 {
+		t.Fatalf("baseline perf = %g", perf[protect.Baseline])
+	}
+	if !(perf[protect.Seculator] > perf[protect.TNPU]) {
+		t.Errorf("Seculator (%.3f) must beat TNPU (%.3f)", perf[protect.Seculator], perf[protect.TNPU])
+	}
+	if !(perf[protect.TNPU] > perf[protect.GuardNN]) {
+		t.Errorf("TNPU (%.3f) must beat GuardNN (%.3f)", perf[protect.TNPU], perf[protect.GuardNN])
+	}
+	if !(perf[protect.Seculator] > perf[protect.Secure]) {
+		t.Errorf("Seculator (%.3f) must beat Secure (%.3f)", perf[protect.Seculator], perf[protect.Secure])
+	}
+	if perf[protect.Seculator] > 1.0 {
+		t.Errorf("Seculator (%.3f) cannot beat the unprotected baseline", perf[protect.Seculator])
+	}
+}
+
+// Figure 8 shape: Seculator adds no metadata traffic; TNPU and GuardNN do,
+// with GuardNN the heaviest.
+func TestTrafficShape(t *testing.T) {
+	results, err := RunAll(smallNet(), protect.Designs(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := results[0]
+	traf := map[protect.Design]float64{}
+	for _, r := range results {
+		traf[r.Design] = r.NormalizedTraffic(base)
+	}
+	if traf[protect.Seculator] != 1.0 {
+		t.Errorf("Seculator traffic = %.3f, want exactly 1.0 (no metadata)", traf[protect.Seculator])
+	}
+	if !(traf[protect.GuardNN] > traf[protect.TNPU]) {
+		t.Errorf("GuardNN traffic (%.3f) must exceed TNPU (%.3f)", traf[protect.GuardNN], traf[protect.TNPU])
+	}
+	if !(traf[protect.TNPU] > 1.0) {
+		t.Errorf("TNPU traffic (%.3f) must exceed baseline", traf[protect.TNPU])
+	}
+	// Data traffic itself is identical across designs.
+	for _, r := range results {
+		if got := r.Traffic.ByKind(0); got != base.Traffic.ByKind(0) {
+			t.Errorf("%s data traffic %d != baseline %d", r.Design, got, base.Traffic.ByKind(0))
+		}
+	}
+}
+
+// Figure 5 shape: in the Secure design, the MAC cache misses ~8x more often
+// than the counter cache (one MAC line covers 8x fewer pixels than one
+// counter line).
+func TestCacheMissRatio(t *testing.T) {
+	r, err := Run(smallNet(), protect.Secure, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasMACCache || !r.HasCounterCache {
+		t.Fatal("secure design must expose both caches")
+	}
+	macMiss := r.MACCache.MissRate()
+	ctrMiss := r.CounterCache.MissRate()
+	if macMiss <= ctrMiss {
+		t.Fatalf("MAC miss rate (%.3f) must exceed counter miss rate (%.3f)", macMiss, ctrMiss)
+	}
+	ratio := macMiss / ctrMiss
+	if ratio < 4 || ratio > 16 {
+		t.Errorf("MAC/counter miss ratio = %.1f, expected ~8x", ratio)
+	}
+}
+
+// Paper Section 7.3: the paper reports ~16-20% speedup of Seculator over
+// TNPU and ~37% over GuardNN on the five benchmarks. Assert the full
+// benchmark suite lands in a generous band around those factors.
+func TestPaperSpeedupBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark suite in -short mode")
+	}
+	cfg := DefaultConfig()
+	var secTot, tnpuTot, gnnTot float64
+	for _, n := range workload.All() {
+		results, err := RunAll(n, []protect.Design{protect.Baseline, protect.TNPU, protect.GuardNN, protect.Seculator}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := results[0]
+		tnpu := results[1].Performance(base)
+		gnn := results[2].Performance(base)
+		sec := results[3].Performance(base)
+		secTot += sec
+		tnpuTot += tnpu
+		gnnTot += gnn
+	}
+	n := float64(len(workload.All()))
+	secAvg, tnpuAvg, gnnAvg := secTot/n, tnpuTot/n, gnnTot/n
+
+	if up := secAvg/tnpuAvg - 1; up < 0.08 || up > 0.35 {
+		t.Errorf("Seculator speedup over TNPU = %.1f%%, paper reports ~16-20%%", up*100)
+	}
+	if up := secAvg/gnnAvg - 1; up < 0.20 || up > 0.60 {
+		t.Errorf("Seculator speedup over GuardNN = %.1f%%, paper reports ~37%%", up*100)
+	}
+	// TNPU overhead vs baseline ~22%, i.e. perf ~0.82.
+	if tnpuAvg < 0.70 || tnpuAvg > 0.92 {
+		t.Errorf("TNPU normalized perf = %.3f, paper reports ~0.82", tnpuAvg)
+	}
+}
+
+func TestSeculatorPlusEqualsSeculatorWithoutWidening(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Run(smallNet(), protect.Seculator, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallNet(), protect.SeculatorPlus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Traffic.Total() != b.Traffic.Total() {
+		t.Fatal("Seculator+ without widening must match Seculator")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r, err := Run(smallNet(), protect.Baseline, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Seconds(2.75e9); s <= 0 {
+		t.Fatalf("Seconds = %g", s)
+	}
+	if p := r.Performance(r); p != 1.0 {
+		t.Fatalf("self performance = %g", p)
+	}
+	zero := Result{}
+	if zero.Performance(r) != 0 {
+		t.Fatal("zero-cycle result should have 0 performance")
+	}
+}
+
+func TestRunLayersSchedule(t *testing.T) {
+	layers := []workload.Layer{
+		{Name: "real1", Type: workload.Conv, C: 3, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
+		// A decoy with an unrelated shape: RunLayers must accept it even
+		// though it does not chain with real1.
+		{Name: "decoy", Type: workload.Conv, C: 16, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1},
+		{Name: "real2", Type: workload.Conv, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
+	}
+	r, err := RunLayers("noisy", layers, protect.SeculatorPlus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Layers) != 3 || r.Cycles == 0 {
+		t.Fatalf("RunLayers result: %d layers, %d cycles", len(r.Layers), r.Cycles)
+	}
+	if _, err := RunLayers("empty", nil, protect.Baseline, DefaultConfig()); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := RunLayers("bad", layers, protect.Baseline, Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// RunLayers on a chained network must agree exactly with Run: the noise
+// machinery reduces to the plain runner when no decoys are injected.
+func TestRunLayersMatchesRun(t *testing.T) {
+	net := smallNet()
+	for _, d := range []protect.Design{protect.Baseline, protect.TNPU, protect.Seculator} {
+		whole, err := Run(net, d, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := RunLayers(net.Name, net.Layers, d, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if whole.Cycles != sched.Cycles || whole.Traffic.Total() != sched.Traffic.Total() {
+			t.Fatalf("%s: RunLayers diverges from Run: %d/%d cycles, %d/%d blocks",
+				d, sched.Cycles, whole.Cycles, sched.Traffic.Total(), whole.Traffic.Total())
+		}
+	}
+}
+
+// Per-layer results must decompose the total exactly.
+func TestLayerDecomposition(t *testing.T) {
+	r, err := Run(smallNet(), protect.TNPU, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cyc sim.Cycles
+	var blocks uint64
+	for _, l := range r.Layers {
+		cyc = cyc.Add(l.Cycles)
+		blocks += l.DataBlocks + l.ExtraBlocks
+		if l.Utilization < 0 || l.Utilization > 1 {
+			t.Fatalf("layer %s utilization %g out of range", l.Name, l.Utilization)
+		}
+	}
+	if cyc != r.Cycles {
+		t.Fatalf("layer cycles %d != total %d", cyc, r.Cycles)
+	}
+	if blocks != r.Traffic.Total() {
+		t.Fatalf("layer blocks %d != traffic %d", blocks, r.Traffic.Total())
+	}
+}

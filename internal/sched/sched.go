@@ -1,0 +1,333 @@
+// Package sched maps network layers onto the NPU: for each layer it
+// searches the space of tile sizes and loop orders for the mapping with the
+// least DRAM data traffic that fits the global buffer (double-buffered) —
+// the role Timeloop plays in the paper's methodology (see DESIGN.md for the
+// substitution argument).
+//
+// Tiles span full output rows (a row band of OHT output rows x OutW
+// columns), CT input channels and KT output channels. Candidate loop
+// orders cover the paper's reuse styles: input reuse with channel-major or
+// spatial-major movement, and output reuse.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"seculator/internal/dataflow"
+	"seculator/internal/mem"
+	"seculator/internal/npu"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// Choice is the selected mapping for one layer, with the footprint and
+// traffic estimates that justified it.
+type Choice struct {
+	Layer   workload.Layer
+	Mapping *dataflow.Mapping
+
+	OHT int // output-row band height
+	CT  int // input-channel group
+	KT  int // output-channel group
+
+	// Per-pass compute shape for the timing model.
+	PassPixels int // output positions per pass (OHT * OutW)
+	PassDepth  int // reduction MACs per output (CT * R * S)
+
+	DataBlocks      uint64     // estimated DRAM data blocks (reads + writes)
+	EstimatedCycles sim.Cycles // estimated layer time: max(compute, memory)
+	BufferBytes     int        // double-buffered GB footprint
+	ComputePasses   int        // number of tile passes
+	IfmapTileRows   int        // input rows per tile including halo
+	WeightResident  bool
+}
+
+// Map selects a mapping for the layer under the NPU and DRAM
+// configurations. Candidates are ranked by their bottleneck time —
+// max(compute cycles, data-transfer cycles) — so a traffic-minimal mapping
+// never wins by drowning the array in tiny tile passes.
+func Map(l workload.Layer, cfg npu.Config, dram mem.Config) (Choice, error) {
+	if err := l.Validate(); err != nil {
+		return Choice{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Choice{}, err
+	}
+	if err := dram.Validate(); err != nil {
+		return Choice{}, err
+	}
+
+	best := Choice{}
+	found := false
+	for _, cand := range enumerate(l, cfg, dram) {
+		if !found || less(cand, best) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return Choice{}, fmt.Errorf("sched: no feasible mapping for layer %q (GB %d bytes)",
+			l.Name, cfg.GlobalBufferBytes)
+	}
+	return best, nil
+}
+
+// MapNetwork maps every layer of a network.
+func MapNetwork(n workload.Network, cfg npu.Config, dram mem.Config) ([]Choice, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Choice, len(n.Layers))
+	for i, l := range n.Layers {
+		c, err := Map(l, cfg, dram)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s: %w", n.Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// less orders candidates by estimated traffic, then by fewer passes (less
+// fill/drain overhead), then by larger buffers (burst efficiency), and
+// finally by mapping name so the choice is a total order: the mapper must
+// be deterministic for results to be reproducible run-to-run.
+func less(a, b Choice) bool {
+	if a.EstimatedCycles != b.EstimatedCycles {
+		return a.EstimatedCycles < b.EstimatedCycles
+	}
+	if a.DataBlocks != b.DataBlocks {
+		return a.DataBlocks < b.DataBlocks
+	}
+	if a.ComputePasses != b.ComputePasses {
+		return a.ComputePasses < b.ComputePasses
+	}
+	if a.BufferBytes != b.BufferBytes {
+		return a.BufferBytes > b.BufferBytes
+	}
+	return a.Mapping.Name < b.Mapping.Name
+}
+
+// orderSpec pairs a loop order with its reuse style.
+type orderSpec struct {
+	reuse dataflow.ReuseStyle
+	order dataflow.LoopOrder
+	name  string
+}
+
+func enumerate(l workload.Layer, cfg npu.Config, dram mem.Config) []Choice {
+	var out []Choice
+	outH := l.OutH()
+	reduceC := l.ReductionChannels()
+	perChannel := l.PerChannel()
+
+	for _, oht := range bandCandidates(outH) {
+		alphaHW := ceilDiv(outH, oht)
+		ifRows := inputRows(l, oht)
+		for _, ct := range groupCandidates(reduceC) {
+			alphaC := ceilDiv(reduceC, ct)
+			for _, kt := range groupCandidates(l.K) {
+				alphaK := ceilDiv(l.K, kt)
+				for _, spec := range orderSpecs(alphaHW, alphaC, alphaK, perChannel) {
+					c, ok := build(l, cfg, dram, spec, oht, ct, kt, ifRows)
+					if ok {
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// orderSpecs returns the loop orders to try. Per-channel layers (depthwise,
+// pool) need each output-channel group to stream its own input channels, so
+// K must enclose S.
+func orderSpecs(alphaHW, alphaC, alphaK int, perChannel bool) []orderSpec {
+	if perChannel {
+		return []orderSpec{
+			{dataflow.OutputReuse, order(alphaK, dataflow.LoopK, alphaHW, dataflow.LoopS, 1, dataflow.LoopC), "perchan-KS"},
+		}
+	}
+	return []orderSpec{
+		{dataflow.InputReuse, order(alphaHW, dataflow.LoopS, alphaC, dataflow.LoopC, alphaK, dataflow.LoopK), "ir-SCK"},
+		{dataflow.InputReuse, order(alphaC, dataflow.LoopC, alphaHW, dataflow.LoopS, alphaK, dataflow.LoopK), "ir-CSK"},
+		{dataflow.OutputReuse, order(alphaHW, dataflow.LoopS, alphaK, dataflow.LoopK, alphaC, dataflow.LoopC), "or-SKC"},
+		{dataflow.OutputReuse, order(alphaK, dataflow.LoopK, alphaHW, dataflow.LoopS, alphaC, dataflow.LoopC), "or-KSC"},
+	}
+}
+
+// order builds a LoopOrder containing only loops with bound > 1, in the
+// listed outer-to-inner arrangement.
+func order(b1 int, v1 dataflow.LoopVar, b2 int, v2 dataflow.LoopVar, b3 int, v3 dataflow.LoopVar) dataflow.LoopOrder {
+	var o dataflow.LoopOrder
+	if b1 > 1 {
+		o = append(o, v1)
+	}
+	if b2 > 1 {
+		o = append(o, v2)
+	}
+	if b3 > 1 {
+		o = append(o, v3)
+	}
+	return o
+}
+
+func build(l workload.Layer, cfg npu.Config, dram mem.Config, spec orderSpec, oht, ct, kt, ifRows int) (Choice, bool) {
+	outH, outW := l.OutH(), l.OutW()
+	alphaHW := ceilDiv(outH, oht)
+	alphaC := ceilDiv(l.ReductionChannels(), ct)
+	alphaK := ceilDiv(l.K, kt)
+
+	// Per-channel layers stream one input-channel group per output group.
+	ifChans := ct
+	if l.PerChannel() {
+		ifChans = kt
+	}
+	ifBlocks := tensor.TileBlocks(ifRows, l.W, ifChans)
+	ofBlocks := tensor.TileBlocks(oht, outW, kt)
+	var wBlocks int
+	if l.Type != workload.Pool && l.Type != workload.Upsample {
+		wBlocks = tensor.CeilDiv(kt*ct*l.R*l.S*tensor.PixelBytes, tensor.BlockBytes)
+	}
+
+	// Double-buffered global buffer footprint.
+	bufBytes := 2 * (ifBlocks + ofBlocks + wBlocks) * tensor.BlockBytes
+	if bufBytes > cfg.GlobalBufferBytes {
+		return Choice{}, false
+	}
+
+	// Whole-layer weight residency: weights plus double-buffered tiles fit.
+	weightBytes := int(l.Params()) * tensor.PixelBytes
+	resident := wBlocks > 0 &&
+		weightBytes+2*(ifBlocks+ofBlocks)*tensor.BlockBytes <= cfg.GlobalBufferBytes
+
+	m := &dataflow.Mapping{
+		Name:             fmt.Sprintf("%s/%s oht=%d ct=%d kt=%d", l.Name, spec.name, oht, ct, kt),
+		Reuse:            spec.reuse,
+		Order:            spec.order,
+		AlphaHW:          alphaHW,
+		AlphaC:           alphaC,
+		AlphaK:           alphaK,
+		IfmapTileBlocks:  ifBlocks,
+		OfmapTileBlocks:  ofBlocks,
+		WeightTileBlocks: wBlocks,
+		WeightsResident:  resident,
+		PerChannel:       l.PerChannel(),
+	}
+	if m.Validate() != nil {
+		return Choice{}, false
+	}
+	passes := alphaHW * alphaC * alphaK
+	pixels := oht * outW
+	depth := ct * l.R * l.S
+	blocks := EstimateDataBlocks(m)
+	compute := cfg.LayerComputeCycles(passes, pixels, kt, depth)
+	memory := dram.LatencyCycles.Add(sim.Cycles(float64(blocks)/dram.BlocksPerCycle + 0.999999))
+	return Choice{
+		Layer:           l,
+		Mapping:         m,
+		OHT:             oht,
+		CT:              ct,
+		KT:              kt,
+		PassPixels:      pixels,
+		PassDepth:       depth,
+		DataBlocks:      blocks,
+		EstimatedCycles: compute.Max(memory),
+		BufferBytes:     bufBytes,
+		ComputePasses:   passes,
+		IfmapTileRows:   ifRows,
+		WeightResident:  resident,
+	}, true
+}
+
+// EstimateDataBlocks computes the DRAM data blocks a mapping moves,
+// analytically mirroring the dataflow generator's fetch/evict rules.
+// Tests assert exact agreement with the simulated event stream.
+func EstimateDataBlocks(m *dataflow.Mapping) uint64 {
+	aS := uint64(m.Bound(dataflow.LoopS))
+	aC := uint64(m.Bound(dataflow.LoopC))
+	aK := uint64(m.Bound(dataflow.LoopK))
+	innermost := dataflow.LoopK
+	if n := len(m.Order); n > 0 {
+		innermost = m.Order[n-1]
+	}
+
+	stationary := m.Reuse == dataflow.OutputReuse || aC == 1 || innermost == dataflow.LoopC
+
+	var total uint64
+	// Ofmap writes and partial-sum reads.
+	if stationary {
+		total += aK * aS * uint64(m.OfmapTileBlocks)
+	} else {
+		total += aK * aS * aC * uint64(m.OfmapTileBlocks)       // writes
+		total += aK * aS * (aC - 1) * uint64(m.OfmapTileBlocks) // reads
+	}
+	// Ifmap reads.
+	ifFetches := aC * aS
+	if m.PerChannel {
+		ifFetches = aK * aS
+	} else if aK > 1 && innermost != dataflow.LoopK {
+		ifFetches *= aK
+	}
+	total += ifFetches * uint64(m.IfmapTileBlocks)
+	// Weight reads.
+	if m.WeightTileBlocks > 0 {
+		wFetches := aK * aC
+		if !m.WeightsResident && aS > 1 && innermost != dataflow.LoopS {
+			wFetches *= aS
+		}
+		total += wFetches * uint64(m.WeightTileBlocks)
+	}
+	return total
+}
+
+// inputRows returns the input rows one output band of oht rows needs,
+// including the convolution halo. Upsampling bands need only the rows they
+// expand from.
+func inputRows(l workload.Layer, oht int) int {
+	var rows int
+	if l.Type == workload.Upsample {
+		rows = ceilDiv(oht, l.Stride)
+	} else {
+		rows = oht*l.Stride + l.R - l.Stride
+	}
+	if rows > l.H {
+		rows = l.H
+	}
+	return rows
+}
+
+// bandCandidates returns candidate output-band heights, sorted.
+func bandCandidates(outH int) []int {
+	set := map[int]bool{}
+	for _, v := range []int{1, 2, 4, 7, 8, 14, 16, 28, 32, 56, outH} {
+		if v >= 1 && v <= outH {
+			set[v] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// groupCandidates returns candidate channel-group sizes: powers of two up
+// to n, plus n itself, sorted.
+func groupCandidates(n int) []int {
+	set := map[int]bool{n: true}
+	for v := 1; v <= n; v *= 2 {
+		set[v] = true
+	}
+	return sortedKeys(set)
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

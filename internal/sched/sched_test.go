@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"testing"
+
+	"seculator/internal/dataflow"
+	"seculator/internal/mem"
+	"seculator/internal/npu"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+func cfg() npu.Config { return npu.DefaultConfig() }
+
+func dcfg() mem.Config { return mem.DefaultConfig() }
+
+func TestMapSimpleConv(t *testing.T) {
+	l := workload.Layer{
+		Name: "conv", Type: workload.Conv,
+		C: 64, H: 56, W: 56, K: 64, R: 3, S: 3, Stride: 1,
+	}
+	c, err := Map(l, cfg(), dcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mapping == nil || c.Mapping.Validate() != nil {
+		t.Fatal("invalid mapping returned")
+	}
+	if c.BufferBytes > cfg().GlobalBufferBytes {
+		t.Fatalf("mapping exceeds GB: %d", c.BufferBytes)
+	}
+	if c.DataBlocks == 0 || c.ComputePasses == 0 {
+		t.Fatalf("degenerate choice: %+v", c)
+	}
+}
+
+// The analytic traffic estimate must agree exactly with the simulated
+// event stream — the mapper and the simulator share one ground truth.
+func TestEstimateMatchesSimulation(t *testing.T) {
+	layers := []workload.Layer{
+		{Name: "conv3x3", Type: workload.Conv, C: 32, H: 28, W: 28, K: 64, R: 3, S: 3, Stride: 1},
+		{Name: "conv-stride2", Type: workload.Conv, C: 16, H: 56, W: 56, K: 32, R: 3, S: 3, Stride: 2},
+		{Name: "dw", Type: workload.Depthwise, C: 64, H: 28, W: 28, K: 64, R: 3, S: 3, Stride: 1},
+		{Name: "pw", Type: workload.Pointwise, C: 64, H: 28, W: 28, K: 128, R: 1, S: 1, Stride: 1},
+		{Name: "pool", Type: workload.Pool, C: 32, H: 28, W: 28, K: 32, R: 2, S: 2, Stride: 2, Valid: true},
+		{Name: "fc", Type: workload.FC, C: 1024, H: 1, W: 1, K: 1000, R: 1, S: 1, Stride: 1},
+	}
+	for _, l := range layers {
+		c, err := Map(l, cfg(), dcfg())
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		var simBlocks uint64
+		err = dataflow.Generate(c.Mapping, func(e dataflow.Event) bool {
+			simBlocks += uint64(e.Blocks)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if simBlocks != c.DataBlocks {
+			t.Errorf("%s: estimate %d != simulated %d (mapping %s)",
+				l.Name, c.DataBlocks, simBlocks, c.Mapping.Name)
+		}
+	}
+}
+
+func TestMapNetworkAllBenchmarks(t *testing.T) {
+	for _, n := range workload.All() {
+		choices, err := MapNetwork(n, cfg(), dcfg())
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if len(choices) != len(n.Layers) {
+			t.Fatalf("%s: %d choices for %d layers", n.Name, len(choices), len(n.Layers))
+		}
+		for i, c := range choices {
+			if c.BufferBytes > cfg().GlobalBufferBytes {
+				t.Errorf("%s layer %d: GB overflow %d", n.Name, i, c.BufferBytes)
+			}
+			if c.Mapping.Validate() != nil {
+				t.Errorf("%s layer %d: invalid mapping", n.Name, i)
+			}
+		}
+	}
+}
+
+// The mapper must beat (or match) a naive minimal-tile mapping on traffic.
+func TestMapperBeatsNaive(t *testing.T) {
+	l := workload.Layer{
+		Name: "conv", Type: workload.Conv,
+		C: 128, H: 28, W: 28, K: 256, R: 3, S: 3, Stride: 1,
+	}
+	best, err := Map(l, cfg(), dcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &dataflow.Mapping{
+		Name:    "naive",
+		Reuse:   dataflow.InputReuse,
+		Order:   dataflow.LoopOrder{dataflow.LoopS, dataflow.LoopC, dataflow.LoopK},
+		AlphaHW: l.OutH(), AlphaC: l.C, AlphaK: l.K,
+		IfmapTileBlocks:  tensor.TileBlocks(3, l.W, 1),
+		OfmapTileBlocks:  tensor.TileBlocks(1, l.OutW(), 1),
+		WeightTileBlocks: 1,
+	}
+	if EstimateDataBlocks(naive) < best.DataBlocks {
+		t.Fatalf("mapper (%d blocks) lost to naive mapping (%d blocks)",
+			best.DataBlocks, EstimateDataBlocks(naive))
+	}
+}
+
+func TestInputRowsHalo(t *testing.T) {
+	l := workload.Layer{Type: workload.Conv, C: 3, H: 56, W: 56, K: 8, R: 3, S: 3, Stride: 1}
+	if got := inputRows(l, 8); got != 10 {
+		t.Fatalf("inputRows(8) = %d, want 10", got)
+	}
+	// Stride-2: 8 output rows need 8*2+3-2 = 17 input rows.
+	l.Stride = 2
+	if got := inputRows(l, 8); got != 17 {
+		t.Fatalf("stride-2 inputRows(8) = %d, want 17", got)
+	}
+	// Clamped to the fmap height.
+	if got := inputRows(l, 100); got != 56 {
+		t.Fatalf("clamped inputRows = %d, want 56", got)
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	for _, v := range bandCandidates(56) {
+		if v < 1 || v > 56 {
+			t.Fatalf("band candidate %d out of range", v)
+		}
+	}
+	gs := groupCandidates(48)
+	has48 := false
+	for _, v := range gs {
+		if v == 48 {
+			has48 = true
+		}
+		if v < 1 || v > 48 {
+			t.Fatalf("group candidate %d out of range", v)
+		}
+	}
+	if !has48 {
+		t.Fatal("groupCandidates must include n itself")
+	}
+}
+
+func TestMapRejectsInvalid(t *testing.T) {
+	if _, err := Map(workload.Layer{}, cfg(), dcfg()); err == nil {
+		t.Fatal("invalid layer accepted")
+	}
+	l := workload.Layer{Type: workload.Conv, C: 1, H: 1, W: 1, K: 1, R: 1, S: 1, Stride: 1}
+	if _, err := Map(l, npu.Config{}, dcfg()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// A layer whose smallest tile cannot fit an absurdly small GB.
+	big := workload.Layer{Type: workload.Conv, C: 1, H: 1, W: 10000, K: 1, R: 1, S: 1, Stride: 1}
+	small := npu.Config{Rows: 4, Cols: 4, GlobalBufferBytes: 64, FreqHz: 1}
+	if _, err := Map(big, small, dcfg()); err == nil {
+		t.Fatal("infeasible layer mapped")
+	}
+}
+
+// Depthwise mappings must re-fetch per output-channel group (K encloses S).
+func TestDepthwiseOrder(t *testing.T) {
+	l := workload.Layer{Name: "dw", Type: workload.Depthwise, C: 64, H: 28, W: 28, K: 64, R: 3, S: 3, Stride: 1}
+	c, err := Map(l, cfg(), dcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := c.Mapping.Order
+	if len(ord) > 0 && ord[len(ord)-1] == dataflow.LoopK && c.Mapping.Bound(dataflow.LoopS) > 1 {
+		t.Fatalf("depthwise mapping has K innermost: %v", ord)
+	}
+	if c.Mapping.AlphaC != 1 {
+		t.Fatalf("depthwise AlphaC = %d, want 1", c.Mapping.AlphaC)
+	}
+}

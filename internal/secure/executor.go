@@ -1,0 +1,335 @@
+// Package secure is the functional end-to-end execution path: it runs a
+// real (int32) neural network through Seculator's protection machinery,
+// layer by layer, exactly as the architecture would —
+//
+//   - the host encrypts the model inputs and weights into DRAM and keeps
+//     golden XOR-MACs for them;
+//   - each layer executes as the tile-event stream of its scheduled
+//     mapping: every ifmap/weight/partial-ofmap tile is fetched from DRAM
+//     and decrypted with the paper's AES-CTR counter layout, every
+//     write-back is encrypted under its generated version number, and
+//     every block MAC folds into the XOR-MAC registers;
+//   - at each layer boundary the Equation 1 check verifies the previous
+//     layer, first-layer inputs are checked against the host's golden
+//     digest, and weights against their per-layer golden digests;
+//   - finally the host reads the outputs back through the same path.
+//
+// The output must equal package nn's direct reference computation bit for
+// bit, demonstrating that the protection is transparent to the numerics;
+// any DRAM tampering between or during layers must surface as an integrity
+// error. This is the "rigorously experimentally validated" half of
+// Section 7.4.
+package secure
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"seculator/internal/dataflow"
+	"seculator/internal/mac"
+	"seculator/internal/mem"
+	"seculator/internal/nn"
+	"seculator/internal/npu"
+	"seculator/internal/protect"
+	"seculator/internal/sched"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// intsPerBlock is how many int32 activations one 64-byte block holds.
+const intsPerBlock = tensor.BlockBytes / 4
+
+// Hook lets tests interpose an attacker between execution phases.
+// phase -1 runs after model load; phase i >= 0 runs after layer i completes
+// (before the next layer, or before host readout for the last).
+type Hook func(phase int, d *mem.DRAM)
+
+// Executor drives the functional execution.
+type Executor struct {
+	NPU    npu.Config
+	DRAM   mem.Config
+	Secret uint64
+	Random uint64
+
+	// AfterPhase, when non-nil, is the attacker hook.
+	AfterPhase Hook
+}
+
+// NewExecutor returns an executor with the default system configuration.
+func NewExecutor() *Executor {
+	return &Executor{
+		NPU:    npu.DefaultConfig(),
+		DRAM:   mem.DefaultConfig(),
+		Secret: 0x5ec1_a70f_ee1d_c0de,
+		Random: 0xb007_5eed,
+	}
+}
+
+// actLayout is the DRAM layout of one activation tensor: each channel's
+// rows are padded to block boundaries so any row range is block-aligned,
+// and MAC positions are fmap-relative (fmap ID = channel, block index =
+// row*bpr + j) so consumers may retile freely — the paper's order-freedom.
+type actLayout struct {
+	base    uint64
+	chans   int
+	rows    int
+	cols    int
+	bpr     int // blocks per row
+	ownerID uint32
+	vn      int
+}
+
+func (a actLayout) addr(ch, row, blk int) uint64 {
+	return a.base + uint64((ch*a.rows+row)*a.bpr+blk)
+}
+
+func (a actLayout) blocks() int { return a.chans * a.rows * a.bpr }
+
+// weightLayout stores layer weights as (k, c-group) slices, each padded to
+// a block boundary: fmap ID = filter k, block index = cg*sliceBlocks + j.
+type weightLayout struct {
+	base        uint64
+	k           int
+	cGroups     int
+	sliceInts   int // int32 weights per (k, cg) slice
+	sliceBlocks int
+	ownerID     uint32
+}
+
+func (w weightLayout) addr(k, cg, blk int) uint64 {
+	return w.base + uint64((k*w.cGroups+cg)*w.sliceBlocks+blk)
+}
+
+// layerState carries everything the executor tracks per layer.
+type layerState struct {
+	layer  workload.Layer
+	choice sched.Choice
+
+	act actLayout    // this layer's output region
+	wl  weightLayout // this layer's weight region (zero for pools)
+
+	goldenWeights mac.Digest // XOR of all weight-block MACs
+	out           *nn.Tensor
+}
+
+// Result is the outcome of a functional run.
+type Result struct {
+	Output *nn.Tensor
+	Layers int
+	Blocks int // DRAM lines holding the encrypted model + activations
+}
+
+// Run executes the network on input with the given per-layer weights (nil
+// for pools), returning the decrypted output. Any integrity violation —
+// induced by the AfterPhase hook or otherwise — aborts with an error
+// wrapping mac.ErrIntegrity.
+func (x *Executor) Run(net workload.Network, input *nn.Tensor, weights []*nn.Weights) (Result, error) {
+	if err := net.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(weights) != len(net.Layers) {
+		return Result{}, fmt.Errorf("secure: %d weight tensors for %d layers", len(weights), len(net.Layers))
+	}
+	dram, err := mem.New(x.DRAM)
+	if err != nil {
+		return Result{}, err
+	}
+	sm := protect.NewSeculatorMemory(dram, x.Secret, x.Random)
+
+	states, inputLayout, goldenInput, err := x.load(net, input, weights, sm)
+	if err != nil {
+		return Result{}, err
+	}
+	x.hook(-1, dram)
+
+	producer := inputLayout
+	producerData := input
+	var pendingExternal *mac.Digest // nil until a layer is pending verification
+	for i := range states {
+		st := &states[i]
+		unread, err := x.runLayer(sm, st, producer, producerData, weights[i])
+		if err != nil {
+			return Result{}, fmt.Errorf("secure: layer %d (%s): %w", i, st.layer.Name, err)
+		}
+		if i == 0 {
+			// First-layer inputs verify against the host's golden digest;
+			// blocks the mapping never touched fold in host-side.
+			if err := sm.VerifyInputsGolden(goldenInput.Xor(unread)); err != nil {
+				return Result{}, fmt.Errorf("secure: layer 0 inputs: %w", err)
+			}
+		} else if pendingExternal != nil {
+			if err := sm.VerifyPreviousLayer(pendingExternal.Xor(unread)); err != nil {
+				return Result{}, fmt.Errorf("secure: verifying layer %d: %w", i-1, err)
+			}
+		}
+		zero := mac.Digest{}
+		pendingExternal = &zero
+		producer = st.act
+		producerData = st.out
+		x.hook(i, dram)
+	}
+
+	// Host readout epoch: consume the last layer's outputs through the
+	// same first-read path and close its Equation 1 check.
+	out, err := x.readout(sm, states, producer)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Output: out, Layers: len(states), Blocks: dram.Lines()}, nil
+}
+
+func (x *Executor) hook(phase int, d *mem.DRAM) {
+	if x.AfterPhase != nil {
+		x.AfterPhase(phase, d)
+	}
+}
+
+// load maps every layer, lays out the address space, and host-writes the
+// encrypted input and weights.
+func (x *Executor) load(net workload.Network, input *nn.Tensor, weights []*nn.Weights,
+	sm *protect.SeculatorMemory) ([]layerState, actLayout, mac.Digest, error) {
+
+	choices, err := sched.MapNetwork(net, x.NPU, x.DRAM)
+	if err != nil {
+		return nil, actLayout{}, mac.Digest{}, err
+	}
+	var next uint64
+
+	// Layer-0 input region, owned by host "layer" 0 at version 1.
+	first := net.Layers[0]
+	inputLayout := actLayout{
+		base: next, chans: first.C, rows: first.H, cols: first.W,
+		bpr: tensor.CeilDiv(first.W*4, tensor.BlockBytes), ownerID: 0, vn: 1,
+	}
+	next += uint64(inputLayout.blocks())
+	var goldenInput mac.Digest
+	for c := 0; c < input.Chans; c++ {
+		for y := 0; y < input.H; y++ {
+			row := encodeRow(rowOf(input, c, y), inputLayout.bpr)
+			for j, blk := range row {
+				d := sm.HostWriteBlock(inputLayout.addr(c, y, j), 0, uint32(c), 1, uint32(y*inputLayout.bpr+j), blk)
+				goldenInput = goldenInput.Xor(d)
+			}
+		}
+	}
+
+	states := make([]layerState, len(net.Layers))
+	for i, choice := range choices {
+		l := choice.Layer
+		st := layerState{layer: l, choice: choice}
+
+		// Output activation region.
+		wp := dataflow.DeriveWrite(choice.Mapping)
+		st.act = actLayout{
+			base: 0, chans: l.K, rows: l.OutH(), cols: l.OutW(),
+			bpr:     tensor.CeilDiv(l.OutW()*4, tensor.BlockBytes),
+			ownerID: uint32(i + 1),
+			vn:      finalVN(wp),
+		}
+		st.act.base = next
+		next += uint64(st.act.blocks())
+
+		// Weight region (host-written, owner tag 0x8000+i, version 1).
+		if w := weights[i]; w != nil {
+			ct := choice.CT
+			if l.Type == workload.Depthwise {
+				ct = 1
+			}
+			st.wl = weightLayout{
+				base:        next,
+				k:           l.K,
+				cGroups:     choice.Mapping.AlphaC,
+				sliceInts:   ct * l.R * l.S,
+				sliceBlocks: tensor.CeilDiv(ct*l.R*l.S*4, tensor.BlockBytes),
+				ownerID:     uint32(0x8000 + i),
+			}
+			next += uint64(st.wl.k * st.wl.cGroups * st.wl.sliceBlocks)
+			st.goldenWeights = x.loadWeights(sm, &st, w)
+		}
+		states[i] = st
+	}
+	return states, inputLayout, goldenInput, nil
+}
+
+// loadWeights host-writes one layer's weights slice by slice.
+func (x *Executor) loadWeights(sm *protect.SeculatorMemory, st *layerState, w *nn.Weights) mac.Digest {
+	var golden mac.Digest
+	wl := st.wl
+	for k := 0; k < wl.k; k++ {
+		for cg := 0; cg < wl.cGroups; cg++ {
+			ints := weightSlice(st.layer, w, k, cg, wl.sliceInts)
+			blocks := encodeRow(ints, wl.sliceBlocks)
+			for j, blk := range blocks {
+				d := sm.HostWriteBlock(wl.addr(k, cg, j), wl.ownerID, uint32(k), 1,
+					uint32(cg*wl.sliceBlocks+j), blk)
+				golden = golden.Xor(d)
+			}
+		}
+	}
+	return golden
+}
+
+// weightSlice extracts the (k, c-group) weight slice as a flat int32 row.
+func weightSlice(l workload.Layer, w *nn.Weights, k, cg, sliceInts int) []int32 {
+	out := make([]int32, 0, sliceInts)
+	if l.Type == workload.Depthwise {
+		for r := 0; r < l.R; r++ {
+			for s := 0; s < l.S; s++ {
+				out = append(out, w.At(k, 0, r, s))
+			}
+		}
+		return out
+	}
+	ct := sliceInts / (l.R * l.S)
+	for c := cg * ct; c < (cg+1)*ct; c++ {
+		for r := 0; r < l.R; r++ {
+			for s := 0; s < l.S; s++ {
+				if c < l.C {
+					out = append(out, w.At(k, c, r, s))
+				} else {
+					out = append(out, 0) // padded channel group
+				}
+			}
+		}
+	}
+	return out
+}
+
+func finalVN(write interface{ MaxVN() int }) int {
+	if v := write.MaxVN(); v > 0 {
+		return v
+	}
+	return 1
+}
+
+func rowOf(t *nn.Tensor, c, y int) []int32 {
+	return t.Data[(c*t.H+y)*t.W : (c*t.H+y)*t.W+t.W]
+}
+
+// encodeRow packs int32 values into zero-padded 64-byte blocks.
+func encodeRow(vals []int32, nblocks int) [][]byte {
+	out := make([][]byte, nblocks)
+	for j := range out {
+		blk := make([]byte, tensor.BlockBytes)
+		for i := 0; i < intsPerBlock; i++ {
+			idx := j*intsPerBlock + i
+			if idx < len(vals) {
+				binary.BigEndian.PutUint32(blk[i*4:], uint32(vals[idx]))
+			}
+		}
+		out[j] = blk
+	}
+	return out
+}
+
+// decodeBlock unpacks a 64-byte block into up to n int32 values appended to
+// dst starting at offset off (clipped to len(dst)).
+func decodeBlock(dst []int32, off int, blk []byte) {
+	for i := 0; i < intsPerBlock; i++ {
+		idx := off + i
+		if idx >= len(dst) {
+			return
+		}
+		dst[idx] = int32(binary.BigEndian.Uint32(blk[i*4:]))
+	}
+}

@@ -1,0 +1,392 @@
+package secure
+
+import (
+	"fmt"
+
+	"seculator/internal/dataflow"
+	"seculator/internal/mac"
+	"seculator/internal/nn"
+	"seculator/internal/protect"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// layerRun is the per-layer execution context: the decrypted working set
+// being assembled from DRAM reads, first-touch bitmaps, and the weight
+// integrity register.
+type layerRun struct {
+	sm *protect.SeculatorMemory
+	st *layerState
+
+	producer     actLayout
+	producerData *nn.Tensor // plaintext the host/producer knows (for external folds)
+
+	in  *nn.Tensor // input assembled from decrypted first reads
+	w   *nn.Weights
+	out *nn.Tensor
+
+	inTouched []bool // per producer block: first-read seen
+	wTouched  []bool // per weight block: first-read seen
+	wRegister mac.Register
+
+	err error
+}
+
+// runLayer executes one layer's tile-event stream and returns the external
+// digest covering producer blocks this layer never read (folded host-side
+// into the producer's verification).
+func (x *Executor) runLayer(sm *protect.SeculatorMemory, st *layerState,
+	producer actLayout, producerData *nn.Tensor, weights *nn.Weights) (mac.Digest, error) {
+
+	sm.BeginLayer(st.act.ownerID)
+	run := &layerRun{
+		sm: sm, st: st,
+		producer: producer, producerData: producerData,
+		in:        nn.NewTensor(producer.chans, producer.rows, producer.cols),
+		out:       nn.NewTensor(st.layer.K, st.layer.OutH(), st.layer.OutW()),
+		inTouched: make([]bool, producer.blocks()),
+	}
+	if weights != nil {
+		run.w = nn.WeightsFor(st.layer)
+		run.wTouched = make([]bool, st.wl.k*st.wl.cGroups*st.wl.sliceBlocks)
+	}
+
+	err := dataflow.GenerateWithCompute(st.choice.Mapping, run.onEvent, run.onCompute)
+	if err == nil {
+		err = run.err
+	}
+	if err != nil {
+		return mac.Digest{}, err
+	}
+
+	if weights != nil {
+		if err := run.verifyWeights(); err != nil {
+			return mac.Digest{}, err
+		}
+	}
+	st.out = run.out
+	return run.unreadExternal(), nil
+}
+
+// onEvent translates one tile event into the corresponding DRAM block
+// operations through the secure memory.
+func (r *layerRun) onEvent(e dataflow.Event) bool {
+	if r.err != nil {
+		return false
+	}
+	switch {
+	case e.Tensor == tensor.Ifmap && e.Kind == sim.Read:
+		r.readIfmapTile(e)
+	case e.Tensor == tensor.Weight && e.Kind == sim.Read:
+		r.readWeightTile(e)
+	case e.Tensor == tensor.Ofmap && e.Kind == sim.Read:
+		r.readPartialTile(e)
+	case e.Tensor == tensor.Ofmap && e.Kind == sim.Write:
+		r.writeOfmapTile(e)
+	}
+	return r.err == nil
+}
+
+// onCompute runs the arithmetic of one loop-nest body visit: all tiles the
+// visit needs have been fetched and decrypted by onEvent.
+func (r *layerRun) onCompute(idx dataflow.LoopIdx) bool {
+	if r.err != nil {
+		return false
+	}
+	l := r.st.layer
+	c := r.st.choice
+	k0 := idx.K * c.KT
+	k1 := min(l.K, k0+c.KT)
+	y0 := idx.S * c.OHT
+	y1 := min(l.OutH(), y0+c.OHT)
+	in := r.in
+	if l.Type == workload.FC && l.H == 1 && l.W == 1 {
+		// FC consumes the flattened producer volume.
+		in = &nn.Tensor{Chans: l.C, H: 1, W: 1, Data: r.in.Data}
+	}
+	switch l.Type {
+	case workload.Pool:
+		nn.AccumulatePool(r.out, in, l, k0, k1, y0, y1)
+	case workload.Upsample:
+		nn.AccumulateUpsample(r.out, in, l, k0, k1, y0, y1)
+	default:
+		creduce := l.ReductionChannels()
+		c0 := idx.C * c.CT
+		c1 := min(creduce, c0+c.CT)
+		nn.AccumulateConv(r.out, in, r.w, l, k0, k1, c0, c1, y0, y1)
+	}
+	return true
+}
+
+// readIfmapTile fetches the producer blocks one ifmap tile covers. The
+// producer's layout is fmap-relative, so the consumer's (possibly
+// different) tiling just resolves to a set of (channel, row) block ranges;
+// FC layers resolve their flattened channel range element-wise.
+func (r *layerRun) readIfmapTile(e dataflow.Event) {
+	l := r.st.layer
+	c := r.st.choice
+
+	if l.Type == workload.FC && l.H == 1 && l.W == 1 {
+		f0 := e.Idx.C * c.CT
+		f1 := min(l.C, f0+c.CT)
+		r.readFlatRange(f0, f1)
+		return
+	}
+
+	// Channel range: the reduction group, or the output-channel group for
+	// per-channel layers (depthwise, pool, upsample).
+	var c0, c1 int
+	if l.PerChannel() {
+		c0 = e.Idx.K * c.KT
+		c1 = min(l.C, c0+c.KT)
+	} else {
+		c0 = e.Idx.C * c.CT
+		c1 = min(l.C, c0+c.CT)
+	}
+	// Input row range for the output band: the convolution halo, or the
+	// source rows an upsampled band expands from.
+	y0 := e.Idx.S * c.OHT
+	y1 := min(l.OutH(), y0+c.OHT)
+	var iy0, iy1 int
+	if l.Type == workload.Upsample {
+		iy0 = y0 / l.Stride
+		iy1 = min(l.H, (y1+l.Stride-1)/l.Stride)
+	} else {
+		padY, _ := nn.PadOrigin(l)
+		iy0 = max(0, y0*l.Stride-padY)
+		iy1 = min(l.H, (y1-1)*l.Stride+l.R-padY)
+	}
+	for ch := c0; ch < c1; ch++ {
+		for iy := iy0; iy < iy1; iy++ {
+			for j := 0; j < r.producer.bpr; j++ {
+				r.readProducerBlock(ch, iy, j)
+			}
+		}
+	}
+}
+
+// readFlatRange reads the producer blocks containing flattened elements
+// [f0, f1) of an FC input.
+func (r *layerRun) readFlatRange(f0, f1 int) {
+	perChan := r.producer.rows * r.producer.cols
+	for f := f0; f < f1; f++ {
+		ch := f / perChan
+		rem := f % perChan
+		row := rem / r.producer.cols
+		col := rem % r.producer.cols
+		r.readProducerBlock(ch, row, col*4/tensor.BlockBytes)
+	}
+}
+
+// readProducerBlock performs one decrypted block read from the producer
+// region, folding it into MAC_FR on first touch and MAC_IR on repeats, and
+// assembling the plaintext into the layer's input tensor.
+func (r *layerRun) readProducerBlock(ch, row, j int) {
+	if r.err != nil {
+		return
+	}
+	p := r.producer
+	flat := (ch*p.rows+row)*p.bpr + j
+	first := !r.inTouched[flat]
+	r.inTouched[flat] = true
+	blockIdx := uint32(row*p.bpr + j)
+	pt := r.sm.ReadInput(p.addr(ch, row, j), p.ownerID, uint32(ch), p.vn, blockIdx, first)
+	if first {
+		off := (ch*p.rows+row)*p.cols + j*intsPerBlock
+		end := min(len(r.in.Data), (ch*p.rows+row)*p.cols+p.cols)
+		decodeBlock(r.in.Data[:end], off, pt)
+	}
+}
+
+// readWeightTile fetches the (k-group x c-group) weight slices of a tile
+// through the static-read path, folding first-touch MACs for the golden
+// comparison and decoding the weights.
+func (r *layerRun) readWeightTile(e dataflow.Event) {
+	l := r.st.layer
+	c := r.st.choice
+	wl := r.st.wl
+	k0 := e.Idx.K * c.KT
+	k1 := min(l.K, k0+c.KT)
+	cg := e.Idx.C
+	for k := k0; k < k1; k++ {
+		ints := make([]int32, wl.sliceInts)
+		for j := 0; j < wl.sliceBlocks; j++ {
+			flat := (k*wl.cGroups+cg)*wl.sliceBlocks + j
+			pt, d := r.sm.ReadStatic(wl.addr(k, cg, j), wl.ownerID, uint32(k), 1,
+				uint32(cg*wl.sliceBlocks+j))
+			if !r.wTouched[flat] {
+				r.wTouched[flat] = true
+				r.wRegister.Fold(d)
+			}
+			decodeBlock(ints, j*intsPerBlock, pt)
+		}
+		r.decodeWeightSlice(k, cg, ints)
+	}
+}
+
+// decodeWeightSlice scatters a decoded (k, c-group) slice into the weight
+// tensor.
+func (r *layerRun) decodeWeightSlice(k, cg int, ints []int32) {
+	l := r.st.layer
+	if l.Type == workload.Depthwise {
+		i := 0
+		for rr := 0; rr < l.R; rr++ {
+			for ss := 0; ss < l.S; ss++ {
+				r.w.Data[((k*r.w.C+0)*r.w.R+rr)*r.w.S+ss] = ints[i]
+				i++
+			}
+		}
+		return
+	}
+	ct := r.st.wl.sliceInts / (l.R * l.S)
+	i := 0
+	for cc := cg * ct; cc < (cg+1)*ct; cc++ {
+		for rr := 0; rr < l.R; rr++ {
+			for ss := 0; ss < l.S; ss++ {
+				if cc < l.C {
+					r.w.Data[((k*r.w.C+cc)*r.w.R+rr)*r.w.S+ss] = ints[i]
+				}
+				i++
+			}
+		}
+	}
+}
+
+// ofmapRows returns the (k-range, row-range) of an ofmap tile event.
+func (r *layerRun) ofmapRows(e dataflow.Event) (k0, k1, y0, y1 int) {
+	l := r.st.layer
+	c := r.st.choice
+	k0 = e.Tile.Fmap * c.KT
+	k1 = min(l.K, k0+c.KT)
+	y0 = e.Tile.Spatial * c.OHT
+	y1 = min(l.OutH(), y0+c.OHT)
+	return
+}
+
+// readPartialTile decrypts a partial-sum tile back into the output tensor,
+// folding its MACs into MAC_R.
+func (r *layerRun) readPartialTile(e dataflow.Event) {
+	a := r.st.act
+	k0, k1, y0, y1 := r.ofmapRows(e)
+	for k := k0; k < k1; k++ {
+		for y := y0; y < y1; y++ {
+			row := make([]int32, a.cols)
+			for j := 0; j < a.bpr; j++ {
+				pt := r.sm.ReadPartial(a.addr(k, y, j), uint32(k), e.VN, uint32(y*a.bpr+j))
+				decodeBlock(row, j*intsPerBlock, pt)
+			}
+			copy(rowOf(r.out, k, y), row)
+		}
+	}
+}
+
+// writeOfmapTile encrypts the tile's current accumulation under the event's
+// version number, folding its MACs into MAC_W.
+func (r *layerRun) writeOfmapTile(e dataflow.Event) {
+	a := r.st.act
+	k0, k1, y0, y1 := r.ofmapRows(e)
+	for k := k0; k < k1; k++ {
+		for y := y0; y < y1; y++ {
+			blocks := encodeRow(rowOf(r.out, k, y), a.bpr)
+			for j, blk := range blocks {
+				r.sm.WriteBlock(a.addr(k, y, j), uint32(k), e.VN, uint32(y*a.bpr+j), blk)
+			}
+		}
+	}
+}
+
+// verifyWeights compares the accumulated first-touch weight MACs (plus
+// host-side folds for never-read padded slices) against the golden digest.
+func (r *layerRun) verifyWeights() error {
+	got := r.wRegister.Value()
+	// Fold unread weight blocks host-side (slices of fully padded channel
+	// groups, or resident groups skipped by the mapping's reuse).
+	wl := r.st.wl
+	l := r.st.layer
+	for k := 0; k < wl.k; k++ {
+		for cg := 0; cg < wl.cGroups; cg++ {
+			for j := 0; j < wl.sliceBlocks; j++ {
+				flat := (k*wl.cGroups+cg)*wl.sliceBlocks + j
+				if r.wTouched[flat] {
+					continue
+				}
+				ints := weightSlice(l, r.wOrig(), k, cg, wl.sliceInts)
+				blk := encodeRow(ints, wl.sliceBlocks)[j]
+				got = got.Xor(r.sm.BlockDigest(wl.ownerID, uint32(k), 1, uint32(cg*wl.sliceBlocks+j), blk))
+			}
+		}
+	}
+	if got != r.st.goldenWeights {
+		return fmt.Errorf("%w: layer %q weights: digest mismatch", mac.ErrIntegrity, l.Name)
+	}
+	return nil
+}
+
+// wOrig returns the decoded weights — by the time verifyWeights runs every
+// slice the mapping touches has been decoded, and untouched slices are
+// only host-folded, so the decoded tensor stands in for the host's copy.
+func (r *layerRun) wOrig() *nn.Weights { return r.w }
+
+// unreadExternal folds the MACs of producer blocks this layer never read —
+// the host-assisted external term of the producer's Equation 1 check.
+func (r *layerRun) unreadExternal() mac.Digest {
+	var d mac.Digest
+	p := r.producer
+	for ch := 0; ch < p.chans; ch++ {
+		for row := 0; row < p.rows; row++ {
+			vals := rowOf(r.producerData, ch, row)
+			var blocks [][]byte
+			for j := 0; j < p.bpr; j++ {
+				flat := (ch*p.rows+row)*p.bpr + j
+				if r.inTouched[flat] {
+					continue
+				}
+				if blocks == nil {
+					blocks = encodeRow(vals, p.bpr)
+				}
+				d = d.Xor(r.sm.BlockDigest(p.ownerID, uint32(ch), p.vn, uint32(row*p.bpr+j), blocks[j]))
+			}
+		}
+	}
+	return d
+}
+
+// readout is the host consuming the final outputs: a fresh layer epoch that
+// first-reads every output block and closes the last layer's verification.
+func (x *Executor) readout(sm *protect.SeculatorMemory, states []layerState,
+	final actLayout) (*nn.Tensor, error) {
+
+	last := states[len(states)-1]
+	sm.BeginLayer(uint32(len(states) + 1))
+	out := nn.NewTensor(final.chans, final.rows, final.cols)
+	for ch := 0; ch < final.chans; ch++ {
+		for row := 0; row < final.rows; row++ {
+			vals := make([]int32, final.cols)
+			for j := 0; j < final.bpr; j++ {
+				pt := sm.ReadInput(final.addr(ch, row, j), final.ownerID, uint32(ch),
+					final.vn, uint32(row*final.bpr+j), true)
+				decodeBlock(vals, j*intsPerBlock, pt)
+			}
+			copy(rowOf(out, ch, row), vals)
+		}
+	}
+	if err := sm.VerifyPreviousLayer(mac.Digest{}); err != nil {
+		return nil, fmt.Errorf("secure: verifying final layer %q: %w", last.layer.Name, err)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+// Package sim provides the shared simulation primitives used by every
+// component of the Seculator model: cycle arithmetic, memory-access
+// descriptors, and named statistic counters.
+//
+// The simulator is event-level rather than cycle-by-cycle: components
+// account for elapsed cycles analytically (systolic-array fill/drain,
+// DRAM service time, crypto pipeline latency) and the engine combines
+// them per tile pass. Cycles is therefore just a saturating uint64 with
+// helpers, not a global clock.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Cycles counts elapsed NPU clock cycles.
+type Cycles uint64
+
+// Add returns c+d, saturating at the maximum value instead of wrapping.
+func (c Cycles) Add(d Cycles) Cycles {
+	if c > math.MaxUint64-d {
+		return math.MaxUint64
+	}
+	return c + d
+}
+
+// Max returns the larger of c and d.
+func (c Cycles) Max(d Cycles) Cycles {
+	if c > d {
+		return c
+	}
+	return d
+}
+
+// Seconds converts a cycle count to wall time at the given clock frequency.
+func (c Cycles) Seconds(freqHz float64) float64 {
+	if freqHz <= 0 {
+		return 0
+	}
+	return float64(c) / freqHz
+}
+
+// AccessKind distinguishes reads from writes at the memory interface.
+type AccessKind uint8
+
+const (
+	// Read is a memory read (DRAM -> NPU).
+	Read AccessKind = iota
+	// Write is a memory write (NPU -> DRAM).
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// Traffic classifies DRAM traffic by purpose so that experiments can report
+// the overhead each protection scheme adds on top of raw tensor data.
+type Traffic uint8
+
+const (
+	// DataTraffic is tensor payload (ifmaps, ofmaps, weights).
+	DataTraffic Traffic = iota
+	// MACTraffic is per-block MAC lines moved by Secure/TNPU/GuardNN.
+	MACTraffic
+	// CounterTraffic is SGX-style counter blocks (Secure design only).
+	CounterTraffic
+	// MerkleTraffic is integrity-tree node fetches (Secure design only).
+	MerkleTraffic
+	// TableTraffic is tensor-table / VN-scheduler metadata (TNPU, GuardNN).
+	TableTraffic
+	// PaddingTraffic is junk data moved by Seculator+ layer widening.
+	PaddingTraffic
+
+	numTraffic
+)
+
+// String implements fmt.Stringer.
+func (t Traffic) String() string {
+	switch t {
+	case DataTraffic:
+		return "data"
+	case MACTraffic:
+		return "mac"
+	case CounterTraffic:
+		return "counter"
+	case MerkleTraffic:
+		return "merkle"
+	case TableTraffic:
+		return "table"
+	case PaddingTraffic:
+		return "padding"
+	default:
+		return fmt.Sprintf("Traffic(%d)", uint8(t))
+	}
+}
+
+// TrafficKinds lists every traffic class in display order.
+func TrafficKinds() []Traffic {
+	ts := make([]Traffic, numTraffic)
+	for i := range ts {
+		ts[i] = Traffic(i)
+	}
+	return ts
+}
+
+// Stats is a set of named uint64 counters. The zero value is ready to use.
+// Stats is not safe for concurrent use; each simulation owns its own set.
+type Stats struct {
+	counters map[string]uint64
+}
+
+// Inc adds delta to the named counter.
+func (s *Stats) Inc(name string, delta uint64) {
+	if s.counters == nil {
+		s.counters = make(map[string]uint64)
+	}
+	s.counters[name] += delta
+}
+
+// Get returns the value of the named counter (zero if never incremented).
+func (s *Stats) Get(name string) uint64 {
+	return s.counters[name]
+}
+
+// Names returns all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter of other into s.
+func (s *Stats) Merge(other *Stats) {
+	for n, v := range other.counters {
+		s.Inc(n, v)
+	}
+}
+
+// Reset clears all counters.
+func (s *Stats) Reset() {
+	s.counters = nil
+}
+
+// String renders the counters one per line, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n])
+	}
+	return b.String()
+}
+
+// Ratio returns num/den as a float, or 0 when den is 0. It is a convenience
+// for miss-rate style derived statistics.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

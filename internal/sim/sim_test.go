@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCyclesAddSaturates(t *testing.T) {
+	c := Cycles(math.MaxUint64 - 5)
+	got := c.Add(10)
+	if got != math.MaxUint64 {
+		t.Fatalf("Add should saturate: got %d", got)
+	}
+	if got := Cycles(3).Add(4); got != 7 {
+		t.Fatalf("Add(3,4) = %d, want 7", got)
+	}
+}
+
+func TestCyclesMax(t *testing.T) {
+	if got := Cycles(3).Max(9); got != 9 {
+		t.Fatalf("Max(3,9) = %d", got)
+	}
+	if got := Cycles(11).Max(9); got != 11 {
+		t.Fatalf("Max(11,9) = %d", got)
+	}
+}
+
+func TestCyclesSeconds(t *testing.T) {
+	c := Cycles(2_750_000_000) // one second at 2.75 GHz
+	if got := c.Seconds(2.75e9); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Seconds = %g, want 1.0", got)
+	}
+	if got := c.Seconds(0); got != 0 {
+		t.Fatalf("Seconds with zero freq = %g, want 0", got)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("unexpected AccessKind strings: %s %s", Read, Write)
+	}
+	if AccessKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestTrafficKinds(t *testing.T) {
+	kinds := TrafficKinds()
+	if len(kinds) != int(numTraffic) {
+		t.Fatalf("TrafficKinds returned %d kinds, want %d", len(kinds), numTraffic)
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate traffic name %q", s)
+		}
+		seen[s] = true
+	}
+	for _, want := range []string{"data", "mac", "counter", "merkle", "table", "padding"} {
+		if !seen[want] {
+			t.Fatalf("missing traffic kind %q", want)
+		}
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	var s Stats
+	if s.Get("x") != 0 {
+		t.Fatal("zero-value Stats should read 0")
+	}
+	s.Inc("x", 2)
+	s.Inc("x", 3)
+	s.Inc("a", 1)
+	if s.Get("x") != 5 || s.Get("a") != 1 {
+		t.Fatalf("unexpected counters: x=%d a=%d", s.Get("x"), s.Get("a"))
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "x" {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+}
+
+func TestStatsMergeAndReset(t *testing.T) {
+	var a, b Stats
+	a.Inc("hits", 10)
+	b.Inc("hits", 5)
+	b.Inc("misses", 2)
+	a.Merge(&b)
+	if a.Get("hits") != 15 || a.Get("misses") != 2 {
+		t.Fatalf("Merge wrong: %v", a.String())
+	}
+	a.Reset()
+	if a.Get("hits") != 0 || len(a.Names()) != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var s Stats
+	s.Inc("b", 1)
+	s.Inc("a", 2)
+	want := "a=2\nb=1\n"
+	if got := s.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio(1,4) = %g", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Fatalf("Ratio(1,0) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package sweep runs sensitivity studies over the system parameters — the
+// robustness analysis an architecture evaluation owes its headline claim.
+// Each sweep varies one knob (DRAM bandwidth, global-buffer capacity, PE
+// array extent, MAC-cache size) and re-measures the design comparison, so
+// one can check where, if anywhere, Seculator's advantage inverts.
+package sweep
+
+import (
+	"fmt"
+
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/workload"
+)
+
+// Point is one sweep sample: the parameter value and each design's
+// normalized performance at it.
+type Point struct {
+	Param       float64
+	Performance map[protect.Design]float64
+}
+
+// Result is a full sweep.
+type Result struct {
+	Name    string
+	Unit    string
+	Designs []protect.Design
+	Points  []Point
+}
+
+// designSet is the comparison the sweeps run.
+var designSet = []protect.Design{
+	protect.Baseline, protect.Secure, protect.TNPU, protect.GuardNN, protect.Seculator,
+}
+
+func runPoint(n workload.Network, cfg runner.Config, param float64) (Point, error) {
+	rs, err := runner.RunAll(n, designSet, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{Param: param, Performance: map[protect.Design]float64{}}
+	for _, r := range rs {
+		p.Performance[r.Design] = r.Performance(rs[0])
+	}
+	return p, nil
+}
+
+// Bandwidth sweeps the DRAM bandwidth (blocks per NPU cycle).
+func Bandwidth(n workload.Network, base runner.Config, values []float64) (Result, error) {
+	res := Result{Name: "DRAM bandwidth", Unit: "blocks/cycle", Designs: designSet}
+	for _, v := range values {
+		if v <= 0 {
+			return Result{}, fmt.Errorf("sweep: bandwidth %g must be positive", v)
+		}
+		cfg := base
+		cfg.DRAM.BlocksPerCycle = v
+		p, err := runPoint(n, cfg, v)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// GlobalBuffer sweeps the on-chip buffer capacity in KB.
+func GlobalBuffer(n workload.Network, base runner.Config, kbs []int) (Result, error) {
+	res := Result{Name: "global buffer", Unit: "KB", Designs: designSet}
+	for _, kb := range kbs {
+		if kb <= 0 {
+			return Result{}, fmt.Errorf("sweep: GB size %d must be positive", kb)
+		}
+		cfg := base
+		cfg.NPU.GlobalBufferBytes = kb * 1024
+		p, err := runPoint(n, cfg, float64(kb))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// PEArray sweeps the (square) systolic array extent.
+func PEArray(n workload.Network, base runner.Config, dims []int) (Result, error) {
+	res := Result{Name: "PE array", Unit: "rows=cols", Designs: designSet}
+	for _, d := range dims {
+		if d <= 0 {
+			return Result{}, fmt.Errorf("sweep: PE dim %d must be positive", d)
+		}
+		cfg := base
+		cfg.NPU.Rows, cfg.NPU.Cols = d, d
+		p, err := runPoint(n, cfg, float64(d))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// MACCache sweeps the MAC-cache capacity of the per-block designs in KB.
+func MACCache(n workload.Network, base runner.Config, kbs []int) (Result, error) {
+	res := Result{Name: "MAC cache", Unit: "KB", Designs: designSet}
+	for _, kb := range kbs {
+		if kb <= 0 {
+			return Result{}, fmt.Errorf("sweep: MAC cache %d must be positive", kb)
+		}
+		cfg := base
+		cfg.Protect.MACCacheBytes = kb * 1024
+		p, err := runPoint(n, cfg, float64(kb))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// AdvantageRange returns the min and max of Seculator's speedup over TNPU
+// across the sweep — the robustness headline.
+func (r Result) AdvantageRange() (lo, hi float64) {
+	for i, p := range r.Points {
+		adv := p.Performance[protect.Seculator]/p.Performance[protect.TNPU] - 1
+		if i == 0 || adv < lo {
+			lo = adv
+		}
+		if i == 0 || adv > hi {
+			hi = adv
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"testing"
+
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/workload"
+)
+
+func net() workload.Network {
+	return workload.Network{
+		Name: "s",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 16, H: 16, W: 16, K: 32, R: 3, S: 3, Stride: 1, Valid: false},
+		},
+	}
+}
+
+func fixNet() workload.Network {
+	n := net()
+	n.Layers[1].H = n.Layers[0].OutH()
+	n.Layers[1].W = n.Layers[0].OutW()
+	return n
+}
+
+func TestBandwidthSweep(t *testing.T) {
+	res, err := Bandwidth(fixNet(), runner.DefaultConfig(), []float64{0.1, 0.22, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Seculator must beat TNPU at every bandwidth.
+	for _, p := range res.Points {
+		if p.Performance[protect.Seculator] <= p.Performance[protect.TNPU] {
+			t.Fatalf("advantage inverted at bandwidth %g", p.Param)
+		}
+	}
+	lo, hi := res.AdvantageRange()
+	if lo < 0 || hi < lo {
+		t.Fatalf("advantage range (%.3f, %.3f)", lo, hi)
+	}
+	if _, err := Bandwidth(fixNet(), runner.DefaultConfig(), []float64{0}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestGlobalBufferSweep(t *testing.T) {
+	res, err := GlobalBuffer(fixNet(), runner.DefaultConfig(), []int{120, 240, 480})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Performance[protect.Baseline] != 1.0 {
+			t.Fatalf("baseline not normalized at GB %g", p.Param)
+		}
+		if p.Performance[protect.Seculator] < p.Performance[protect.Secure] {
+			t.Fatalf("advantage inverted at GB %g", p.Param)
+		}
+	}
+	if _, err := GlobalBuffer(fixNet(), runner.DefaultConfig(), []int{0}); err == nil {
+		t.Fatal("zero GB accepted")
+	}
+}
+
+func TestPEArraySweep(t *testing.T) {
+	res, err := PEArray(fixNet(), runner.DefaultConfig(), []int{16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatal("missing points")
+	}
+	if _, err := PEArray(fixNet(), runner.DefaultConfig(), []int{-1}); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+}
+
+func TestMACCacheSweep(t *testing.T) {
+	res, err := MACCache(fixNet(), runner.DefaultConfig(), []int{2, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Growing the MAC cache must not change Seculator at all and must not
+	// let TNPU catch up (streaming defeats caching).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Performance[protect.TNPU] >= first.Performance[protect.Seculator] {
+		t.Fatalf("64 KB MAC cache (%.3f) caught Seculator (%.3f)",
+			last.Performance[protect.TNPU], first.Performance[protect.Seculator])
+	}
+	if _, err := MACCache(fixNet(), runner.DefaultConfig(), []int{0}); err == nil {
+		t.Fatal("zero cache accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Package tensor models the geometry of DNN data as seen by the NPU memory
+// system: feature maps (fmaps), filter tensors, the tiles that dataflows
+// move between DRAM and the global buffer, and the 64-byte blocks that the
+// security engines encrypt and MAC.
+//
+// Terminology follows the paper (Table 1): H/W are fmap rows/columns, C is
+// the number of input channels (ifmaps), K the number of output channels
+// (ofmaps), R/S the filter rows/columns. A Tiling groups pixels into tiles
+// of HT x WT pixels across CT (or KT) channels.
+package tensor
+
+import "fmt"
+
+const (
+	// BlockBytes is the protection granularity of all prior schemes:
+	// one 64-byte memory block.
+	BlockBytes = 64
+	// PixelBytes is the size of one fmap element (4-byte fixed point / FP32).
+	PixelBytes = 4
+	// PixelsPerBlock is the number of fmap elements per 64-byte block.
+	PixelsPerBlock = BlockBytes / PixelBytes
+	// MACBytes is the size of one per-block MAC in prior work (8 bytes).
+	MACBytes = 8
+	// MACsPerBlock is how many per-block MACs fit in one 64-byte MAC line.
+	MACsPerBlock = BlockBytes / MACBytes
+)
+
+// Kind identifies which tensor a tile or block belongs to.
+type Kind uint8
+
+const (
+	// Ifmap is input feature-map data (read-only within a layer).
+	Ifmap Kind = iota
+	// Ofmap is output feature-map data (written; re-read when partial).
+	Ofmap
+	// Weight is filter data (read-only).
+	Weight
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Ifmap:
+		return "ifmap"
+	case Ofmap:
+		return "ofmap"
+	case Weight:
+		return "weight"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// FmapShape is the shape of a set of feature maps: Chans fmaps of H x W
+// pixels each.
+type FmapShape struct {
+	Chans int // number of channels (C for ifmaps, K for ofmaps)
+	H     int // rows per fmap
+	W     int // columns per fmap
+}
+
+// Pixels returns the total element count.
+func (s FmapShape) Pixels() int { return s.Chans * s.H * s.W }
+
+// Bytes returns the total byte size.
+func (s FmapShape) Bytes() int { return s.Pixels() * PixelBytes }
+
+// Blocks returns the number of 64-byte blocks needed to hold the fmaps,
+// assuming each channel is padded to a whole number of blocks (the layout
+// used by the accelerator so that a block never straddles two fmaps).
+func (s FmapShape) Blocks() int { return s.Chans * BlocksPerFmap(s.H, s.W) }
+
+// Valid reports whether all dimensions are positive.
+func (s FmapShape) Valid() bool { return s.Chans > 0 && s.H > 0 && s.W > 0 }
+
+// String implements fmt.Stringer.
+func (s FmapShape) String() string {
+	return fmt.Sprintf("%dx%dx%d", s.H, s.W, s.Chans)
+}
+
+// BlocksPerFmap returns the number of 64-byte blocks per H x W fmap,
+// rounding up so fmaps start block-aligned.
+func BlocksPerFmap(h, w int) int {
+	return ceilDiv(h*w*PixelBytes, BlockBytes)
+}
+
+// FilterShape is the shape of a 4-D weight tensor: K filters of C x R x S.
+type FilterShape struct {
+	K int // number of filters (output channels)
+	C int // input channels per filter
+	R int // filter rows
+	S int // filter columns
+}
+
+// Weights returns the number of scalar weights.
+func (f FilterShape) Weights() int { return f.K * f.C * f.R * f.S }
+
+// Bytes returns the byte size of the weight tensor.
+func (f FilterShape) Bytes() int { return f.Weights() * PixelBytes }
+
+// Blocks returns the number of 64-byte blocks holding the weights, with
+// each filter (C x R x S) padded to a block boundary.
+func (f FilterShape) Blocks() int {
+	return f.K * ceilDiv(f.C*f.R*f.S*PixelBytes, BlockBytes)
+}
+
+// Valid reports whether all dimensions are positive.
+func (f FilterShape) Valid() bool { return f.K > 0 && f.C > 0 && f.R > 0 && f.S > 0 }
+
+// Tiling describes how a dataflow partitions fmaps into tiles: tiles of
+// HT x WT pixels, grouping CT input channels and KT output channels.
+// A value of a dimension equal to the full extent means "untiled".
+type Tiling struct {
+	HT int // tile rows
+	WT int // tile columns
+	CT int // input-channel group size
+	KT int // output-channel group size
+}
+
+// Valid reports whether all tile dimensions are positive.
+func (t Tiling) Valid() bool { return t.HT > 0 && t.WT > 0 && t.CT > 0 && t.KT > 0 }
+
+// String implements fmt.Stringer.
+func (t Tiling) String() string {
+	return fmt.Sprintf("HT=%d WT=%d CT=%d KT=%d", t.HT, t.WT, t.CT, t.KT)
+}
+
+// Grid describes the tile decomposition of a conv layer under a tiling:
+// the alpha factors of the paper's pattern tables.
+type Grid struct {
+	AlphaH  int // H / HT: row-tile count
+	AlphaW  int // W / WT: column-tile count
+	AlphaC  int // C / CT: input channel-group count
+	AlphaK  int // K / KT: output channel-group count
+	AlphaHW int // AlphaH * AlphaW: spatial tiles per fmap
+}
+
+// MakeGrid computes the tile grid for fmaps of the given spatial size and
+// channel counts under tiling t. Dimensions that do not divide evenly are
+// rounded up (edge tiles are padded), matching accelerator behaviour.
+func MakeGrid(h, w, c, k int, t Tiling) Grid {
+	g := Grid{
+		AlphaH: ceilDiv(h, t.HT),
+		AlphaW: ceilDiv(w, t.WT),
+		AlphaC: ceilDiv(c, t.CT),
+		AlphaK: ceilDiv(k, t.KT),
+	}
+	g.AlphaHW = g.AlphaH * g.AlphaW
+	return g
+}
+
+// OfmapTiles returns the number of distinct ofmap tiles in the grid.
+func (g Grid) OfmapTiles() int { return g.AlphaK * g.AlphaHW }
+
+// IfmapTiles returns the number of distinct ifmap tiles in the grid.
+func (g Grid) IfmapTiles() int { return g.AlphaC * g.AlphaHW }
+
+// TileID names one tile of one tensor. Fmap is the channel-group index
+// (k_T for ofmaps, c_T for ifmaps, filter-group for weights); Spatial is
+// the row-major spatial tile index (h_T * AlphaW + w_T); Kind says which
+// tensor the tile belongs to.
+type TileID struct {
+	Kind    Kind
+	Fmap    int
+	Spatial int
+}
+
+// String implements fmt.Stringer.
+func (id TileID) String() string {
+	return fmt.Sprintf("%s[f=%d s=%d]", id.Kind, id.Fmap, id.Spatial)
+}
+
+// Linear returns a dense index for the tile given the spatial tile count of
+// its grid, suitable for array-backed tile state.
+func (id TileID) Linear(spatialTiles int) int {
+	return id.Fmap*spatialTiles + id.Spatial
+}
+
+// TileBlocks returns the number of 64-byte blocks in one fmap tile of
+// ht x wt pixels spanning chans channels, with each channel's tile slice
+// padded to a block boundary.
+func TileBlocks(ht, wt, chans int) int {
+	return chans * ceilDiv(ht*wt*PixelBytes, BlockBytes)
+}
+
+// TileBytes returns the unpadded payload bytes of an fmap tile.
+func TileBytes(ht, wt, chans int) int {
+	return ht * wt * chans * PixelBytes
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("tensor: ceilDiv by non-positive %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+// CeilDiv exposes ceiling division for other geometry computations.
+func CeilDiv(a, b int) int { return ceilDiv(a, b) }

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFmapShape(t *testing.T) {
+	s := FmapShape{Chans: 3, H: 32, W: 32}
+	if s.Pixels() != 3*32*32 {
+		t.Fatalf("Pixels = %d", s.Pixels())
+	}
+	if s.Bytes() != 3*32*32*4 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+	// 32*32*4 = 4096 bytes per fmap = 64 blocks; 3 fmaps = 192 blocks.
+	if s.Blocks() != 192 {
+		t.Fatalf("Blocks = %d, want 192", s.Blocks())
+	}
+	if !s.Valid() {
+		t.Fatal("shape should be valid")
+	}
+	if (FmapShape{Chans: 0, H: 1, W: 1}).Valid() {
+		t.Fatal("zero-channel shape should be invalid")
+	}
+	if s.String() != "32x32x3" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestBlocksPerFmapRoundsUp(t *testing.T) {
+	// 5x5 pixels * 4 B = 100 B -> 2 blocks.
+	if got := BlocksPerFmap(5, 5); got != 2 {
+		t.Fatalf("BlocksPerFmap(5,5) = %d, want 2", got)
+	}
+	// Exactly one block: 4x4 pixels * 4 B = 64 B.
+	if got := BlocksPerFmap(4, 4); got != 1 {
+		t.Fatalf("BlocksPerFmap(4,4) = %d, want 1", got)
+	}
+}
+
+func TestFilterShape(t *testing.T) {
+	f := FilterShape{K: 64, C: 3, R: 3, S: 3}
+	if f.Weights() != 64*27 {
+		t.Fatalf("Weights = %d", f.Weights())
+	}
+	if f.Bytes() != 64*27*4 {
+		t.Fatalf("Bytes = %d", f.Bytes())
+	}
+	// Each filter: 27*4 = 108 B -> 2 blocks; 64 filters -> 128 blocks.
+	if f.Blocks() != 128 {
+		t.Fatalf("Blocks = %d, want 128", f.Blocks())
+	}
+	if !f.Valid() || (FilterShape{}).Valid() {
+		t.Fatal("Valid misbehaves")
+	}
+}
+
+func TestMakeGrid(t *testing.T) {
+	g := MakeGrid(32, 32, 16, 64, Tiling{HT: 8, WT: 8, CT: 4, KT: 16})
+	if g.AlphaH != 4 || g.AlphaW != 4 || g.AlphaC != 4 || g.AlphaK != 4 {
+		t.Fatalf("grid = %+v", g)
+	}
+	if g.AlphaHW != 16 {
+		t.Fatalf("AlphaHW = %d", g.AlphaHW)
+	}
+	if g.OfmapTiles() != 64 || g.IfmapTiles() != 64 {
+		t.Fatalf("tile counts: of=%d if=%d", g.OfmapTiles(), g.IfmapTiles())
+	}
+}
+
+func TestMakeGridRoundsUp(t *testing.T) {
+	g := MakeGrid(7, 7, 3, 5, Tiling{HT: 4, WT: 4, CT: 2, KT: 2})
+	if g.AlphaH != 2 || g.AlphaW != 2 || g.AlphaC != 2 || g.AlphaK != 3 {
+		t.Fatalf("grid = %+v", g)
+	}
+}
+
+func TestTileID(t *testing.T) {
+	id := TileID{Kind: Ofmap, Fmap: 2, Spatial: 3}
+	if id.Linear(10) != 23 {
+		t.Fatalf("Linear = %d, want 23", id.Linear(10))
+	}
+	if id.String() != "ofmap[f=2 s=3]" {
+		t.Fatalf("String = %q", id.String())
+	}
+}
+
+func TestTileBlocksAndBytes(t *testing.T) {
+	// 8x8 tile, 2 channels: 256 B/channel = 4 blocks each -> 8 blocks total.
+	if got := TileBlocks(8, 8, 2); got != 8 {
+		t.Fatalf("TileBlocks = %d, want 8", got)
+	}
+	if got := TileBytes(8, 8, 2); got != 8*8*2*4 {
+		t.Fatalf("TileBytes = %d", got)
+	}
+	// Non-multiple tile rounds up per channel: 3x3 = 36 B -> 1 block.
+	if got := TileBlocks(3, 3, 5); got != 5 {
+		t.Fatalf("TileBlocks(3,3,5) = %d, want 5", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Ifmap.String() != "ifmap" || Ofmap.String() != "ofmap" || Weight.String() != "weight" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Fatal("unknown Kind should render")
+	}
+}
+
+func TestCeilDivPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1,0) should panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+// Property: a grid always covers the full tensor — tiles * tile size >= extent.
+func TestGridCoversProperty(t *testing.T) {
+	f := func(h, w, c, k, ht, wt, ct, kt uint8) bool {
+		H, W, C, K := int(h%64)+1, int(w%64)+1, int(c%32)+1, int(k%32)+1
+		tl := Tiling{HT: int(ht%16) + 1, WT: int(wt%16) + 1, CT: int(ct%8) + 1, KT: int(kt%8) + 1}
+		g := MakeGrid(H, W, C, K, tl)
+		return g.AlphaH*tl.HT >= H && g.AlphaW*tl.WT >= W &&
+			g.AlphaC*tl.CT >= C && g.AlphaK*tl.KT >= K &&
+			(g.AlphaH-1)*tl.HT < H && (g.AlphaW-1)*tl.WT < W
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tile blocks * bytes-per-block always covers the tile payload.
+func TestTileBlocksCoverProperty(t *testing.T) {
+	f := func(ht, wt, ch uint8) bool {
+		h, w, c := int(ht%32)+1, int(wt%32)+1, int(ch%16)+1
+		return TileBlocks(h, w, c)*BlockBytes >= TileBytes(h, w, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

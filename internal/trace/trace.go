@@ -1,0 +1,249 @@
+// Package trace captures and analyzes the memory-address trace of a
+// simulated execution — the bus-snooper's raw material for model
+// extraction. It records every data-tile transfer with its resolved block
+// address range, reconstructs per-layer footprints, infers layer boundaries
+// the way an attacker without ground truth would (by watching the write
+// region migrate), and quantifies address entropy.
+//
+// The Seculator+ evaluation uses these analyses to show what layer widening
+// and dummy-network noise do to an observer: footprints describe padded
+// geometry, and inferred boundaries stop matching the real network.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seculator/internal/mem"
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// Record is one observed transfer: a contiguous block range with direction
+// and (ground-truth) layer tag. The Tensor tag is ground truth too; the
+// attacker-view analyses ignore both tags.
+type Record struct {
+	Layer  int
+	Kind   sim.AccessKind
+	Tensor tensor.Kind
+	Addr   uint64
+	Blocks int
+}
+
+// Trace is an ordered transfer sequence.
+type Trace struct {
+	Network string
+	Design  protect.Design
+	Records []Record
+}
+
+// Capture simulates (network, design) under cfg and records the trace.
+func Capture(n workload.Network, d protect.Design, cfg runner.Config) (*Trace, error) {
+	t := &Trace{Network: n.Name, Design: d}
+	cfg.TraceFn = t.sink()
+	if _, err := runner.Run(n, d, cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CaptureLayers records the trace of an arbitrary layer schedule (e.g. a
+// dummy-interspersed Seculator+ execution, which is not a chained network).
+func CaptureLayers(name string, layers []workload.Layer, d protect.Design, cfg runner.Config) (*Trace, error) {
+	t := &Trace{Network: name, Design: d}
+	cfg.TraceFn = t.sink()
+	if _, err := runner.RunLayers(name, layers, d, cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Trace) sink() func(int, sim.AccessKind, tensor.Kind, uint64, int) {
+	return func(layer int, kind sim.AccessKind, tns tensor.Kind, addr uint64, blocks int) {
+		t.Records = append(t.Records, Record{Layer: layer, Kind: kind, Tensor: tns, Addr: addr, Blocks: blocks})
+	}
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// TotalBlocks returns the blocks moved (reads + writes).
+func (t *Trace) TotalBlocks() uint64 {
+	var n uint64
+	for _, r := range t.Records {
+		n += uint64(r.Blocks)
+	}
+	return n
+}
+
+// Footprint returns the number of distinct block addresses touched.
+func (t *Trace) Footprint() int {
+	seen := map[uint64]bool{}
+	for _, r := range t.Records {
+		for b := 0; b < r.Blocks; b++ {
+			seen[r.Addr+uint64(b)] = true
+		}
+	}
+	return len(seen)
+}
+
+// LayerFootprint is the per-layer region summary (ground truth labels).
+type LayerFootprint struct {
+	Layer        int
+	ReadBlocks   uint64
+	WriteBlocks  uint64
+	UniqueBlocks int
+}
+
+// LayerFootprints groups the trace by its ground-truth layer tags.
+func (t *Trace) LayerFootprints() []LayerFootprint {
+	unique := map[int]map[uint64]bool{}
+	agg := map[int]*LayerFootprint{}
+	for _, r := range t.Records {
+		f := agg[r.Layer]
+		if f == nil {
+			f = &LayerFootprint{Layer: r.Layer}
+			agg[r.Layer] = f
+			unique[r.Layer] = map[uint64]bool{}
+		}
+		if r.Kind == sim.Read {
+			f.ReadBlocks += uint64(r.Blocks)
+		} else {
+			f.WriteBlocks += uint64(r.Blocks)
+		}
+		for b := 0; b < r.Blocks; b++ {
+			unique[r.Layer][r.Addr+uint64(b)] = true
+		}
+	}
+	out := make([]LayerFootprint, 0, len(agg))
+	for l, f := range agg {
+		f.UniqueBlocks = len(unique[l])
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Layer < out[j].Layer })
+	return out
+}
+
+// InferBoundaries is the attacker's layer segmentation: without tags, a new
+// layer is declared whenever the write stream migrates to a block region
+// disjoint from the current layer's write region. Returns the record
+// indices at which inferred layers begin (always starting with 0).
+func (t *Trace) InferBoundaries() []int {
+	if len(t.Records) == 0 {
+		return nil
+	}
+	boundaries := []int{0}
+	var writeLo, writeHi uint64
+	haveWrites := false
+	for i, r := range t.Records {
+		if r.Kind != sim.Write {
+			continue
+		}
+		lo, hi := r.Addr, r.Addr+uint64(r.Blocks)
+		if !haveWrites {
+			writeLo, writeHi, haveWrites = lo, hi, true
+			continue
+		}
+		// Disjoint and beyond the current write region: a new output
+		// tensor is being produced.
+		if lo >= writeHi || hi <= writeLo {
+			boundaries = append(boundaries, i)
+			writeLo, writeHi = lo, hi
+			continue
+		}
+		if lo < writeLo {
+			writeLo = lo
+		}
+		if hi > writeHi {
+			writeHi = hi
+		}
+	}
+	return boundaries
+}
+
+// InferredLayerCount is the attacker's estimate of the network depth.
+func (t *Trace) InferredLayerCount() int { return len(t.InferBoundaries()) }
+
+// AddressEntropy returns the Shannon entropy (bits) of the distribution of
+// block addresses weighted by transfer volume — a coarse measure of how
+// spread / predictable the trace looks to a snooper.
+func (t *Trace) AddressEntropy() float64 {
+	counts := map[uint64]uint64{}
+	var total uint64
+	for _, r := range t.Records {
+		for b := 0; b < r.Blocks; b++ {
+			counts[r.Addr+uint64(b)]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ReadWriteRatio returns read blocks / write blocks.
+func (t *Trace) ReadWriteRatio() float64 {
+	var rd, wr uint64
+	for _, r := range t.Records {
+		if r.Kind == sim.Read {
+			rd += uint64(r.Blocks)
+		} else {
+			wr += uint64(r.Blocks)
+		}
+	}
+	return sim.Ratio(rd, wr)
+}
+
+// RowBufferHitRate replays the trace's block addresses through an
+// open-page bank model and returns the row-buffer hit rate — the locality a
+// bus stream would see with the given DRAM geometry.
+func (t *Trace) RowBufferHitRate(channels, banks, rowBlocks int) (float64, error) {
+	m, err := mem.NewRowBuffer(channels, banks, rowBlocks)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range t.Records {
+		m.AccessRange(r.Addr, r.Blocks)
+	}
+	return m.HitRate(), nil
+}
+
+// RowBufferHitRateWithMetadata replays the trace with per-block MAC-line
+// accesses interleaved, the access pattern of an uncached per-block design:
+// after every 8 data blocks the stream detours to the MAC region at
+// macBase. The difference against RowBufferHitRate isolates the row-
+// locality damage metadata interleaving causes — overhead the flat
+// bandwidth model cannot see.
+func (t *Trace) RowBufferHitRateWithMetadata(channels, banks, rowBlocks int, macBase uint64) (float64, error) {
+	m, err := mem.NewRowBuffer(channels, banks, rowBlocks)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range t.Records {
+		for b := 0; b < r.Blocks; b++ {
+			addr := r.Addr + uint64(b)
+			m.Access(addr)
+			if b%8 == 0 {
+				m.Access(macBase + addr/8) // the block's MAC line
+			}
+		}
+	}
+	return m.HitRate(), nil
+}
+
+// Summary renders the headline statistics.
+func (t *Trace) Summary() string {
+	return fmt.Sprintf("%s/%s: %d transfers, %d blocks, footprint %d, %d inferred layers, entropy %.1f bits",
+		t.Network, t.Design, t.Len(), t.TotalBlocks(), t.Footprint(),
+		t.InferredLayerCount(), t.AddressEntropy())
+}

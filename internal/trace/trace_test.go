@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"testing"
+
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/widen"
+	"seculator/internal/workload"
+)
+
+func testNet() workload.Network {
+	return workload.Network{
+		Name: "tracee",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 2},
+			{Name: "c3", Type: workload.Conv, C: 8, H: 8, W: 8, K: 16, R: 3, S: 3, Stride: 1},
+		},
+	}
+}
+
+func capture(t *testing.T, n workload.Network) *Trace {
+	t.Helper()
+	tr, err := Capture(n, protect.Baseline, runner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCaptureBasics(t *testing.T) {
+	tr := capture(t, testNet())
+	if tr.Len() == 0 || tr.TotalBlocks() == 0 || tr.Footprint() == 0 {
+		t.Fatalf("empty trace: %s", tr.Summary())
+	}
+	if tr.Network != "tracee" || tr.Design != protect.Baseline {
+		t.Fatal("trace metadata wrong")
+	}
+	// The trace's total must match the runner's data traffic.
+	var cfg = runner.DefaultConfig()
+	res, err := runner.Run(testNet(), protect.Baseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalBlocks() != res.Traffic.ByKind(0) {
+		t.Fatalf("trace blocks %d != runner data traffic %d", tr.TotalBlocks(), res.Traffic.ByKind(0))
+	}
+}
+
+func TestLayerFootprints(t *testing.T) {
+	net := testNet()
+	tr := capture(t, net)
+	fps := tr.LayerFootprints()
+	if len(fps) != len(net.Layers) {
+		t.Fatalf("footprints for %d layers, want %d", len(fps), len(net.Layers))
+	}
+	for _, f := range fps {
+		if f.WriteBlocks == 0 || f.ReadBlocks == 0 || f.UniqueBlocks == 0 {
+			t.Fatalf("degenerate footprint: %+v", f)
+		}
+	}
+}
+
+// The attacker's boundary inference must recover the true layer count on an
+// unprotected trace: each layer writes a fresh output region.
+func TestInferBoundariesMatchesLayers(t *testing.T) {
+	net := testNet()
+	tr := capture(t, net)
+	if got := tr.InferredLayerCount(); got != len(net.Layers) {
+		t.Fatalf("inferred %d layers, want %d", got, len(net.Layers))
+	}
+	// Boundary indices must be increasing and start at 0.
+	bs := tr.InferBoundaries()
+	if bs[0] != 0 {
+		t.Fatal("first boundary must be record 0")
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			t.Fatal("boundaries not increasing")
+		}
+	}
+}
+
+// Widening inflates every observable: footprint, entropy and volume.
+func TestWideningInflatesTrace(t *testing.T) {
+	net := testNet()
+	wnet, err := widen.Network(net, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := capture(t, net)
+	wide := capture(t, wnet)
+	if wide.Footprint() <= base.Footprint() {
+		t.Fatalf("widened footprint %d not above base %d", wide.Footprint(), base.Footprint())
+	}
+	if wide.AddressEntropy() <= base.AddressEntropy() {
+		t.Fatalf("widened entropy %.2f not above base %.2f", wide.AddressEntropy(), base.AddressEntropy())
+	}
+	if wide.TotalBlocks() <= base.TotalBlocks() {
+		t.Fatal("widened volume not above base")
+	}
+}
+
+// Dummy layers appended to the victim change the inferred depth — the
+// alignment confusion of Seculator+'s noise injection.
+func TestDummyLayersChangeInferredDepth(t *testing.T) {
+	net := testNet()
+	dummy, err := widen.Dummy("noise", 3, 8, 8, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain the dummy onto the real network's output shape (16 chans, 8x8).
+	combined := workload.Network{Name: "mixed", Layers: append(append([]workload.Layer{}, net.Layers...), dummy.Layers...)}
+	if err := combined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := capture(t, combined)
+	if got := tr.InferredLayerCount(); got != len(net.Layers)+len(dummy.Layers) {
+		t.Fatalf("inferred %d layers, want %d", got, len(net.Layers)+len(dummy.Layers))
+	}
+}
+
+func TestEntropyAndRatioBounds(t *testing.T) {
+	tr := capture(t, testNet())
+	h := tr.AddressEntropy()
+	if h <= 0 {
+		t.Fatalf("entropy = %.2f", h)
+	}
+	if r := tr.ReadWriteRatio(); r <= 0 {
+		t.Fatalf("read/write ratio = %.2f", r)
+	}
+	empty := &Trace{}
+	if empty.AddressEntropy() != 0 || empty.InferredLayerCount() != 0 || empty.Footprint() != 0 {
+		t.Fatal("empty trace statistics must be zero")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	tr := capture(t, testNet())
+	if tr.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// Interspersed decoy layers inflate the attacker's inferred depth — the
+// dummy-network defence observed at the trace level.
+func TestInterspersedTraceConfusesDepth(t *testing.T) {
+	net := testNet()
+	dummy, err := widen.Dummy("noise", 2, 8, 8, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := widen.Intersperse(net, dummy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := CaptureLayers("noisy", sched, protect.SeculatorPlus, runner.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.InferredLayerCount(); got <= len(net.Layers) {
+		t.Fatalf("inferred depth %d not inflated beyond real %d", got, len(net.Layers))
+	}
+}
+
+// The row-buffer analysis quantifies the paper's interleaving argument:
+// per-block MAC detours reduce the stream's row locality.
+func TestRowBufferMetadataPenalty(t *testing.T) {
+	tr := capture(t, testNet())
+	clean, err := tr.RowBufferHitRate(2, 16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := tr.RowBufferHitRateWithMetadata(2, 16, 128, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean <= 0.5 {
+		t.Fatalf("streaming trace should have high row locality, got %.3f", clean)
+	}
+	if dirty >= clean {
+		t.Fatalf("metadata interleaving did not reduce locality: %.3f >= %.3f", dirty, clean)
+	}
+	if _, err := tr.RowBufferHitRate(0, 0, 0); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	if _, err := tr.RowBufferHitRateWithMetadata(0, 0, 0, 0); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}

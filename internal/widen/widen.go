@@ -1,0 +1,162 @@
+// Package widen implements the MEA countermeasures of Seculator+
+// (Section 7.5, after Li et al.'s NeurObfuscator): layer widening — padding
+// every layer's geometry with junk data so an address-trace observer cannot
+// recover the real model dimensions — and dummy-network execution, which
+// intersperses the trace with decoy layers.
+//
+// Widening trades bandwidth for obfuscation; because Seculator's
+// per-layer protection overhead is O(1) in the layer size, it scales best
+// under widening (Figure 9).
+package widen
+
+import (
+	"fmt"
+
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// Layer pads a layer's input geometry up to at least (h, w, c) while
+// preserving its type, kernel and stride. The padded regions hold junk
+// data; the real computation is a sub-window. Output channels are padded
+// proportionally to keep the channel ratio plausible to an observer.
+func Layer(l workload.Layer, h, w, c int) (workload.Layer, error) {
+	if h < l.H || w < l.W || c < l.C {
+		return workload.Layer{}, fmt.Errorf("widen: target %dx%dx%d smaller than layer %dx%dx%d",
+			h, w, c, l.H, l.W, l.C)
+	}
+	out := l
+	out.Name = l.Name + "+pad"
+	out.H, out.W = h, w
+	if c > l.C {
+		scale := (c + l.C - 1) / l.C
+		out.C = c
+		if l.Type == workload.Depthwise || l.Type == workload.Pool {
+			out.K = c // K must track C for per-channel layers
+		} else {
+			out.K = l.K * scale
+		}
+	}
+	return out, nil
+}
+
+// Network widens every layer's spatial extent by factor (>= 1), rebuilding
+// the inter-layer chaining so the result still validates.
+func Network(n workload.Network, factor float64) (workload.Network, error) {
+	if factor < 1 {
+		return workload.Network{}, fmt.Errorf("widen: factor %g < 1", factor)
+	}
+	out := workload.Network{Name: fmt.Sprintf("%s+widen%.2f", n.Name, factor), Note: n.Note}
+	h, w := 0, 0
+	for i, l := range n.Layers {
+		wl := l
+		wl.Name = l.Name + "+pad"
+		if i == 0 {
+			wl.H = scaleDim(l.H, factor)
+			wl.W = scaleDim(l.W, factor)
+		} else {
+			// Chain from the previous widened layer.
+			if l.Type == workload.FC && l.H == 1 && l.W == 1 {
+				prev := out.Layers[i-1]
+				wl.C = prev.K * prev.OutH() * prev.OutW()
+			} else {
+				wl.H, wl.W = h, w
+			}
+		}
+		h, w = wl.OutH(), wl.OutW()
+		out.Layers = append(out.Layers, wl)
+	}
+	if err := out.Validate(); err != nil {
+		return workload.Network{}, fmt.Errorf("widen: widened network invalid: %w", err)
+	}
+	return out, nil
+}
+
+func scaleDim(d int, f float64) int {
+	s := int(float64(d)*f + 0.5)
+	if s < d {
+		s = d
+	}
+	return s
+}
+
+// Report quantifies the data-volume cost of widening.
+type Report struct {
+	RealBytes   int64
+	PaddedBytes int64
+}
+
+// Overhead returns the padded/real volume ratio (>= 1).
+func (r Report) Overhead() float64 {
+	if r.RealBytes == 0 {
+		return 0
+	}
+	return float64(r.PaddedBytes) / float64(r.RealBytes)
+}
+
+// PaddingFraction returns the junk fraction of the padded volume.
+func (r Report) PaddingFraction() float64 {
+	if r.PaddedBytes == 0 {
+		return 0
+	}
+	return float64(r.PaddedBytes-r.RealBytes) / float64(r.PaddedBytes)
+}
+
+// Compare sums the activation volumes (input fmaps of every layer) of the
+// original and widened networks.
+func Compare(orig, widened workload.Network) Report {
+	var r Report
+	for _, l := range orig.Layers {
+		r.RealBytes += int64(tensor.FmapShape{Chans: l.C, H: l.H, W: l.W}.Bytes())
+	}
+	for _, l := range widened.Layers {
+		r.PaddedBytes += int64(tensor.FmapShape{Chans: l.C, H: l.H, W: l.W}.Bytes())
+	}
+	return r
+}
+
+// Intersperse interleaves decoy layers into a real layer sequence: after
+// every `period` real layers, one dummy layer (cycling through the decoy
+// network) is inserted. The result is an execution schedule for
+// runner.RunLayers, not a chained network — that is the point: the decoys'
+// shapes are unrelated to the victim's, so a trace observer cannot segment
+// the real model.
+func Intersperse(real, dummy workload.Network, period int) ([]workload.Layer, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("widen: intersperse period must be positive, got %d", period)
+	}
+	if len(dummy.Layers) == 0 {
+		return nil, fmt.Errorf("widen: empty dummy network")
+	}
+	var out []workload.Layer
+	di := 0
+	for i, l := range real.Layers {
+		out = append(out, l)
+		if (i+1)%period == 0 {
+			out = append(out, dummy.Layers[di%len(dummy.Layers)])
+			di++
+		}
+	}
+	return out, nil
+}
+
+// Dummy builds a decoy network of `layers` identical conv layers, used to
+// inject plausible-but-fake traffic between real inferences.
+func Dummy(name string, layers, h, w, c, k int) (workload.Network, error) {
+	if layers <= 0 {
+		return workload.Network{}, fmt.Errorf("widen: dummy needs at least one layer, got %d", layers)
+	}
+	n := workload.Network{Name: name, Note: "decoy network for MEA noise"}
+	in := c
+	for i := 0; i < layers; i++ {
+		n.Layers = append(n.Layers, workload.Layer{
+			Name: fmt.Sprintf("dummy%d", i+1), Type: workload.Conv,
+			C: in, H: h, W: w, K: k, R: 3, S: 3, Stride: 1,
+		})
+		in = k
+	}
+	if err := n.Validate(); err != nil {
+		return workload.Network{}, err
+	}
+	return n, nil
+}

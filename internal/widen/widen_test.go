@@ -1,0 +1,147 @@
+package widen
+
+import (
+	"testing"
+
+	"seculator/internal/workload"
+)
+
+func baseLayer() workload.Layer {
+	return workload.Layer{
+		Name: "base", Type: workload.Conv,
+		C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1,
+	}
+}
+
+func TestLayerWidening(t *testing.T) {
+	l, err := Layer(baseLayer(), 64, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.H != 64 || l.W != 64 || l.C != 3 || l.K != 16 {
+		t.Fatalf("widened layer: %+v", l)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerWideningChannels(t *testing.T) {
+	l, err := Layer(baseLayer(), 32, 32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.C != 12 || l.K != 16*4 {
+		t.Fatalf("channel widening: C=%d K=%d", l.C, l.K)
+	}
+	dw := workload.Layer{Name: "dw", Type: workload.Depthwise, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1}
+	wdw, err := Layer(dw, 16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wdw.K != wdw.C {
+		t.Fatal("depthwise widening must keep K == C")
+	}
+	if err := wdw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerWideningRejectsShrink(t *testing.T) {
+	if _, err := Layer(baseLayer(), 16, 32, 3); err == nil {
+		t.Fatal("shrinking accepted")
+	}
+}
+
+func TestNetworkWidening(t *testing.T) {
+	n := workload.MobileNet()
+	w, err := Network(n, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Layers) != len(n.Layers) {
+		t.Fatal("layer count changed")
+	}
+	if w.Layers[0].H != 336 { // 224 * 1.5
+		t.Fatalf("first layer H = %d, want 336", w.Layers[0].H)
+	}
+	rep := Compare(n, w)
+	if rep.Overhead() <= 1.5 {
+		t.Fatalf("1.5x spatial widening should cost >1.5x volume, got %.2f", rep.Overhead())
+	}
+	if f := rep.PaddingFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("padding fraction = %.3f", f)
+	}
+}
+
+func TestNetworkWideningIdentity(t *testing.T) {
+	n := workload.ResNet18()
+	w, err := Network(n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(n, w)
+	if rep.Overhead() != 1.0 {
+		t.Fatalf("identity widening overhead = %.3f", rep.Overhead())
+	}
+}
+
+func TestNetworkWideningRejectsBadFactor(t *testing.T) {
+	if _, err := Network(workload.MobileNet(), 0.5); err == nil {
+		t.Fatal("factor < 1 accepted")
+	}
+}
+
+func TestReportEdgeCases(t *testing.T) {
+	if (Report{}).Overhead() != 0 {
+		t.Fatal("empty report overhead")
+	}
+	if (Report{}).PaddingFraction() != 0 {
+		t.Fatal("empty report fraction")
+	}
+}
+
+func TestDummy(t *testing.T) {
+	d, err := Dummy("noise", 3, 28, 28, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Layers) != 3 {
+		t.Fatalf("dummy layers = %d", len(d.Layers))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dummy("bad", 0, 1, 1, 1, 1); err == nil {
+		t.Fatal("zero-layer dummy accepted")
+	}
+}
+
+func TestIntersperse(t *testing.T) {
+	real := workload.MobileNet()
+	dummy, err := Dummy("noise", 3, 28, 28, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := Intersperse(real, dummy, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDummies := len(real.Layers) / 4
+	if len(layers) != len(real.Layers)+wantDummies {
+		t.Fatalf("interspersed %d layers, want %d", len(layers), len(real.Layers)+wantDummies)
+	}
+	// Every 5th entry is a decoy.
+	if layers[4].Name[:5] != "dummy" {
+		t.Fatalf("expected dummy at index 4, got %q", layers[4].Name)
+	}
+	if _, err := Intersperse(real, dummy, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Intersperse(real, workload.Network{}, 2); err == nil {
+		t.Fatal("empty dummy accepted")
+	}
+}

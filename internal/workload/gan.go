@@ -1,0 +1,83 @@
+package workload
+
+import "fmt"
+
+// Deconv builds the deconvolution (transposed convolution) of Section 5.2
+// as the paper prescribes: a zero-insertion upsampling pre-processing layer
+// followed by an ordinary convolution, so the conv pattern tables apply
+// unchanged. The pair consumes c channels at h x w and produces k channels
+// at (h*up) x (w*up).
+func Deconv(name string, c, h, w, k, r, up int) ([]Layer, error) {
+	if up <= 0 {
+		return nil, fmt.Errorf("workload: deconv %q needs a positive upsampling factor, got %d", name, up)
+	}
+	pair := []Layer{
+		{Name: name + "_up", Type: Upsample, C: c, H: h, W: w, K: c, R: 1, S: 1, Stride: up},
+		{Name: name + "_conv", Type: Conv, C: c, H: h * up, W: w * up, K: k, R: r, S: r, Stride: 1},
+	}
+	for _, l := range pair {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return pair, nil
+}
+
+// GANGeneratorConfig shapes a DCGAN-style generator: a seed volume expanded
+// by successive deconvolutions to the output image.
+type GANGeneratorConfig struct {
+	Name      string
+	SeedChans int // channels of the 4x4 seed volume
+	SeedSize  int // seed spatial extent
+	Stages    int // deconv stages, each doubling the extent and halving channels
+	OutChans  int // channels of the final image (e.g. 3 for RGB)
+	Kernel    int // deconv kernel extent (DCGAN uses 5; 3 also common)
+}
+
+// DCGAN returns the canonical DCGAN generator shape: 4x4x1024 seed expanded
+// through four stages to a 64x64x3 image.
+func DCGAN() GANGeneratorConfig {
+	return GANGeneratorConfig{
+		Name: "DCGAN-G", SeedChans: 1024, SeedSize: 4, Stages: 4, OutChans: 3, Kernel: 5,
+	}
+}
+
+// TinyGAN returns a small generator for fast tests: 4x4x16 -> 16x16x3.
+func TinyGAN() GANGeneratorConfig {
+	return GANGeneratorConfig{
+		Name: "TinyGAN-G", SeedChans: 16, SeedSize: 4, Stages: 2, OutChans: 3, Kernel: 3,
+	}
+}
+
+// GANGenerator builds the generator network: Stages deconvolutions, each
+// doubling the spatial extent; channel width halves per stage until the
+// final stage emits OutChans.
+func GANGenerator(cfg GANGeneratorConfig) (Network, error) {
+	if cfg.SeedChans <= 0 || cfg.SeedSize <= 0 || cfg.Stages <= 0 || cfg.OutChans <= 0 || cfg.Kernel <= 0 {
+		return Network{}, fmt.Errorf("workload: invalid GAN config %+v", cfg)
+	}
+	n := Network{
+		Name: cfg.Name,
+		Note: "GAN generator: deconvolution = zero-insertion upsample + convolution (Section 5.2)",
+	}
+	c, h := cfg.SeedChans, cfg.SeedSize
+	for s := 1; s <= cfg.Stages; s++ {
+		k := c / 2
+		if s == cfg.Stages {
+			k = cfg.OutChans
+		}
+		if k <= 0 {
+			return Network{}, fmt.Errorf("workload: GAN stage %d has no output channels (seed too narrow)", s)
+		}
+		pair, err := Deconv(fmt.Sprintf("g%d", s), c, h, h, k, cfg.Kernel, 2)
+		if err != nil {
+			return Network{}, err
+		}
+		n.Layers = append(n.Layers, pair...)
+		c, h = k, h*2
+	}
+	if err := n.Validate(); err != nil {
+		return Network{}, err
+	}
+	return n, nil
+}

@@ -1,0 +1,70 @@
+package workload
+
+import "testing"
+
+func TestDeconvPair(t *testing.T) {
+	pair, err := Deconv("d", 8, 4, 4, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair) != 2 {
+		t.Fatalf("pair len = %d", len(pair))
+	}
+	up, conv := pair[0], pair[1]
+	if up.Type != Upsample || up.OutH() != 8 || up.K != 8 {
+		t.Fatalf("upsample layer: %+v", up)
+	}
+	if conv.C != 8 || conv.H != 8 || conv.K != 4 || conv.OutH() != 8 {
+		t.Fatalf("conv layer: %+v", conv)
+	}
+	if _, err := Deconv("bad", 8, 4, 4, 4, 3, 0); err == nil {
+		t.Fatal("zero upsampling accepted")
+	}
+}
+
+func TestUpsampleGeometry(t *testing.T) {
+	l := Layer{Name: "up", Type: Upsample, C: 4, H: 8, W: 8, K: 4, R: 1, S: 1, Stride: 2}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.OutH() != 16 || l.OutW() != 16 {
+		t.Fatalf("upsample out = %dx%d", l.OutH(), l.OutW())
+	}
+	if l.Params() != 0 || !l.PerChannel() || l.ReductionChannels() != 1 {
+		t.Fatal("upsample properties wrong")
+	}
+	if l.MACs() != 16*16*4 {
+		t.Fatalf("upsample MACs = %d", l.MACs())
+	}
+	bad := l
+	bad.K = 8
+	if bad.Validate() == nil {
+		t.Fatal("upsample with K != C accepted")
+	}
+}
+
+func TestGANGenerators(t *testing.T) {
+	for _, cfg := range []GANGeneratorConfig{DCGAN(), TinyGAN()} {
+		n, err := GANGenerator(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(n.Layers) != cfg.Stages*2 {
+			t.Fatalf("%s: %d layers, want %d", cfg.Name, len(n.Layers), cfg.Stages*2)
+		}
+		last := n.Layers[len(n.Layers)-1]
+		wantH := cfg.SeedSize << cfg.Stages
+		if last.K != cfg.OutChans || last.OutH() != wantH {
+			t.Fatalf("%s output: K=%d H=%d, want K=%d H=%d", cfg.Name, last.K, last.OutH(), cfg.OutChans, wantH)
+		}
+	}
+	if _, err := GANGenerator(GANGeneratorConfig{}); err == nil {
+		t.Fatal("invalid GAN config accepted")
+	}
+	if _, err := GANGenerator(GANGeneratorConfig{Name: "narrow", SeedChans: 1, SeedSize: 4, Stages: 3, OutChans: 3, Kernel: 3}); err == nil {
+		t.Fatal("too-narrow seed accepted")
+	}
+}

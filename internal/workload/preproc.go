@@ -1,0 +1,96 @@
+package workload
+
+import "fmt"
+
+// PreprocStyle is the computation style of an image pre-processing stage
+// (Section 5.2.1): Style-1 transforms each channel independently
+// (S_x = T_x(X)); Style-2 merges all input channels into one output
+// (S = T(R,G,B)); Style-3 merges them into several transformed outputs
+// (S_i = T_i(R,G,B)).
+type PreprocStyle uint8
+
+const (
+	// Style1 is a per-channel transform (also the pattern of pooling).
+	Style1 PreprocStyle = iota + 1
+	// Style2 folds all channels into one output channel.
+	Style2
+	// Style3 folds all channels into K transformed output channels.
+	Style3
+)
+
+// String implements fmt.Stringer.
+func (s PreprocStyle) String() string {
+	switch s {
+	case Style1:
+		return "style-1"
+	case Style2:
+		return "style-2"
+	case Style3:
+		return "style-3"
+	default:
+		return fmt.Sprintf("PreprocStyle(%d)", uint8(s))
+	}
+}
+
+// PreprocStage builds the layer of one pre-processing stage over an
+// h x w image with c channels, using an r x r window. Style-2 produces a
+// single channel; Style-3 produces k channels; Style-1 keeps c.
+func PreprocStage(name string, style PreprocStyle, c, h, w, r, k int) (Layer, error) {
+	if c <= 0 || h <= 0 || w <= 0 || r <= 0 {
+		return Layer{}, fmt.Errorf("workload: invalid preproc stage %q: c=%d h=%d w=%d r=%d", name, c, h, w, r)
+	}
+	switch style {
+	case Style1:
+		// Per-channel window transform: depthwise semantics.
+		return Layer{Name: name, Type: Depthwise, C: c, H: h, W: w, K: c, R: r, S: r, Stride: 1}, nil
+	case Style2:
+		return Layer{Name: name, Type: Conv, C: c, H: h, W: w, K: 1, R: r, S: r, Stride: 1}, nil
+	case Style3:
+		if k <= 0 {
+			return Layer{}, fmt.Errorf("workload: style-3 stage %q needs k > 0", name)
+		}
+		return Layer{Name: name, Type: Conv, C: c, H: h, W: w, K: k, R: r, S: r, Stride: 1}, nil
+	default:
+		return Layer{}, fmt.Errorf("workload: unknown preproc style %d", uint8(style))
+	}
+}
+
+// PreprocPipeline builds a representative camera-style pre-processing
+// pipeline over an h x w RGB image, covering all three styles of
+// Tables 8-10 before a classifier-ready downsample:
+//
+//	denoise   Style-1: per-channel 3x3 filter (e.g. median/gaussian)
+//	colormap  Style-3: 3x3 color-space transform to k intermediate planes
+//	luma      Style-2: fold the planes into a single luminance channel
+//	edges     Style-1: per-channel edge enhancement on the luma plane
+//	downsample 2x2 pooling
+func PreprocPipeline(h, w int) (Network, error) {
+	denoise, err := PreprocStage("denoise", Style1, 3, h, w, 3, 0)
+	if err != nil {
+		return Network{}, err
+	}
+	colormap, err := PreprocStage("colormap", Style3, 3, h, w, 1, 8)
+	if err != nil {
+		return Network{}, err
+	}
+	luma, err := PreprocStage("luma", Style2, 8, h, w, 1, 0)
+	if err != nil {
+		return Network{}, err
+	}
+	edges, err := PreprocStage("edges", Style1, 1, h, w, 3, 0)
+	if err != nil {
+		return Network{}, err
+	}
+	n := Network{
+		Name: fmt.Sprintf("preproc-%dx%d", h, w),
+		Note: "image pre-processing pipeline exercising Styles 1-3 (Tables 8-10)",
+		Layers: []Layer{
+			denoise, colormap, luma, edges,
+			{Name: "downsample", Type: Pool, C: 1, H: h, W: w, K: 1, R: 2, S: 2, Stride: 2, Valid: true},
+		},
+	}
+	if err := n.Validate(); err != nil {
+		return Network{}, err
+	}
+	return n, nil
+}

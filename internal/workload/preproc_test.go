@@ -1,0 +1,56 @@
+package workload
+
+import "testing"
+
+func TestPreprocStageStyles(t *testing.T) {
+	s1, err := PreprocStage("s1", Style1, 3, 32, 32, 3, 0)
+	if err != nil || s1.Type != Depthwise || s1.K != 3 {
+		t.Fatalf("style-1: %+v %v", s1, err)
+	}
+	s2, err := PreprocStage("s2", Style2, 3, 32, 32, 1, 0)
+	if err != nil || s2.K != 1 {
+		t.Fatalf("style-2: %+v %v", s2, err)
+	}
+	s3, err := PreprocStage("s3", Style3, 3, 32, 32, 1, 8)
+	if err != nil || s3.K != 8 {
+		t.Fatalf("style-3: %+v %v", s3, err)
+	}
+	if _, err := PreprocStage("bad", Style3, 3, 32, 32, 1, 0); err == nil {
+		t.Fatal("style-3 without k accepted")
+	}
+	if _, err := PreprocStage("bad", Style1, 0, 32, 32, 1, 0); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := PreprocStage("bad", PreprocStyle(9), 3, 32, 32, 1, 0); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+}
+
+func TestPreprocStyleString(t *testing.T) {
+	for _, s := range []PreprocStyle{Style1, Style2, Style3, PreprocStyle(9)} {
+		if s.String() == "" {
+			t.Fatalf("empty string for style %d", s)
+		}
+	}
+}
+
+func TestPreprocPipelineValidates(t *testing.T) {
+	n, err := PreprocPipeline(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 5 {
+		t.Fatalf("pipeline layers = %d", len(n.Layers))
+	}
+	// The pipeline ends with a single downsampled channel.
+	last := n.Layers[len(n.Layers)-1]
+	if last.K != 1 || last.OutH() != 32 {
+		t.Fatalf("pipeline output: K=%d OutH=%d", last.K, last.OutH())
+	}
+	if _, err := PreprocPipeline(0, 64); err == nil {
+		t.Fatal("invalid size accepted")
+	}
+}

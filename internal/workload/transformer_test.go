@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransformerValidates(t *testing.T) {
+	for _, cfg := range []TransformerConfig{BERTBase(), TinyTransformer()} {
+		n, err := Transformer(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		perBlock := 8
+		if !cfg.AttnMats {
+			perBlock = 6
+		}
+		if len(n.Layers) != cfg.Layers*perBlock {
+			t.Fatalf("%s: %d layers, want %d", cfg.Name, len(n.Layers), cfg.Layers*perBlock)
+		}
+	}
+}
+
+func TestTransformerRejectsInvalid(t *testing.T) {
+	if _, err := Transformer(TransformerConfig{Name: "bad"}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// BERT-base encoder parameters are famously ~85 M (without embeddings).
+func TestBERTBaseParams(t *testing.T) {
+	n, err := Transformer(BERTBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the attention activation-activation stand-ins: their
+	// "weights" model activations, not parameters.
+	var params int64
+	for _, l := range n.Layers {
+		if l.Name[len(l.Name)-len("scores"):] == "scores" ||
+			len(l.Name) >= len("context") && l.Name[len(l.Name)-len("context"):] == "context" {
+			continue
+		}
+		params += l.Params()
+	}
+	want := 85e6
+	if rel := math.Abs(float64(params)-want) / want; rel > 0.05 {
+		t.Fatalf("BERT-base encoder params = %.1fM, want ~85M", float64(params)/1e6)
+	}
+}
+
+func TestMatmulEncoding(t *testing.T) {
+	l := matmul("mm", 128, 768, 3072)
+	if l.C != 768 || l.H != 128 || l.W != 1 || l.K != 3072 || l.R != 1 {
+		t.Fatalf("matmul encoding: %+v", l)
+	}
+	if l.OutH() != 128 || l.OutW() != 1 {
+		t.Fatal("matmul output extent wrong")
+	}
+	// MACs of (M x K) * (K x N) = M*K*N.
+	if l.MACs() != 128*768*3072 {
+		t.Fatalf("matmul MACs = %d", l.MACs())
+	}
+}

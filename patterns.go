@@ -1,0 +1,87 @@
+package seculator
+
+import (
+	"seculator/internal/dataflow"
+	"seculator/internal/pattern"
+	"seculator/internal/vngen"
+)
+
+// Triplet is the master-equation parameter set ⟨η, κ, ρ⟩ of Section 5: the
+// VN sequence (1^η, 2^η, …, κ^η)^ρ.
+type Triplet = pattern.Triplet
+
+// PatternClass is the paper's P1–P5 taxonomy of VN patterns.
+type PatternClass = pattern.Class
+
+// Pattern classes (Table 2).
+const (
+	// PatternEmpty is the empty sequence.
+	PatternEmpty = pattern.ClassEmpty
+	// PatternMultiStep is P1: repeated ramps of runs.
+	PatternMultiStep = pattern.P1MultiStep
+	// PatternStep is P2: one ramp of runs.
+	PatternStep = pattern.P2Step
+	// PatternLinear is P3: 1,2,…,κ.
+	PatternLinear = pattern.P3Linear
+	// PatternSawtooth is P4: repeated plain ramps.
+	PatternSawtooth = pattern.P4Sawtooth
+	// PatternLine is P5: a constant run of 1s.
+	PatternLine = pattern.P5Line
+)
+
+// ClassifyPattern maps a triplet to its P1–P5 class.
+func ClassifyPattern(t Triplet) PatternClass { return pattern.Classify(t) }
+
+// CompressPattern infers the canonical triplet of an observed VN sequence,
+// or ok=false if the sequence is not an instance of the master equation.
+func CompressPattern(seq []int) (Triplet, bool) { return pattern.Compress(seq) }
+
+// ParsePattern reads a symbolic pattern expression like "(1^2,2^2...4^2)^3"
+// back into a triplet — the inverse of Triplet.String.
+func ParsePattern(s string) (Triplet, error) { return pattern.Parse(s) }
+
+// Mapping describes how one layer executes: loop nest, tile grid and tile
+// transfer sizes — the input to pattern derivation and the VN generator.
+type Mapping = dataflow.Mapping
+
+// LoopVariable names one tile iterator of a mapping's loop nest.
+type LoopVariable = dataflow.LoopVar
+
+// LoopOrder is a nest order, outermost first.
+type LoopOrder = dataflow.LoopOrder
+
+// The tile iterators.
+const (
+	// LoopSpatial iterates spatial tiles (h_T, w_T fused).
+	LoopSpatial = dataflow.LoopS
+	// LoopChannel iterates input-channel groups (c_T, the reduction loop).
+	LoopChannel = dataflow.LoopC
+	// LoopFilter iterates output-channel groups (k_T).
+	LoopFilter = dataflow.LoopK
+)
+
+// PatternTableEntry is one row of the paper's pattern tables (Tables 2-4,
+// 8-10) with its mapping constructor and expected WP/RP expressions.
+type PatternTableEntry = dataflow.TableEntry
+
+// PatternGrid parameterizes a pattern-table row with concrete alpha factors.
+type PatternGrid = dataflow.GridSpec
+
+// PatternTables returns every pattern-table row the paper publishes, in
+// order: Table 2 (conv IR/OR), Table 3 (weight reuse), Table 4 (matmul),
+// Tables 8-10 (pre-processing styles 1-3).
+func PatternTables() []PatternTableEntry { return dataflow.AllTableEntries() }
+
+// DeriveWritePattern returns the analytical triplet of the ofmap write-VN
+// sequence of a mapping; DeriveReadPattern the partial-sum read sequence.
+func DeriveWritePattern(m *Mapping) Triplet { return dataflow.DeriveWrite(m) }
+
+// DeriveReadPattern returns the read-observer triplet of a mapping.
+func DeriveReadPattern(m *Mapping) Triplet { return dataflow.DeriveRead(m) }
+
+// VNGenerator is the streaming hardware FSM that regenerates a triplet's VN
+// sequence at runtime (Section 6.2).
+type VNGenerator = vngen.Generator
+
+// NewVNGenerator builds the FSM for a triplet.
+func NewVNGenerator(t Triplet) *VNGenerator { return vngen.New(t) }

@@ -1,0 +1,84 @@
+package seculator
+
+import (
+	"seculator/internal/attack"
+	"seculator/internal/hw"
+	"seculator/internal/mem"
+	"seculator/internal/widen"
+)
+
+// AttackScenario shapes the functional two-layer execution that the attack
+// API mounts its attacks against.
+type AttackScenario = attack.Scenario
+
+// AttackLayout tells an attacker where the victim's data lives in DRAM.
+type AttackLayout = attack.Layout
+
+// Attacker mutates DRAM between execution phases — the threat model's
+// physical adversary.
+type Attacker = attack.Mutator
+
+// DRAM is the functional memory an Attacker manipulates (tamper, snapshot,
+// restore, swap).
+type DRAM = mem.DRAM
+
+// DefaultAttackScenario returns a small but non-trivial execution.
+func DefaultAttackScenario() AttackScenario { return attack.DefaultScenario() }
+
+// RunAttack executes two layers on the functional Seculator memory with
+// optional attacker hooks: midLayer runs after the first version sweep
+// (where replay snapshots are taken), mutate runs before the consumer layer
+// reads. A nil error means verification passed (honest run); an attack is
+// detected when the error wraps the integrity failure.
+func RunAttack(s AttackScenario, midLayer, mutate Attacker) error {
+	return attack.RunSeculator(s, midLayer, mutate)
+}
+
+// Eavesdrop runs an honest execution and reports what a bus snooper learns:
+// how many ciphertext blocks equal their (all-zero) plaintext, and the byte
+// histogram of the ciphertext.
+func Eavesdrop(s AttackScenario) (leaks int, histogram [256]int, err error) {
+	return attack.Eavesdrop(s)
+}
+
+// NetworkLeakage quantifies model-extraction leakage: the attacker observes
+// observedNet's address footprints and reconstructs layer shapes, scored
+// against realNet (0 = perfect extraction; grows under widening).
+func NetworkLeakage(realNet, observedNet Network, cfg Config) (float64, error) {
+	return attack.NetworkLeakage(realNet, observedNet, cfg.NPU, cfg.DRAM)
+}
+
+// WidenNetwork scales every layer's spatial extent by factor (>= 1) with
+// junk padding — Seculator+'s MEA countermeasure (Section 7.5).
+func WidenNetwork(n Network, factor float64) (Network, error) {
+	return widen.Network(n, factor)
+}
+
+// WidenLayer pads one layer's input geometry up to (h, w, c).
+func WidenLayer(l Layer, h, w, c int) (Layer, error) { return widen.Layer(l, h, w, c) }
+
+// WideningReport quantifies the data-volume cost of widening.
+type WideningReport = widen.Report
+
+// CompareWidening sums the activation volumes of the original and widened
+// networks.
+func CompareWidening(orig, widened Network) WideningReport { return widen.Compare(orig, widened) }
+
+// DummyNetwork builds a decoy network for MEA noise injection.
+func DummyNetwork(name string, layers, h, w, c, k int) (Network, error) {
+	return widen.Dummy(name, layers, h, w, c, k)
+}
+
+// HardwareModule is one synthesized security block of Table 6.
+type HardwareModule = hw.Module
+
+// SeculatorHardware returns the security-module inventory (AES-128,
+// SHA-256, VN generator) with modeled area and power.
+func SeculatorHardware() []HardwareModule { return hw.SeculatorModules() }
+
+// HardwareTotals returns the summed area (µm²) and power (µW) of the
+// security modules.
+func HardwareTotals() (areaUM2, powerUW float64) {
+	ms := hw.SeculatorModules()
+	return hw.TotalArea(ms), hw.TotalPower(ms)
+}
