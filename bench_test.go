@@ -7,6 +7,7 @@ package seculator
 // next to the runtime cost of producing them.
 
 import (
+	"context"
 	"testing"
 
 	"seculator/internal/crypto"
@@ -203,11 +204,11 @@ func BenchmarkAblationOverlap(b *testing.B) {
 	net := workload.ResNet18()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		a, err := runner.Run(net, protect.Seculator, overlap)
+		a, err := runner.Run(context.Background(), net, protect.Seculator, overlap)
 		if err != nil {
 			b.Fatal(err)
 		}
-		s, err := runner.Run(net, protect.Seculator, serial)
+		s, err := runner.Run(context.Background(), net, protect.Seculator, serial)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func BenchmarkAblationMACCacheSize(b *testing.B) {
 			cfg.Protect.MACCacheBytes = kb * 1024
 			var miss float64
 			for i := 0; i < b.N; i++ {
-				r, err := runner.Run(net, protect.TNPU, cfg)
+				r, err := runner.Run(context.Background(), net, protect.TNPU, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -250,7 +251,7 @@ func BenchmarkAblationVNStorage(b *testing.B) {
 	net := workload.ResNet18()
 	var fsm, table, host uint64
 	for i := 0; i < b.N; i++ {
-		rs, err := runner.RunAll(net,
+		rs, err := runner.RunAll(context.Background(), net,
 			[]protect.Design{protect.Seculator, protect.TNPU, protect.GuardNN}, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -269,7 +270,7 @@ func BenchmarkAblationIntegrityGranularity(b *testing.B) {
 	net := workload.ResNet18()
 	var uncached, cached, layer uint64
 	for i := 0; i < b.N; i++ {
-		rs, err := runner.RunAll(net,
+		rs, err := runner.RunAll(context.Background(), net,
 			[]protect.Design{protect.GuardNN, protect.TNPU, protect.Seculator}, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -357,7 +358,7 @@ func BenchmarkRunResNet18(b *testing.B) {
 	for _, d := range []protect.Design{protect.Baseline, protect.Secure, protect.Seculator} {
 		b.Run(d.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := runner.Run(net, d, cfg); err != nil {
+				if _, err := runner.Run(context.Background(), net, d, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -542,7 +543,7 @@ func BenchmarkAblationArrayDataflow(b *testing.B) {
 		} {
 			cfg := DefaultConfig()
 			cfg.NPU.Dataflow = df.d
-			r, err := runner.Run(net, protect.Seculator, cfg)
+			r, err := runner.Run(context.Background(), net, protect.Seculator, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package seculator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -110,7 +111,7 @@ func Fig4Characterization(cfg Config) (CharacterizationResult, error) {
 	}
 	designs := []Design{Baseline, Secure, TNPU, GuardNN}
 	for _, n := range workload.All() {
-		rs, err := runner.RunAll(n, designs, cfg)
+		rs, err := runner.RunAll(context.Background(), n, designs, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -170,7 +171,7 @@ type EvaluationResult struct {
 func Fig7Performance(cfg Config) (EvaluationResult, error) {
 	var res EvaluationResult
 	for _, n := range workload.All() {
-		rs, err := runner.RunAll(n, protect.Designs(), cfg)
+		rs, err := runner.RunAll(context.Background(), n, protect.Designs(), cfg)
 		if err != nil {
 			return res, err
 		}
@@ -266,7 +267,7 @@ func Fig9Widening(cfg Config) (WideningResult, error) {
 			return 0, err
 		}
 		net := workload.Network{Name: fmt.Sprintf("widen-%d", size), Layers: []workload.Layer{l}}
-		r, err := runner.Run(net, d, cfg)
+		r, err := runner.Run(context.Background(), net, d, cfg)
 		if err != nil {
 			return 0, err
 		}

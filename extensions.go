@@ -1,6 +1,7 @@
 package seculator
 
 import (
+	"context"
 	"fmt"
 
 	"seculator/internal/energy"
@@ -42,7 +43,7 @@ func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
 // EnergyTable runs the network across the designs and renders per-design
 // energy breakdowns (extension experiment E17).
 func EnergyTable(n Network, cfg Config) (Table, error) {
-	rs, err := runner.RunAll(n, protect.Designs(), cfg)
+	rs, err := runner.RunAll(context.Background(), n, protect.Designs(), cfg)
 	if err != nil {
 		return Table{}, err
 	}
@@ -73,22 +74,43 @@ type SweepResult = sweep.Result
 
 // SweepBandwidth re-measures the design comparison across DRAM bandwidths.
 func SweepBandwidth(n Network, cfg Config, values []float64) (SweepResult, error) {
-	return sweep.Bandwidth(n, cfg, values)
+	return sweep.Bandwidth(context.Background(), n, cfg, values)
+}
+
+// SweepBandwidthContext is SweepBandwidth with cancellation between points.
+func SweepBandwidthContext(ctx context.Context, n Network, cfg Config, values []float64) (SweepResult, error) {
+	return sweep.Bandwidth(ctx, n, cfg, values)
 }
 
 // SweepGlobalBuffer sweeps the on-chip buffer capacity (KB).
 func SweepGlobalBuffer(n Network, cfg Config, kbs []int) (SweepResult, error) {
-	return sweep.GlobalBuffer(n, cfg, kbs)
+	return sweep.GlobalBuffer(context.Background(), n, cfg, kbs)
+}
+
+// SweepGlobalBufferContext is SweepGlobalBuffer with cancellation between
+// points.
+func SweepGlobalBufferContext(ctx context.Context, n Network, cfg Config, kbs []int) (SweepResult, error) {
+	return sweep.GlobalBuffer(ctx, n, cfg, kbs)
 }
 
 // SweepPEArray sweeps the (square) systolic array extent.
 func SweepPEArray(n Network, cfg Config, dims []int) (SweepResult, error) {
-	return sweep.PEArray(n, cfg, dims)
+	return sweep.PEArray(context.Background(), n, cfg, dims)
+}
+
+// SweepPEArrayContext is SweepPEArray with cancellation between points.
+func SweepPEArrayContext(ctx context.Context, n Network, cfg Config, dims []int) (SweepResult, error) {
+	return sweep.PEArray(ctx, n, cfg, dims)
 }
 
 // SweepMACCache sweeps the MAC-cache size (KB) of the per-block designs.
 func SweepMACCache(n Network, cfg Config, kbs []int) (SweepResult, error) {
-	return sweep.MACCache(n, cfg, kbs)
+	return sweep.MACCache(context.Background(), n, cfg, kbs)
+}
+
+// SweepMACCacheContext is SweepMACCache with cancellation between points.
+func SweepMACCacheContext(ctx context.Context, n Network, cfg Config, kbs []int) (SweepResult, error) {
+	return sweep.MACCache(ctx, n, cfg, kbs)
 }
 
 // SweepTable renders a sweep result.

@@ -1,6 +1,8 @@
 package seculator
 
 import (
+	"context"
+
 	"seculator/internal/defence"
 	"seculator/internal/host"
 )
@@ -40,7 +42,13 @@ func DefaultDefenceOptions() DefenceOptions { return defence.DefaultOptions() }
 // configuration with model-extraction leakage error >= target and runtime
 // overhead <= maxOverhead.
 func PlanDefence(victim Network, cfg Config, target, maxOverhead float64, opt DefenceOptions) (DefencePlan, error) {
-	return defence.PlanDefence(victim, cfg, target, maxOverhead, opt)
+	return defence.PlanDefence(context.Background(), victim, cfg, target, maxOverhead, opt)
+}
+
+// PlanDefenceContext is PlanDefence with a context: the search's underlying
+// simulations stop when ctx is cancelled.
+func PlanDefenceContext(ctx context.Context, victim Network, cfg Config, target, maxOverhead float64, opt DefenceOptions) (DefencePlan, error) {
+	return defence.PlanDefence(ctx, victim, cfg, target, maxOverhead, opt)
 }
 
 // SessionResult is a full secure-session outcome: the simulated execution
@@ -51,11 +59,24 @@ type SessionResult = host.SessionResult
 // PCIe link.
 type SessionIntercept = host.Intercept
 
+// SessionOptions extends a secure session beyond the timing simulation: a
+// man-in-the-middle intercept, a functional model (Input/Weights) executed
+// with layer-level detect-and-recover, a retry policy and a fault injector.
+type SessionOptions = host.SessionOptions
+
 // RunSecureSession drives the complete Figure 6 flow on the Seculator
 // design: the host issues one authenticated command per layer (geometry +
 // VN triplet), the NPU endpoint authenticates and cross-derives each
 // triplet, and the commanded network executes. Channel violations abort
-// the session.
+// the session with a typed ChannelError.
 func RunSecureSession(net Network, cfg Config, sessionKey []byte, mitm SessionIntercept) (SessionResult, error) {
-	return host.RunSession(net, cfg, sessionKey, mitm)
+	return host.RunSession(context.Background(), net, cfg, sessionKey, SessionOptions{Intercept: mitm})
+}
+
+// RunSecureSessionContext is the full-control session entry point: ctx
+// cancels between commands and layers, and opts can attach a functional
+// model, a recovery policy and a fault injector. No panic escapes; all
+// failures carry the resilience error taxonomy.
+func RunSecureSessionContext(ctx context.Context, net Network, cfg Config, sessionKey []byte, opts SessionOptions) (SessionResult, error) {
+	return host.RunSession(ctx, net, cfg, sessionKey, opts)
 }

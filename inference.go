@@ -1,6 +1,8 @@
 package seculator
 
 import (
+	"context"
+
 	"seculator/internal/attack"
 	"seculator/internal/nn"
 	"seculator/internal/secure"
@@ -44,9 +46,32 @@ type SecureInferenceHook = secure.Hook
 // ReferenceInference. A non-nil hook can mutate DRAM between phases; any
 // resulting integrity violation aborts the run.
 func SecureInference(net Network, in *Tensor, weights []*ModelWeights, hook SecureInferenceHook) (InferenceResult, error) {
+	return SecureInferenceContext(context.Background(), net, in, weights, InferenceOptions{Hook: hook})
+}
+
+// InferenceOptions tunes a secure functional inference.
+type InferenceOptions struct {
+	// Hook, when non-nil, interposes an attacker between execution phases.
+	Hook SecureInferenceHook
+	// Injector, when non-nil, attaches a fault injector to the DRAM's
+	// functional read/write paths.
+	Injector FaultInjector
+	// Retry overrides the layer-level recovery policy; the zero value uses
+	// DefaultRetryPolicy().
+	Retry RetryPolicy
+}
+
+// SecureInferenceContext is SecureInference with cancellation and full
+// control over fault injection and the layer-level detect-and-recover
+// policy. The returned result carries per-run recovery statistics.
+func SecureInferenceContext(ctx context.Context, net Network, in *Tensor, weights []*ModelWeights, opts InferenceOptions) (InferenceResult, error) {
 	x := secure.NewExecutor()
-	x.AfterPhase = hook
-	return x.Run(net, in, weights)
+	x.AfterPhase = opts.Hook
+	x.Injector = opts.Injector
+	if opts.Retry != (RetryPolicy{}) {
+		x.Retry = opts.Retry
+	}
+	return x.Run(ctx, net, in, weights)
 }
 
 // TransformerConfig shapes an encoder-only transformer built from the tiled
@@ -69,7 +94,12 @@ type MemoryTrace = trace.Trace
 // CaptureTrace simulates (network, design) and records the bus-visible
 // address trace.
 func CaptureTrace(n Network, d Design, cfg Config) (*MemoryTrace, error) {
-	return trace.Capture(n, d, cfg)
+	return trace.Capture(context.Background(), n, d, cfg)
+}
+
+// CaptureTraceContext is CaptureTrace with cancellation between layers.
+func CaptureTraceContext(ctx context.Context, n Network, d Design, cfg Config) (*MemoryTrace, error) {
+	return trace.Capture(ctx, n, d, cfg)
 }
 
 // DetectionCell is one (design, attack) outcome of the behavioural
@@ -79,16 +109,35 @@ type DetectionCell = attack.DetectionCell
 // DetectionAttack names one attack of the matrix.
 type DetectionAttack = attack.MatrixAttack
 
+// The detection-matrix attack rows, in Table 5 order. AttackReplay restores
+// a stale ciphertext alone (a stale-VN fault); the WithMAC variants also
+// restore/swap the matching MAC lines — the coherent attacks only
+// layer-level verification catches structurally.
+const (
+	AttackNone          = attack.AttackNone
+	AttackTamper        = attack.AttackTamper
+	AttackReplay        = attack.AttackReplay
+	AttackReplayWithMAC = attack.AttackReplayWithMAC
+	AttackSplice        = attack.AttackSplice
+	AttackSpliceWithMAC = attack.AttackSpliceWithMAC
+)
+
 // DetectionMatrix mounts tamper/replay/splice attacks (with and without
 // coherent MAC manipulation) against every design's functional memory and
 // reports who detects what — the behavioural validation of Table 5.
 func DetectionMatrix(s AttackScenario) ([]DetectionCell, error) {
-	return attack.DetectionMatrix(s)
+	return attack.DetectionMatrix(context.Background(), s)
+}
+
+// DetectionMatrixContext is DetectionMatrix with cancellation between
+// cells.
+func DetectionMatrixContext(ctx context.Context, s AttackScenario) ([]DetectionCell, error) {
+	return attack.DetectionMatrix(ctx, s)
 }
 
 // DetectionMatrixTable renders the matrix.
 func DetectionMatrixTable(s AttackScenario) (Table, error) {
-	cells, err := attack.DetectionMatrix(s)
+	cells, err := attack.DetectionMatrix(context.Background(), s)
 	if err != nil {
 		return Table{}, err
 	}

@@ -62,7 +62,10 @@ func RunSeculator(s Scenario, midLayer, mutate Mutator) error {
 	if s.Tiles <= 0 || s.Versions <= 0 || s.BlocksPerTile <= 0 {
 		return fmt.Errorf("attack: degenerate scenario %+v", s)
 	}
-	dram := mem.MustNew(mem.DefaultConfig())
+	dram, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		return err
+	}
 	sm := protect.NewSeculatorMemory(dram, s.Secret, s.BootRandom)
 	layout := Layout{Base: 0, Tiles: s.Tiles, BlocksPerTile: s.BlocksPerTile, FinalVN: s.Versions}
 
@@ -110,7 +113,10 @@ func RunSeculator(s Scenario, midLayer, mutate Mutator) error {
 // the ciphertext leaks the plaintext (equality) and the byte-value
 // histogram of all ciphertext, for entropy analysis.
 func Eavesdrop(s Scenario) (leaks int, histogram [256]int, err error) {
-	dram := mem.MustNew(mem.DefaultConfig())
+	dram, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		return 0, histogram, err
+	}
 	sm := protect.NewSeculatorMemory(dram, s.Secret, s.BootRandom)
 	layout := Layout{Base: 0, Tiles: s.Tiles, BlocksPerTile: s.BlocksPerTile, FinalVN: s.Versions}
 

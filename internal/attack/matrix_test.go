@@ -21,6 +21,15 @@ func buildMemory(t *testing.T, d protect.Design) (protect.FunctionalMemory, *pro
 // The behavioural Table 5: the Baseline fails to detect every attack (and
 // silently serves corrupted data), while every protected design — per-block
 // immediately, Seculator at its layer check — detects all of them.
+func mustDRAM(t *testing.T) *mem.DRAM {
+	t.Helper()
+	d, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		t.Fatalf("mem.New: %v", err)
+	}
+	return d
+}
+
 func TestDetectionMatrix(t *testing.T) {
 	s := DefaultScenario()
 	designs := []protect.Design{
@@ -70,7 +79,7 @@ func TestPerBlockDesignsDetectImmediately(t *testing.T) {
 
 // Counter rollback against the Secure design: the Merkle tree catches it.
 func TestSecureCounterRollback(t *testing.T) {
-	dram := mem.MustNew(mem.DefaultConfig())
+	dram := mustDRAM(t)
 	m, err := protect.NewSGXMemory(dram, 1, 2, 64)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +98,7 @@ func TestSecureCounterRollback(t *testing.T) {
 func TestXTSDeterminismVsCTRFreshness(t *testing.T) {
 	pt := scenarioPlain(0, 1, 0)
 
-	dram1 := mem.MustNew(mem.DefaultConfig())
+	dram1 := mustDRAM(t)
 	tnpu := protect.NewTNPUMemory(dram1, 9, 10)
 	tnpu.BeginLayer(1)
 	tnpu.Write(0, 0, 1, 0, pt)
@@ -100,7 +109,7 @@ func TestXTSDeterminismVsCTRFreshness(t *testing.T) {
 		t.Fatal("XTS should produce identical ciphertext for identical (data, address)")
 	}
 
-	dram2 := mem.MustNew(mem.DefaultConfig())
+	dram2 := mustDRAM(t)
 	gnn := protect.NewGuardNNMemory(dram2, 9, 10)
 	gnn.BeginLayer(1)
 	gnn.Write(0, 0, 1, 0, pt)

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"seculator/internal/mem"
@@ -11,7 +12,10 @@ import (
 // fresh DRAM, returning its off-chip MAC store when the design has one
 // (nil for Baseline and Seculator). Seculator+ shares Seculator's memory.
 func NewFunctionalMemory(d protect.Design) (protect.FunctionalMemory, *protect.MACStore, *mem.DRAM, error) {
-	dram := mem.MustNew(mem.DefaultConfig())
+	dram, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	switch d {
 	case protect.Baseline:
 		return protect.NewBaselineMemory(dram), nil, dram, nil
@@ -43,14 +47,20 @@ type DetectionCell struct {
 }
 
 // DetectionMatrix runs every attack against every design's functional
-// memory and returns the full matrix.
-func DetectionMatrix(s Scenario) ([]DetectionCell, error) {
+// memory and returns the full matrix. ctx cancels between cells.
+func DetectionMatrix(ctx context.Context, s Scenario) ([]DetectionCell, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	designs := []protect.Design{
 		protect.Baseline, protect.Secure, protect.TNPU, protect.GuardNN, protect.Seculator,
 	}
 	var out []DetectionCell
 	for _, d := range designs {
 		for _, atk := range MatrixAttacks() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			m, macs, dram, err := NewFunctionalMemory(d)
 			if err != nil {
 				return nil, err

@@ -6,6 +6,10 @@
 // The cache is a timing/occupancy model keyed by line address: it tracks
 // hits, misses, dirty state and evictions, but stores no payload — the
 // functional data lives with the protection engines.
+//
+// Error discipline: constructors return errors for bad configuration; the
+// package never panics on a reachable data path. Panics are reserved for
+// unreachable programmer-error invariants.
 package cache
 
 import (
@@ -67,15 +71,6 @@ func New(capacityBytes, ways int) (*Cache, error) {
 		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
 	}
 	return &Cache{sets: sets, ways: ways, lines: make([]line, linesTotal)}, nil
-}
-
-// MustNew is New, panicking on configuration errors (for fixed configs).
-func MustNew(capacityBytes, ways int) *Cache {
-	c, err := New(capacityBytes, ways)
-	if err != nil {
-		panic(err)
-	}
-	return c
 }
 
 // Result describes the outcome of one access.

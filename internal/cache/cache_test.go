@@ -27,17 +27,17 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew should panic on bad config")
-		}
-	}()
-	MustNew(7, 3)
+func mustNew(t *testing.T, capacityBytes, ways int) *Cache {
+	t.Helper()
+	c, err := New(capacityBytes, ways)
+	if err != nil {
+		t.Fatalf("New(%d, %d): %v", capacityBytes, ways, err)
+	}
+	return c
 }
 
 func TestHitMiss(t *testing.T) {
-	c := MustNew(4*64, 1) // 4 direct-mapped lines
+	c := mustNew(t, 4*64, 1) // 4 direct-mapped lines
 	if r := c.Access(0, false); r.Hit {
 		t.Fatal("cold access hit")
 	}
@@ -54,8 +54,8 @@ func TestHitMiss(t *testing.T) {
 }
 
 func TestConflictEvictionAndWriteback(t *testing.T) {
-	c := MustNew(4*64, 1) // direct mapped, 4 sets
-	c.Access(0, true)     // dirty line in set 0
+	c := mustNew(t, 4*64, 1) // direct mapped, 4 sets
+	c.Access(0, true)        // dirty line in set 0
 	r := c.Access(4, false)
 	if r.Hit || !r.Evicted || !r.WritebackReq || r.VictimAddr != 0 {
 		t.Fatalf("conflict eviction wrong: %+v", r)
@@ -72,7 +72,7 @@ func TestConflictEvictionAndWriteback(t *testing.T) {
 }
 
 func TestLRUOrder(t *testing.T) {
-	c := MustNew(2*64, 2) // one set, two ways
+	c := mustNew(t, 2*64, 2) // one set, two ways
 	c.Access(0, false)
 	c.Access(1, false)
 	c.Access(0, false) // 0 is now MRU
@@ -86,7 +86,7 @@ func TestLRUOrder(t *testing.T) {
 }
 
 func TestWriteHitMarksDirty(t *testing.T) {
-	c := MustNew(2*64, 2)
+	c := mustNew(t, 2*64, 2)
 	c.Access(0, false) // clean fill
 	c.Access(0, true)  // write hit -> dirty
 	c.Access(1, false)
@@ -97,7 +97,7 @@ func TestWriteHitMarksDirty(t *testing.T) {
 }
 
 func TestFlushDirty(t *testing.T) {
-	c := MustNew(8*64, 2)
+	c := mustNew(t, 8*64, 2)
 	c.Access(0, true)
 	c.Access(1, true)
 	c.Access(2, false)
@@ -110,7 +110,7 @@ func TestFlushDirty(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := MustNew(4*64, 2)
+	c := mustNew(t, 4*64, 2)
 	c.Access(0, true)
 	c.Invalidate()
 	if r := c.Access(0, false); r.Hit {
@@ -119,7 +119,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestResetStats(t *testing.T) {
-	c := MustNew(4*64, 2)
+	c := mustNew(t, 4*64, 2)
 	c.Access(0, false)
 	c.ResetStats()
 	if s := c.Stats(); s.Accesses != 0 {
@@ -134,7 +134,7 @@ func TestResetStats(t *testing.T) {
 // line and never hit — the paper's observation about MAC caches on
 // streaming DNN data.
 func TestStreamingHasNoReuse(t *testing.T) {
-	c := MustNew(8192, 4) // the 8 KB MAC cache
+	c := mustNew(t, 8192, 4) // the 8 KB MAC cache
 	for addr := uint64(0); addr < 4096; addr++ {
 		if r := c.Access(addr, false); r.Hit {
 			t.Fatalf("streaming access %d hit", addr)
@@ -149,7 +149,7 @@ func TestStreamingHasNoReuse(t *testing.T) {
 // no intervening conflicting fills is a hit.
 func TestAccountingProperty(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := MustNew(64*64, 4)
+		c := mustNew(t, 64*64, 4)
 		for _, a := range addrs {
 			c.Access(uint64(a), a%2 == 0)
 		}
@@ -164,7 +164,7 @@ func TestAccountingProperty(t *testing.T) {
 // Property: the cache never holds more distinct lines than its capacity.
 func TestCapacityProperty(t *testing.T) {
 	f := func(addrs []uint8) bool {
-		c := MustNew(4*64, 2) // 4 lines total
+		c := mustNew(t, 4*64, 2) // 4 lines total
 		resident := map[uint64]bool{}
 		for _, a := range addrs {
 			r := c.Access(uint64(a), false)

@@ -11,6 +11,7 @@
 package defence
 
 import (
+	"context"
 	"fmt"
 
 	"seculator/internal/attack"
@@ -54,14 +55,14 @@ func DefaultOptions() Options {
 // if no pure widening reaches the target, dummy injection is added to the
 // smallest factor that fits the budget — decoys break layer alignment,
 // which the leakage metric scores as total confusion.
-func PlanDefence(victim workload.Network, cfg runner.Config, target, maxOverhead float64, opt Options) (Plan, error) {
+func PlanDefence(ctx context.Context, victim workload.Network, cfg runner.Config, target, maxOverhead float64, opt Options) (Plan, error) {
 	if target < 0 || maxOverhead < 1 {
 		return Plan{}, fmt.Errorf("defence: invalid bounds target=%g maxOverhead=%g", target, maxOverhead)
 	}
 	if len(opt.Factors) == 0 {
 		return Plan{}, fmt.Errorf("defence: no widening factors to search")
 	}
-	base, err := runner.Run(victim, protect.SeculatorPlus, cfg)
+	base, err := runner.Run(ctx, victim, protect.SeculatorPlus, cfg)
 	if err != nil {
 		return Plan{}, err
 	}
@@ -76,7 +77,7 @@ func PlanDefence(victim workload.Network, cfg runner.Config, target, maxOverhead
 		if err != nil {
 			return Plan{}, err
 		}
-		run, err := runner.Run(wnet, protect.SeculatorPlus, cfg)
+		run, err := runner.Run(ctx, wnet, protect.SeculatorPlus, cfg)
 		if err != nil {
 			return Plan{}, err
 		}
@@ -115,7 +116,7 @@ func PlanDefence(victim workload.Network, cfg runner.Config, target, maxOverhead
 	if err != nil {
 		return Plan{}, err
 	}
-	run, err := runner.RunLayers("defended", sched, protect.SeculatorPlus, cfg)
+	run, err := runner.RunLayers(ctx, "defended", sched, protect.SeculatorPlus, cfg)
 	if err != nil {
 		return Plan{}, err
 	}

@@ -1,6 +1,7 @@
 package defence
 
 import (
+	"context"
 	"testing"
 
 	"seculator/internal/runner"
@@ -19,7 +20,7 @@ func victim() workload.Network {
 
 func TestPlanPureWidening(t *testing.T) {
 	cfg := runner.DefaultConfig()
-	p, err := PlanDefence(victim(), cfg, 0.3, 20, DefaultOptions())
+	p, err := PlanDefence(context.Background(), victim(), cfg, 0.3, 20, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestPlanPureWidening(t *testing.T) {
 
 func TestPlanTrivialTarget(t *testing.T) {
 	cfg := runner.DefaultConfig()
-	p, err := PlanDefence(victim(), cfg, 0.0, 2, DefaultOptions())
+	p, err := PlanDefence(context.Background(), victim(), cfg, 0.0, 2, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestPlanFallsBackToDummies(t *testing.T) {
 	cfg := runner.DefaultConfig()
 	// A 0.99 target is unreachable by the in-budget widening factors, but
 	// decoy injection (alignment destruction) reaches it.
-	p, err := PlanDefence(victim(), cfg, 0.99, 50, DefaultOptions())
+	p, err := PlanDefence(context.Background(), victim(), cfg, 0.99, 50, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,20 +69,20 @@ func TestPlanBudgetTooTight(t *testing.T) {
 	cfg := runner.DefaultConfig()
 	// Overhead budget 1.0 forbids everything beyond the identity; the
 	// identity cannot reach a 0.9 target, and dummies exceed the budget.
-	if _, err := PlanDefence(victim(), cfg, 0.9, 1.0, DefaultOptions()); err == nil {
+	if _, err := PlanDefence(context.Background(), victim(), cfg, 0.9, 1.0, DefaultOptions()); err == nil {
 		t.Fatal("impossible budget accepted")
 	}
 }
 
 func TestPlanValidation(t *testing.T) {
 	cfg := runner.DefaultConfig()
-	if _, err := PlanDefence(victim(), cfg, -1, 2, DefaultOptions()); err == nil {
+	if _, err := PlanDefence(context.Background(), victim(), cfg, -1, 2, DefaultOptions()); err == nil {
 		t.Fatal("negative target accepted")
 	}
-	if _, err := PlanDefence(victim(), cfg, 0.5, 0.5, DefaultOptions()); err == nil {
+	if _, err := PlanDefence(context.Background(), victim(), cfg, 0.5, 0.5, DefaultOptions()); err == nil {
 		t.Fatal("sub-1 budget accepted")
 	}
-	if _, err := PlanDefence(victim(), cfg, 0.5, 2, Options{}); err == nil {
+	if _, err := PlanDefence(context.Background(), victim(), cfg, 0.5, 2, Options{}); err == nil {
 		t.Fatal("empty factor list accepted")
 	}
 }

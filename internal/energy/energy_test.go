@@ -1,6 +1,7 @@
 package energy
 
 import (
+	"context"
 	"testing"
 
 	"seculator/internal/protect"
@@ -17,7 +18,7 @@ func results(t *testing.T) (workload.Network, []runner.Result) {
 			{Name: "c2", Type: workload.Conv, C: 16, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1},
 		},
 	}
-	rs, err := runner.RunAll(n, []protect.Design{
+	rs, err := runner.RunAll(context.Background(), n, []protect.Design{
 		protect.Baseline, protect.TNPU, protect.GuardNN, protect.Seculator,
 	}, runner.DefaultConfig())
 	if err != nil {

@@ -1,0 +1,187 @@
+// Package fault provides deterministic, seeded fault injectors for the
+// functional DRAM model and a campaign runner that measures how the secure
+// execution path reacts to them.
+//
+// Injectors implement mem.Injector and attach to a DRAM with SetInjector;
+// they corrupt block transfers on the pins (read path: transient unless
+// repeated) or the stored payload (write path: persistent until rewritten).
+// Every injector draws from its own seeded PRNG, so a campaign run is
+// exactly reproducible from its seeds.
+//
+// The classes model distinct physical phenomena:
+//
+//   - BitFlip  — independent single-bit upsets on the read path at a
+//     configurable per-read rate (transient: a re-fetch reads clean data).
+//   - StuckAt  — a faulty row: selected lines always return with one bit
+//     forced set (persistent: re-fetching cannot repair it).
+//   - Burst    — a contiguous window of reads returns corrupted data
+//     (transient burst, e.g. a voltage droop).
+//   - Replay   — stale-ciphertext replay: the first overwritten line's old
+//     payload is served on every subsequent read (persistent, active
+//     tampering — the attack Seculator's VN scheme must catch).
+//
+// MAC-register corruption — an on-chip fault rather than a pin fault — is
+// injected through protect.SeculatorMemory.TamperMACRegister and exercised
+// by the campaign runner directly.
+package fault
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// BitFlip flips one random bit of a read payload with probability Rate per
+// block read. Transient: the backing store is never touched.
+type BitFlip struct {
+	Rate float64 // per-read flip probability in [0, 1]
+	rng  *rand.Rand
+	hits int
+}
+
+// NewBitFlip returns a seeded single-bit-upset injector.
+func NewBitFlip(rate float64, seed int64) *BitFlip {
+	return &BitFlip{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OnRead implements mem.Injector.
+func (f *BitFlip) OnRead(_ uint64, data []byte) {
+	if f.rng.Float64() >= f.Rate {
+		return
+	}
+	bit := f.rng.Intn(len(data) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+	f.hits++
+}
+
+// OnWrite implements mem.Injector.
+func (f *BitFlip) OnWrite(uint64, []byte) {}
+
+// Injected returns how many flips were delivered.
+func (f *BitFlip) Injected() int { return f.hits }
+
+// StuckAt models a faulty DRAM row: every read of a line with
+// addr % Period == Phase returns with the given bit forced to one.
+// Persistent on the read path: retries re-observe the same fault.
+type StuckAt struct {
+	Period uint64 // line-address period selecting faulty lines
+	Phase  uint64 // which residue class is faulty
+	Bit    uint   // bit index within the 512-bit block to force
+	hits   int
+}
+
+// NewStuckAt returns a stuck-at-one injector for lines addr%period == phase.
+func NewStuckAt(period, phase uint64, bit uint) *StuckAt {
+	if period == 0 {
+		period = 1
+	}
+	return &StuckAt{Period: period, Phase: phase % period, Bit: bit}
+}
+
+// OnRead implements mem.Injector.
+func (f *StuckAt) OnRead(addr uint64, data []byte) {
+	if addr%f.Period != f.Phase {
+		return
+	}
+	i := int(f.Bit/8) % len(data)
+	mask := byte(1 << (f.Bit % 8))
+	if data[i]&mask == 0 {
+		data[i] |= mask
+		f.hits++
+	}
+}
+
+// OnWrite implements mem.Injector.
+func (f *StuckAt) OnWrite(uint64, []byte) {}
+
+// Injected returns how many reads the stuck bit actually altered.
+func (f *StuckAt) Injected() int { return f.hits }
+
+// Burst corrupts a contiguous window of block reads — reads number
+// [Start, Start+Count) since attachment each get Bytes random bytes
+// overwritten. Transient: only the in-flight data is corrupted.
+type Burst struct {
+	Start uint64 // first corrupted read (0-based read ordinal)
+	Count uint64 // how many consecutive reads to corrupt
+	Bytes int    // bytes overwritten per corrupted read
+	rng   *rand.Rand
+	reads uint64
+	hits  int
+}
+
+// NewBurst returns a seeded burst-corruption injector.
+func NewBurst(start, count uint64, bytesPerRead int, seed int64) *Burst {
+	if bytesPerRead <= 0 {
+		bytesPerRead = 4
+	}
+	return &Burst{Start: start, Count: count, Bytes: bytesPerRead, rng: rand.New(rand.NewSource(seed))}
+}
+
+// OnRead implements mem.Injector.
+func (f *Burst) OnRead(_ uint64, data []byte) {
+	n := f.reads
+	f.reads++
+	if n < f.Start || n >= f.Start+f.Count {
+		return
+	}
+	for i := 0; i < f.Bytes; i++ {
+		data[f.rng.Intn(len(data))] ^= byte(1 + f.rng.Intn(255))
+	}
+	f.hits++
+}
+
+// OnWrite implements mem.Injector.
+func (f *Burst) OnWrite(uint64, []byte) {}
+
+// Injected returns how many reads fell inside the burst window.
+func (f *Burst) Injected() int { return f.hits }
+
+// Replay mounts a stale-ciphertext replay: it snapshots the first payload
+// written to every line, and once a line is overwritten with different
+// content (a version-number bump on the partial-sum path), it serves the
+// stale snapshot on every subsequent read of that line. Persistent active
+// tampering: re-fetching returns the same stale ciphertext.
+type Replay struct {
+	first  map[uint64][]byte
+	target uint64
+	armed  bool
+	hits   int
+}
+
+// NewReplay returns a replay injector; it arms itself on the first
+// observed overwrite.
+func NewReplay() *Replay {
+	return &Replay{first: make(map[uint64][]byte)}
+}
+
+// OnWrite implements mem.Injector: snapshot first versions, arm on the
+// first overwrite.
+func (f *Replay) OnWrite(addr uint64, data []byte) {
+	old, seen := f.first[addr]
+	if !seen {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		f.first[addr] = cp
+		return
+	}
+	if !f.armed && !bytes.Equal(old, data) {
+		f.armed = true
+		f.target = addr
+	}
+}
+
+// OnRead implements mem.Injector: serve the stale snapshot for the target.
+func (f *Replay) OnRead(addr uint64, data []byte) {
+	if !f.armed || addr != f.target {
+		return
+	}
+	if stale, ok := f.first[addr]; ok && !bytes.Equal(stale, data) {
+		copy(data, stale)
+		f.hits++
+	}
+}
+
+// Armed reports whether an overwrite was observed and the replay mounted.
+func (f *Replay) Armed() bool { return f.armed }
+
+// Injected returns how many reads were served stale data.
+func (f *Replay) Injected() int { return f.hits }

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -167,7 +168,7 @@ func sessionNet() workload.Network {
 }
 
 func TestRunSessionHonest(t *testing.T) {
-	res, err := RunSession(sessionNet(), runner.DefaultConfig(), key, nil)
+	res, err := RunSession(context.Background(), sessionNet(), runner.DefaultConfig(), key, SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,13 +183,13 @@ func TestRunSessionMITMDetected(t *testing.T) {
 			p.Payload[30] ^= 0x40 // rewrite the commanded geometry in flight
 		}
 	}
-	if _, err := RunSession(sessionNet(), runner.DefaultConfig(), key, mitm); !errors.Is(err, ErrChannel) {
+	if _, err := RunSession(context.Background(), sessionNet(), runner.DefaultConfig(), key, SessionOptions{Intercept: mitm}); !errors.Is(err, ErrChannel) {
 		t.Fatalf("MITM not detected: %v", err)
 	}
 }
 
 func TestRunSessionRejectsBadNetwork(t *testing.T) {
-	if _, err := RunSession(workload.Network{Name: "empty"}, runner.DefaultConfig(), key, nil); err == nil {
+	if _, err := RunSession(context.Background(), workload.Network{Name: "empty"}, runner.DefaultConfig(), key, SessionOptions{}); err == nil {
 		t.Fatal("invalid network accepted")
 	}
 }

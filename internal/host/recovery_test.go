@@ -1,0 +1,102 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"seculator/internal/fault"
+	"seculator/internal/nn"
+	"seculator/internal/resilience"
+	"seculator/internal/runner"
+)
+
+// flipOnce flips one bit on the very first DRAM read of the run — the first
+// reads happen during layer-0 execution (host model loads are writes), so
+// the fault lands mid-inference and must be repaired by the layer retry.
+type flipOnce struct{ fired bool }
+
+func (f *flipOnce) OnRead(_ uint64, data []byte) {
+	if f.fired {
+		return
+	}
+	data[0] ^= 0x80
+	f.fired = true
+}
+
+func (f *flipOnce) OnWrite(uint64, []byte) {}
+
+// TestRunSessionFunctionalRecovery: a full secure session carrying a
+// functional model recovers a transient upset and surfaces the recovery
+// statistics in the session result.
+func TestRunSessionFunctionalRecovery(t *testing.T) {
+	net := sessionNet()
+	in, ws := nn.RandomModel(net, 21)
+	golden, err := nn.ForwardNetwork(net, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &flipOnce{}
+	res, err := RunSession(context.Background(), net, runner.DefaultConfig(), key, SessionOptions{
+		Input: in, Weights: ws, Injector: inj,
+	})
+	if err != nil {
+		t.Fatalf("session with one transient upset aborted: %v", err)
+	}
+	if !inj.fired {
+		t.Fatal("injector never fired; test exercised nothing")
+	}
+	if res.Recovery.Recovered != 1 {
+		t.Fatalf("recovery stats %+v, want one recovered layer", res.Recovery)
+	}
+	if res.Output == nil || !res.Output.Equal(golden) {
+		t.Fatal("session output differs from the reference")
+	}
+	if res.Commands != len(net.Layers) || res.Cycles == 0 {
+		t.Fatalf("timing side lost: %d commands, %d cycles", res.Commands, res.Cycles)
+	}
+}
+
+// TestRunSessionPersistentFaultAborts: a stuck-at fault on every line
+// defeats the retries; the session aborts with a typed integrity violation
+// and the latched breach is still visible in the partial result.
+func TestRunSessionPersistentFaultAborts(t *testing.T) {
+	net := sessionNet()
+	in, ws := nn.RandomModel(net, 22)
+	res, err := RunSession(context.Background(), net, runner.DefaultConfig(), key, SessionOptions{
+		Input: in, Weights: ws, Injector: fault.NewStuckAt(1, 0, 5),
+	})
+	if err == nil {
+		t.Fatal("persistent fault completed without error")
+	}
+	var ie *resilience.IntegrityError
+	var fe *resilience.FreshnessError
+	if !errors.As(err, &ie) && !errors.As(err, &fe) {
+		t.Fatalf("abort outside the taxonomy: %v", err)
+	}
+	if !res.Recovery.Breached {
+		t.Fatalf("breach not latched in the surfaced stats: %+v", res.Recovery)
+	}
+}
+
+// TestRunSessionChannelErrorTyped: the MITM abort carries the typed
+// ChannelError of the resilience taxonomy, not just the sentinel.
+func TestRunSessionChannelErrorTyped(t *testing.T) {
+	mitm := func(layer int, p *Packet) {
+		if layer == 0 {
+			p.Tag[0] ^= 0x01
+		}
+	}
+	_, err := RunSession(context.Background(), sessionNet(), runner.DefaultConfig(), key,
+		SessionOptions{Intercept: mitm})
+	var ce *resilience.ChannelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want ChannelError", err)
+	}
+	if ce.Layer != 0 {
+		t.Fatalf("violation attributed to layer %d, want 0", ce.Layer)
+	}
+	if resilience.Retryable(err) {
+		t.Fatal("channel violation reported as retryable")
+	}
+}

@@ -1,34 +1,83 @@
 package host
 
 import (
+	"context"
 	"fmt"
 
 	"seculator/internal/dataflow"
+	"seculator/internal/mem"
+	"seculator/internal/nn"
 	"seculator/internal/protect"
+	"seculator/internal/resilience"
 	"seculator/internal/runner"
 	"seculator/internal/sched"
+	"seculator/internal/secure"
 	"seculator/internal/workload"
 )
 
 // SessionResult is the outcome of a full secure session: the simulated
-// execution plus the command-channel accounting.
+// execution plus the command-channel accounting, and — when the session
+// carried a functional model — the decrypted output with its layer-level
+// recovery statistics.
 type SessionResult struct {
 	runner.Result
 	Commands int // authenticated layer commands delivered
+
+	// Output is the functional inference result when Options.Input was
+	// provided; nil for timing-only sessions.
+	Output *nn.Tensor
+	// Recovery reports detect-and-recover activity of the functional
+	// execution (zero for timing-only sessions).
+	Recovery resilience.Stats
 }
 
 // Intercept lets tests play the man in the middle on the PCIe link: it may
 // mutate the packet in flight. A nil Intercept is the honest link.
 type Intercept func(layer int, p *Packet)
 
+// SessionOptions extends a secure session beyond the timing simulation.
+type SessionOptions struct {
+	// Intercept, when non-nil, is the PCIe man in the middle.
+	Intercept Intercept
+
+	// Input and Weights, when Input is non-nil, make the session run the
+	// commanded network functionally through the encrypted Seculator path
+	// after the command phase, with layer-level detect-and-recover.
+	Input   *nn.Tensor
+	Weights []*nn.Weights
+
+	// Retry is the recovery policy of the functional execution; the zero
+	// policy uses resilience.DefaultPolicy().
+	Retry resilience.Policy
+
+	// Injector, when non-nil, attaches a fault injector to the functional
+	// execution's DRAM.
+	Injector mem.Injector
+}
+
 // RunSession drives the complete Figure 6 flow for one inference on the
 // Seculator design: the host maps every layer, derives its VN triplet, and
 // issues an authenticated command over the session-key channel; the NPU
 // endpoint authenticates each command and cross-checks the triplet against
 // its own derivation from the commanded layer before executing. Any channel
-// violation aborts the session (reboot required). The returned result is
-// the simulated execution of the commanded network.
-func RunSession(net workload.Network, cfg runner.Config, sessionKey []byte, mitm Intercept) (SessionResult, error) {
+// violation aborts the session with a typed resilience.ChannelError (reboot
+// required). The returned result is the simulated execution of the
+// commanded network, plus — when opts carries a model — the functional
+// output and its recovery statistics. ctx cancels between layers; no panic
+// escapes.
+func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, sessionKey []byte,
+	opts SessionOptions) (res SessionResult, err error) {
+
+	defer resilience.Recover(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return SessionResult{}, &resilience.ConfigError{Err: err}
+	}
+	if err := net.Validate(); err != nil {
+		return SessionResult{}, &resilience.ConfigError{Err: err}
+	}
 	choices, err := sched.MapNetwork(net, cfg.NPU, cfg.DRAM)
 	if err != nil {
 		return SessionResult{}, err
@@ -37,18 +86,23 @@ func RunSession(net workload.Network, cfg runner.Config, sessionKey []byte, mitm
 	npu := NewEndpoint(sessionKey)
 
 	for i, c := range choices {
+		if err := ctx.Err(); err != nil {
+			return SessionResult{}, err
+		}
 		cmd := Command{
 			LayerIndex: uint32(i),
 			Layer:      c.Layer,
 			Triplet:    dataflow.DeriveWrite(c.Mapping),
 		}
 		pkt := ctrl.Issue(cmd)
-		if mitm != nil {
-			mitm(i, &pkt)
+		if opts.Intercept != nil {
+			opts.Intercept(i, &pkt)
 		}
 		rcvd, err := npu.Receive(pkt)
 		if err != nil {
-			return SessionResult{}, fmt.Errorf("host: layer %d command refused: %w", i, err)
+			return SessionResult{}, &resilience.ChannelError{
+				Layer: i, Err: fmt.Errorf("host: layer %d command refused: %w", i, err),
+			}
 		}
 		// The NPU sanity-checks the commanded triplet against its own
 		// derivation for the commanded layer — a forged-but-authenticated
@@ -58,14 +112,33 @@ func RunSession(net workload.Network, cfg runner.Config, sessionKey []byte, mitm
 			return SessionResult{}, fmt.Errorf("host: layer %d: commanded layer unmappable: %w", i, err)
 		}
 		if want := dataflow.DeriveWrite(m.Mapping); want != rcvd.Triplet {
-			return SessionResult{}, fmt.Errorf("%w: layer %d triplet %v != derived %v",
-				ErrChannel, i, rcvd.Triplet, want)
+			return SessionResult{}, &resilience.ChannelError{
+				Layer: i,
+				Err: fmt.Errorf("%w: layer %d triplet %v != derived %v",
+					ErrChannel, i, rcvd.Triplet, want),
+			}
 		}
 	}
 
-	res, err := runner.Run(net, protect.Seculator, cfg)
+	r, err := runner.Run(ctx, net, protect.Seculator, cfg)
 	if err != nil {
 		return SessionResult{}, err
 	}
-	return SessionResult{Result: res, Commands: len(choices)}, nil
+	res = SessionResult{Result: r, Commands: len(choices)}
+
+	if opts.Input != nil {
+		x := secure.NewExecutor()
+		x.NPU, x.DRAM = cfg.NPU, cfg.DRAM
+		x.Injector = opts.Injector
+		if opts.Retry != (resilience.Policy{}) {
+			x.Retry = opts.Retry
+		}
+		fr, err := x.Run(ctx, net, opts.Input, opts.Weights)
+		res.Recovery = fr.Recovery
+		if err != nil {
+			return res, fmt.Errorf("host: functional execution: %w", err)
+		}
+		res.Output = fr.Output
+	}
+	return res, nil
 }

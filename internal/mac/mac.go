@@ -157,6 +157,45 @@ func (c *LayerChecker) Current() *Bank {
 	return &c.banks[c.cur]
 }
 
+// Restart clears the current layer's bank without advancing to the other
+// one — the recovery primitive: when the in-flight layer's verification
+// fails and the executor re-fetches and re-executes it, the layer's own
+// accumulated folds must be discarded while the previous layer's pending
+// bank stays intact for the re-verification.
+func (c *LayerChecker) Restart() {
+	if !c.ran {
+		return
+	}
+	b := c.Current()
+	b.Reset(b.layer)
+}
+
+// Tamper XORs mask into the first byte of one register of the current bank
+// ("W", "R", "FR" or "IR") — the fault-injection model of an on-chip MAC
+// register upset. Unknown names are ignored.
+func (c *LayerChecker) Tamper(register string, mask byte) {
+	if !c.ran || mask == 0 {
+		return
+	}
+	b := c.Current()
+	var r *Register
+	switch register {
+	case "W":
+		r = &b.W
+	case "R":
+		r = &b.R
+	case "FR":
+		r = &b.FR
+	case "IR":
+		r = &b.IR
+	default:
+		return
+	}
+	var d Digest
+	d[0] = mask
+	r.value = r.value.Xor(d)
+}
+
 // previous returns the other bank (last layer), or nil before layer two.
 func (c *LayerChecker) previous() *Bank {
 	b := &c.banks[c.cur^1]

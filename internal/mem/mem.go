@@ -13,6 +13,10 @@
 // in 64-byte blocks per NPU cycle. Traffic is accounted per purpose
 // (sim.Traffic) so experiments can attribute overhead to MACs, counters,
 // Merkle nodes, or metadata tables.
+//
+// Error discipline: constructors return errors for bad configuration; the
+// package never panics on a reachable data path. Panics are reserved for
+// unreachable programmer-error invariants.
 package mem
 
 import (
@@ -70,11 +74,24 @@ func (t TrafficStats) ByKind(k sim.Traffic) uint64 {
 // Overhead returns all non-data blocks.
 func (t TrafficStats) Overhead() uint64 { return t.Total() - t.ByKind(sim.DataTraffic) }
 
+// Injector intercepts block transfers on the DRAM pins — the attachment
+// point for fault-injection campaigns (package fault). OnRead runs after the
+// stored payload is copied into the destination buffer and may mutate it in
+// place: a read-path fault, transient unless the injector repeats it.
+// OnWrite runs on the payload about to be stored and may mutate it: a
+// write-path fault, persistent until the line is rewritten. Both observe
+// every functional transfer, including host loads.
+type Injector interface {
+	OnRead(lineAddr uint64, data []byte)
+	OnWrite(lineAddr uint64, data []byte)
+}
+
 // DRAM is the memory model plus functional backing store.
 type DRAM struct {
-	cfg     Config
-	traffic TrafficStats
-	store   map[uint64][]byte // line address -> 64-byte payload
+	cfg      Config
+	traffic  TrafficStats
+	store    map[uint64][]byte // line address -> 64-byte payload
+	injector Injector
 }
 
 // New builds a DRAM with the given config.
@@ -85,17 +102,12 @@ func New(cfg Config) (*DRAM, error) {
 	return &DRAM{cfg: cfg, store: make(map[uint64][]byte)}, nil
 }
 
-// MustNew is New, panicking on bad config.
-func MustNew(cfg Config) *DRAM {
-	d, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // Config returns the model parameters.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetInjector installs (or, with nil, removes) a fault injector on the
+// functional read/write paths.
+func (d *DRAM) SetInjector(i Injector) { d.injector = i }
 
 // ServiceTime returns the cycles to serve a burst of n blocks.
 func (d *DRAM) ServiceTime(n int) sim.Cycles {
@@ -137,6 +149,9 @@ func (d *DRAM) WriteBlock(lineAddr uint64, payload []byte, purpose sim.Traffic) 
 		d.store[lineAddr] = buf
 	}
 	copy(buf, payload)
+	if d.injector != nil {
+		d.injector.OnWrite(lineAddr, buf)
+	}
 	d.Record(sim.Write, purpose, 1)
 }
 
@@ -152,6 +167,9 @@ func (d *DRAM) ReadBlock(lineAddr uint64, dst []byte, purpose sim.Traffic) {
 		for i := range dst {
 			dst[i] = 0
 		}
+	}
+	if d.injector != nil {
+		d.injector.OnRead(lineAddr, dst)
 	}
 	d.Record(sim.Read, purpose, 1)
 }

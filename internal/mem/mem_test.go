@@ -24,17 +24,17 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew should panic")
-		}
-	}()
-	MustNew(Config{})
+func mustNew(t *testing.T, cfg Config) *DRAM {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return d
 }
 
 func TestServiceTime(t *testing.T) {
-	d := MustNew(Config{Channels: 2, LatencyCycles: 100, BlocksPerCycle: 0.25})
+	d := mustNew(t, Config{Channels: 2, LatencyCycles: 100, BlocksPerCycle: 0.25})
 	if d.ServiceTime(0) != 0 {
 		t.Fatal("zero blocks should be free")
 	}
@@ -49,7 +49,7 @@ func TestServiceTime(t *testing.T) {
 }
 
 func TestServiceTimeMonotoneProperty(t *testing.T) {
-	d := MustNew(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	f := func(a, b uint8) bool {
 		x, y := int(a), int(b)
 		if x > y {
@@ -63,7 +63,7 @@ func TestServiceTimeMonotoneProperty(t *testing.T) {
 }
 
 func TestRecordTraffic(t *testing.T) {
-	d := MustNew(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	d.Record(sim.Read, sim.DataTraffic, 10)
 	d.Record(sim.Write, sim.DataTraffic, 5)
 	d.Record(sim.Read, sim.MACTraffic, 3)
@@ -93,7 +93,7 @@ func payload(seed byte) []byte {
 }
 
 func TestBackingStoreRoundTrip(t *testing.T) {
-	d := MustNew(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	p := payload(3)
 	d.WriteBlock(42, p, sim.DataTraffic)
 	got := make([]byte, tensor.BlockBytes)
@@ -116,7 +116,7 @@ func TestBackingStoreRoundTrip(t *testing.T) {
 }
 
 func TestWriteBlockCopies(t *testing.T) {
-	d := MustNew(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	p := payload(1)
 	d.WriteBlock(1, p, sim.DataTraffic)
 	p[0] ^= 0xFF // caller mutates its buffer afterwards
@@ -128,7 +128,7 @@ func TestWriteBlockCopies(t *testing.T) {
 }
 
 func TestBadSizesPanic(t *testing.T) {
-	d := MustNew(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	for _, f := range []func(){
 		func() { d.WriteBlock(0, make([]byte, 8), sim.DataTraffic) },
 		func() { d.ReadBlock(0, make([]byte, 8), sim.DataTraffic) },
@@ -145,7 +145,7 @@ func TestBadSizesPanic(t *testing.T) {
 }
 
 func TestAttackerPrimitives(t *testing.T) {
-	d := MustNew(DefaultConfig())
+	d := mustNew(t, DefaultConfig())
 	d.WriteBlock(1, payload(1), sim.DataTraffic)
 	d.WriteBlock(2, payload(2), sim.DataTraffic)
 
@@ -207,7 +207,7 @@ func TestRowBufferGeometry(t *testing.T) {
 	if _, err := NewRowBuffer(0, 1, 1); err == nil {
 		t.Fatal("zero channels accepted")
 	}
-	m := MustNewRowBuffer(2, 4, 8)
+	m := mustRowBuffer(t, 2, 4, 8)
 	// Sequential blocks within a row: one miss, then hits.
 	for i := uint64(0); i < 8; i++ {
 		m.Access(i)
@@ -228,23 +228,29 @@ func TestRowBufferGeometry(t *testing.T) {
 	}
 }
 
-func TestRowBufferPanicsOnBadGeometry(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNewRowBuffer should panic")
-		}
-	}()
-	MustNewRowBuffer(0, 0, 0)
+func TestRowBufferRejectsBadGeometry(t *testing.T) {
+	if _, err := NewRowBuffer(0, 0, 0); err == nil {
+		t.Fatal("NewRowBuffer should reject degenerate geometry")
+	}
+}
+
+func mustRowBuffer(t *testing.T, channels, banks, rowBlocks int) *RowBufferModel {
+	t.Helper()
+	m, err := NewRowBuffer(channels, banks, rowBlocks)
+	if err != nil {
+		t.Fatalf("NewRowBuffer(%d, %d, %d): %v", channels, banks, rowBlocks, err)
+	}
+	return m
 }
 
 // Interleaving a second, far-away stream with a sequential one destroys
 // row locality when both map to the same bank row group.
 func TestRowBufferInterleavingHurts(t *testing.T) {
-	seq := MustNewRowBuffer(1, 1, 8)
+	seq := mustRowBuffer(t, 1, 1, 8)
 	for i := uint64(0); i < 64; i++ {
 		seq.Access(i)
 	}
-	mixed := MustNewRowBuffer(1, 1, 8)
+	mixed := mustRowBuffer(t, 1, 1, 8)
 	for i := uint64(0); i < 64; i++ {
 		mixed.Access(i)
 		mixed.Access(1 << 20) // metadata detour to a distant row
@@ -255,7 +261,7 @@ func TestRowBufferInterleavingHurts(t *testing.T) {
 }
 
 func TestRowBufferAccessRange(t *testing.T) {
-	m := MustNewRowBuffer(2, 2, 4)
+	m := mustRowBuffer(t, 2, 2, 4)
 	m.AccessRange(0, 16)
 	hits, misses := m.Stats()
 	if hits+misses != 16 {

@@ -42,15 +42,6 @@ func NewRowBuffer(channels, banks, rowBlocks int) (*RowBufferModel, error) {
 	return m, nil
 }
 
-// MustNewRowBuffer is NewRowBuffer, panicking on bad geometry.
-func MustNewRowBuffer(channels, banks, rowBlocks int) *RowBufferModel {
-	m, err := NewRowBuffer(channels, banks, rowBlocks)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Access touches one block address and reports whether it hit the open
 // row. Address mapping: row-interleaved across channels, then banks —
 // consecutive rows land on different channels so streams use both.

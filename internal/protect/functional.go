@@ -42,6 +42,24 @@ func (m *SeculatorMemory) BeginLayer(layerID uint32) {
 	m.checker.Begin(layerID)
 }
 
+// RestartLayer discards the current layer's accumulated MAC folds while
+// keeping the previous layer's pending bank — the first step of a
+// layer-level recovery: the executor re-fetches the working set and
+// re-executes the layer, re-accumulating FR/R/W from scratch.
+func (m *SeculatorMemory) RestartLayer() {
+	m.mustStart()
+	m.checker.Restart()
+}
+
+// TamperMACRegister XORs mask into the named register ("W", "R", "FR",
+// "IR") of the current layer's bank — the fault-injection hook for on-chip
+// MAC-register upsets. The corruption is caught by the next Equation 1
+// check exactly like off-chip tampering.
+func (m *SeculatorMemory) TamperMACRegister(register string, mask byte) {
+	m.mustStart()
+	m.checker.Tamper(register, mask)
+}
+
 func (m *SeculatorMemory) counter(layer, fmapID uint32, vn int, blockIdx uint32) crypto.Counter {
 	return crypto.Counter{Fmap: fmapID, Layer: layer, VN: uint32(vn), Block: blockIdx}
 }

@@ -18,13 +18,23 @@ func plainBlock(seed byte) []byte {
 	return b
 }
 
-func newSecMem() (*SeculatorMemory, *mem.DRAM) {
-	d := mem.MustNew(mem.DefaultConfig())
+func mustDRAM(t *testing.T) *mem.DRAM {
+	t.Helper()
+	d, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		t.Fatalf("mem.New: %v", err)
+	}
+	return d
+}
+
+func newSecMem(t *testing.T) (*SeculatorMemory, *mem.DRAM) {
+	t.Helper()
+	d := mustDRAM(t)
 	return NewSeculatorMemory(d, 0xabc, 0xdef), d
 }
 
 func TestSeculatorMemoryRoundTrip(t *testing.T) {
-	sm, _ := newSecMem()
+	sm, _ := newSecMem(t)
 	sm.BeginLayer(1)
 	pt := plainBlock(1)
 	sm.WriteBlock(10, 0, 1, 0, pt)
@@ -42,7 +52,7 @@ func TestSeculatorMemoryRoundTrip(t *testing.T) {
 }
 
 func TestSeculatorMemoryEquationOne(t *testing.T) {
-	sm, _ := newSecMem()
+	sm, _ := newSecMem(t)
 	sm.BeginLayer(1)
 	finals := make([][]byte, 3)
 	for i := range finals {
@@ -62,7 +72,7 @@ func TestSeculatorMemoryEquationOne(t *testing.T) {
 }
 
 func TestSeculatorMemoryDetectsTamper(t *testing.T) {
-	sm, d := newSecMem()
+	sm, d := newSecMem(t)
 	sm.BeginLayer(1)
 	sm.WriteBlock(0, 0, 1, 0, plainBlock(9))
 	d.Tamper(0, 4, 0x08)
@@ -74,7 +84,7 @@ func TestSeculatorMemoryDetectsTamper(t *testing.T) {
 }
 
 func TestSeculatorMemoryGoldenHelpers(t *testing.T) {
-	sm, _ := newSecMem()
+	sm, _ := newSecMem(t)
 	blocks := [][]byte{plainBlock(1), plainBlock(2)}
 	var want mac.Digest
 	for i, b := range blocks {
@@ -105,7 +115,7 @@ func TestSeculatorMemoryGoldenHelpers(t *testing.T) {
 }
 
 func TestSeculatorMemoryRereadCheck(t *testing.T) {
-	sm, _ := newSecMem()
+	sm, _ := newSecMem(t)
 	sm.BeginLayer(1)
 	sm.WriteBlock(0, 0, 1, 0, plainBlock(3))
 	sm.BeginLayer(2)
@@ -117,7 +127,7 @@ func TestSeculatorMemoryRereadCheck(t *testing.T) {
 }
 
 func TestSeculatorMemoryMustStart(t *testing.T) {
-	sm, _ := newSecMem()
+	sm, _ := newSecMem(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("use before BeginLayer should panic")
@@ -127,7 +137,7 @@ func TestSeculatorMemoryMustStart(t *testing.T) {
 }
 
 func TestSeculatorFunctionalAdapter(t *testing.T) {
-	d := mem.MustNew(mem.DefaultConfig())
+	d := mustDRAM(t)
 	fm := NewSeculatorFunctional(d, 1, 2)
 	if fm.DesignName() != Seculator {
 		t.Fatal("wrong design name")

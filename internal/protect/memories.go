@@ -128,6 +128,10 @@ type SGXMemory struct {
 	macs     *MACStore
 	secret   uint64
 	layer    uint32
+
+	// deferred holds a Merkle-update failure from Write, surfaced at the
+	// next Read or EndLayer (FunctionalMemory.Write has no error return).
+	deferred error
 }
 
 // NewSGXMemory builds the Secure functional memory covering `pages` 4 KB
@@ -185,7 +189,10 @@ func (m *SGXMemory) macOf(addr uint64, v counter.Value, data []byte) mac.Digest 
 func (m *SGXMemory) Write(addr uint64, _ uint32, _ int, _ uint32, pt []byte) {
 	v, _ := m.counters.Increment(addr)
 	if err := m.tree.Update(counter.PageOf(addr)); err != nil {
-		panic(fmt.Sprintf("protect: merkle update: %v", err))
+		if m.deferred == nil {
+			m.deferred = fmt.Errorf("protect: merkle update: %w", err)
+		}
+		return
 	}
 	ct := make([]byte, tensor.BlockBytes)
 	m.engine.EncryptBlock(ct, pt, m.ctrOf(addr, v))
@@ -196,6 +203,9 @@ func (m *SGXMemory) Write(addr uint64, _ uint32, _ int, _ uint32, pt []byte) {
 // Read implements FunctionalMemory: verify the counter's Merkle path,
 // decrypt under the current counter, verify the block MAC.
 func (m *SGXMemory) Read(addr uint64, _, _ uint32, _ int, _ uint32, _ bool) ([]byte, error) {
+	if m.deferred != nil {
+		return nil, m.deferred
+	}
 	if err := m.tree.Verify(counter.PageOf(addr)); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBlockIntegrity, err)
 	}
@@ -211,8 +221,8 @@ func (m *SGXMemory) Read(addr uint64, _, _ uint32, _ int, _ uint32, _ bool) ([]b
 	return pt, nil
 }
 
-// EndLayer implements FunctionalMemory.
-func (m *SGXMemory) EndLayer() error { return nil }
+// EndLayer implements FunctionalMemory: surfaces any deferred Write error.
+func (m *SGXMemory) EndLayer() error { return m.deferred }
 
 // -------------------------------------------------------------------- tnpu
 

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"seculator/internal/mac"
-	"seculator/internal/mem"
 )
 
 func TestMACStorePrimitives(t *testing.T) {
@@ -52,7 +51,7 @@ func TestMACStorePrimitives(t *testing.T) {
 }
 
 func TestBaselineMemory(t *testing.T) {
-	d := mem.MustNew(mem.DefaultConfig())
+	d := mustDRAM(t)
 	m := NewBaselineMemory(d)
 	if m.DesignName() != Baseline {
 		t.Fatal("wrong design")
@@ -75,7 +74,7 @@ func TestBaselineMemory(t *testing.T) {
 }
 
 func TestSGXMemoryConfidentialityAndVersioning(t *testing.T) {
-	d := mem.MustNew(mem.DefaultConfig())
+	d := mustDRAM(t)
 	m, err := NewSGXMemory(d, 1, 2, 16)
 	if err != nil {
 		t.Fatal(err)
@@ -105,14 +104,14 @@ func TestSGXMemoryConfidentialityAndVersioning(t *testing.T) {
 }
 
 func TestSGXMemoryBadPageCount(t *testing.T) {
-	d := mem.MustNew(mem.DefaultConfig())
+	d := mustDRAM(t)
 	if _, err := NewSGXMemory(d, 1, 2, 0); err == nil {
 		t.Fatal("zero pages accepted")
 	}
 }
 
 func TestTNPUMemoryMissingTableEntry(t *testing.T) {
-	d := mem.MustNew(mem.DefaultConfig())
+	d := mustDRAM(t)
 	m := NewTNPUMemory(d, 1, 2)
 	if m.DesignName() != TNPU {
 		t.Fatal("wrong design")
@@ -127,7 +126,7 @@ func TestTNPUMemoryMissingTableEntry(t *testing.T) {
 }
 
 func TestGuardNNMemoryMissingSchedulerEntry(t *testing.T) {
-	d := mem.MustNew(mem.DefaultConfig())
+	d := mustDRAM(t)
 	m := NewGuardNNMemory(d, 1, 2)
 	if m.DesignName() != GuardNN {
 		t.Fatal("wrong design")

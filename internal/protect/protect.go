@@ -19,6 +19,11 @@
 // event, the metadata blocks it adds to the DRAM stream and the serialized
 // latency it cannot hide — the two quantities that differentiate the
 // designs in Figures 7 and 8.
+//
+// Error discipline: constructors and verification paths return errors; the
+// package panics only on unreachable programmer-error invariants (e.g. a
+// functional memory used before BeginLayer), never on attacker-reachable
+// or configuration-dependent paths.
 package protect
 
 import (
@@ -235,13 +240,4 @@ func New(d Design, p Params) (Engine, error) {
 	default:
 		return nil, fmt.Errorf("protect: unknown design %d", uint8(d))
 	}
-}
-
-// MustNew is New, panicking on error.
-func MustNew(d Design, p Params) Engine {
-	e, err := New(d, p)
-	if err != nil {
-		panic(err)
-	}
-	return e
 }

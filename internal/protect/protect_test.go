@@ -94,17 +94,17 @@ func TestNewAllDesigns(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew should panic on unknown design")
-		}
-	}()
-	MustNew(Design(99), DefaultParams())
+func mustEngine(t *testing.T, d Design, p Params) Engine {
+	t.Helper()
+	e, err := New(d, p)
+	if err != nil {
+		t.Fatalf("New(%v): %v", d, err)
+	}
+	return e
 }
 
 func TestBaselineCostsNothing(t *testing.T) {
-	e := MustNew(Baseline, DefaultParams())
+	e := mustEngine(t, Baseline, DefaultParams())
 	li := testLayerInfo()
 	e.BeginLayer(li)
 	if c := e.OnEvent(readEvent(li)); c.ExtraBlocks() != 0 || c.Latency != 0 {
@@ -116,7 +116,7 @@ func TestBaselineCostsNothing(t *testing.T) {
 }
 
 func TestSeculatorCostsNoBlocks(t *testing.T) {
-	e := MustNew(Seculator, DefaultParams())
+	e := mustEngine(t, Seculator, DefaultParams())
 	li := testLayerInfo()
 	e.BeginLayer(li)
 	if c := e.OnEvent(readEvent(li)); c.ExtraBlocks() != 0 {
@@ -135,7 +135,7 @@ func TestSeculatorCostsNoBlocks(t *testing.T) {
 }
 
 func TestSecureChargesMetadata(t *testing.T) {
-	e := MustNew(Secure, DefaultParams())
+	e := mustEngine(t, Secure, DefaultParams())
 	li := testLayerInfo()
 	e.BeginLayer(li)
 	c := e.OnEvent(readEvent(li))
@@ -198,7 +198,7 @@ func TestSecureWritebacksOnDirtyEviction(t *testing.T) {
 }
 
 func TestTNPUTableTraffic(t *testing.T) {
-	e := MustNew(TNPU, DefaultParams())
+	e := mustEngine(t, TNPU, DefaultParams())
 	li := testLayerInfo()
 	e.BeginLayer(li)
 	cr := e.OnEvent(readEvent(li))
@@ -221,7 +221,7 @@ func TestTNPUTableTraffic(t *testing.T) {
 }
 
 func TestGuardNNUncachedMACs(t *testing.T) {
-	e := MustNew(GuardNN, DefaultParams())
+	e := mustEngine(t, GuardNN, DefaultParams())
 	li := testLayerInfo()
 	e.BeginLayer(li)
 	cr := e.OnEvent(readEvent(li))

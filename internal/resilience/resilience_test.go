@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var errCheck = errors.New("mac check failed")
+
+func TestErrorWrapping(t *testing.T) {
+	ie := &IntegrityError{Layer: 3, Tensor: ClassActivation, Err: errCheck}
+	if !errors.Is(ie, errCheck) {
+		t.Fatal("IntegrityError does not unwrap to the check error")
+	}
+	wrapped := fmt.Errorf("secure: layer 3: %w", ie)
+	var got *IntegrityError
+	if !errors.As(wrapped, &got) || got.Layer != 3 {
+		t.Fatal("errors.As failed through a wrapping layer")
+	}
+
+	fe := &FreshnessError{Layer: 2, Tensor: ClassActivation, Retries: 3, Err: ie}
+	if !errors.Is(fe, errCheck) {
+		t.Fatal("FreshnessError does not unwrap transitively")
+	}
+	var gotFE *FreshnessError
+	if !errors.As(fmt.Errorf("outer: %w", fe), &gotFE) || gotFE.Retries != 3 {
+		t.Fatal("errors.As failed for FreshnessError")
+	}
+
+	ce := &ChannelError{Layer: 0, Err: errCheck}
+	cfg := &ConfigError{Err: errCheck}
+	for _, e := range []error{ce, cfg} {
+		if !errors.Is(e, errCheck) {
+			t.Fatalf("%T does not unwrap", e)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&IntegrityError{Tensor: ClassActivation, Err: errCheck}, true},
+		{fmt.Errorf("wrap: %w", &IntegrityError{Err: errCheck}), true},
+		{&IntegrityError{Persistent: true, Err: errCheck}, false},
+		{&FreshnessError{Err: errCheck}, false},
+		{&ChannelError{Err: errCheck}, false},
+		{&ConfigError{Err: errCheck}, false},
+		{&InternalError{Value: "boom"}, false},
+		{errCheck, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// A FreshnessError wrapping a (non-persistent) IntegrityError must stay
+	// non-retryable: the outermost classification wins.
+	fe := &FreshnessError{Err: &IntegrityError{Err: errCheck}}
+	if Retryable(fe) {
+		t.Fatal("FreshnessError wrapping IntegrityError must not be retryable")
+	}
+}
+
+func TestPolicyBackoff(t *testing.T) {
+	p := Policy{MaxRetries: 5, Base: time.Millisecond, Max: 4 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	for i, w := range want {
+		if got := p.BackoffFor(i + 1); got != w {
+			t.Errorf("BackoffFor(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if Disabled().BackoffFor(1) != 0 {
+		t.Fatal("disabled policy must not back off")
+	}
+}
+
+func TestPolicyWaitCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxRetries: 1, Base: time.Hour}
+	if err := p.Wait(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestRecoverBackstop(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		panic("unreachable invariant")
+	}
+	err := run()
+	var ie *InternalError
+	if !errors.As(err, &ie) || ie.Value != "unreachable invariant" {
+		t.Fatalf("panic not captured: %v", err)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("captured panic carries no stack")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Retries: 2, Recovered: 1})
+	s.Add(Stats{Retries: 1, Persistent: 1, Breached: true})
+	if s.Retries != 3 || s.Recovered != 1 || s.Persistent != 1 || !s.Breached {
+		t.Fatalf("stats = %+v", s)
+	}
+}

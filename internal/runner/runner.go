@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"seculator/internal/cache"
@@ -14,6 +15,7 @@ import (
 	"seculator/internal/mem"
 	"seculator/internal/npu"
 	"seculator/internal/protect"
+	"seculator/internal/resilience"
 	"seculator/internal/sched"
 	"seculator/internal/sim"
 	"seculator/internal/tensor"
@@ -102,10 +104,18 @@ func (r Result) NormalizedTraffic(base Result) float64 {
 	return sim.Ratio(r.Traffic.Total(), base.Traffic.Total())
 }
 
-// Run simulates one network on one design.
-func Run(n workload.Network, d protect.Design, cfg Config) (Result, error) {
+// Run simulates one network on one design. ctx cancels the simulation
+// between layers; a nil ctx means context.Background(). No panic escapes.
+func Run(ctx context.Context, n workload.Network, d protect.Design, cfg Config) (res Result, err error) {
+	defer resilience.Recover(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
+	}
+	if err := n.Validate(); err != nil {
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 	choices, err := sched.MapNetwork(n, cfg.NPU, cfg.DRAM)
 	if err != nil {
@@ -113,18 +123,21 @@ func Run(n workload.Network, d protect.Design, cfg Config) (Result, error) {
 	}
 	engine, err := protect.New(d, cfg.Protect)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 	dram, err := mem.New(cfg.DRAM)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 
-	res := Result{Network: n.Name, Design: d, Layers: make([]LayerResult, 0, len(choices))}
+	res = Result{Network: n.Name, Design: d, Layers: make([]LayerResult, 0, len(choices))}
 	var alloc addressAllocator
 	prevOfmapBase := alloc.reserve(4096) // layer-0 inputs written by the host
 
 	for i, choice := range choices {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		li := layerInfo(i, choice, &alloc, prevOfmapBase)
 		prevOfmapBase = li.OfmapBase
 
@@ -235,11 +248,11 @@ func chargeCost(dram *mem.DRAM, c protect.Cost) {
 }
 
 // RunAll simulates a network across a set of designs, returning results in
-// the same order.
-func RunAll(n workload.Network, designs []protect.Design, cfg Config) ([]Result, error) {
+// the same order. ctx cancels between designs and layers.
+func RunAll(ctx context.Context, n workload.Network, designs []protect.Design, cfg Config) ([]Result, error) {
 	out := make([]Result, 0, len(designs))
 	for _, d := range designs {
-		r, err := Run(n, d, cfg)
+		r, err := Run(ctx, n, d, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -253,27 +266,35 @@ func RunAll(n workload.Network, designs []protect.Design, cfg Config) ([]Result,
 // where decoy layers with unrelated shapes run between the real ones. Each
 // layer is validated individually; activation regions are still allocated
 // producer/consumer style so the address trace looks like one execution.
-func RunLayers(name string, layers []workload.Layer, d protect.Design, cfg Config) (Result, error) {
+// ctx cancels between layers; no panic escapes.
+func RunLayers(ctx context.Context, name string, layers []workload.Layer, d protect.Design, cfg Config) (res Result, err error) {
+	defer resilience.Recover(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 	if len(layers) == 0 {
-		return Result{}, fmt.Errorf("runner: no layers to run")
+		return Result{}, &resilience.ConfigError{Err: fmt.Errorf("runner: no layers to run")}
 	}
 	engine, err := protect.New(d, cfg.Protect)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 	dram, err := mem.New(cfg.DRAM)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 
-	res := Result{Network: name, Design: d, Layers: make([]LayerResult, 0, len(layers))}
+	res = Result{Network: name, Design: d, Layers: make([]LayerResult, 0, len(layers))}
 	var alloc addressAllocator
 	prevOfmapBase := alloc.reserve(4096)
 
 	for i, l := range layers {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		choice, err := sched.Map(l, cfg.NPU, cfg.DRAM)
 		if err != nil {
 			return Result{}, fmt.Errorf("runner: layer %d (%s): %w", i, l.Name, err)

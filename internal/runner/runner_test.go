@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"testing"
 
 	"seculator/internal/protect"
@@ -21,7 +22,7 @@ func smallNet() workload.Network {
 }
 
 func TestRunBaseline(t *testing.T) {
-	r, err := Run(smallNet(), protect.Baseline, DefaultConfig())
+	r, err := Run(context.Background(), smallNet(), protect.Baseline, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,10 +50,10 @@ func TestRunBaseline(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if _, err := Run(smallNet(), protect.Baseline, Config{}); err == nil {
+	if _, err := Run(context.Background(), smallNet(), protect.Baseline, Config{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	if _, err := Run(workload.Network{Name: "empty"}, protect.Baseline, DefaultConfig()); err == nil {
+	if _, err := Run(context.Background(), workload.Network{Name: "empty"}, protect.Baseline, DefaultConfig()); err == nil {
 		t.Fatal("invalid network accepted")
 	}
 }
@@ -60,7 +61,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // The headline ordering of Figure 7: Baseline >= Seculator > TNPU >
 // Secure(~) and GuardNN worst among the metadata-heavy designs.
 func TestDesignOrdering(t *testing.T) {
-	results, err := RunAll(smallNet(), protect.Designs(), DefaultConfig())
+	results, err := RunAll(context.Background(), smallNet(), protect.Designs(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestDesignOrdering(t *testing.T) {
 // Figure 8 shape: Seculator adds no metadata traffic; TNPU and GuardNN do,
 // with GuardNN the heaviest.
 func TestTrafficShape(t *testing.T) {
-	results, err := RunAll(smallNet(), protect.Designs(), DefaultConfig())
+	results, err := RunAll(context.Background(), smallNet(), protect.Designs(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestTrafficShape(t *testing.T) {
 // than the counter cache (one MAC line covers 8x fewer pixels than one
 // counter line).
 func TestCacheMissRatio(t *testing.T) {
-	r, err := Run(smallNet(), protect.Secure, DefaultConfig())
+	r, err := Run(context.Background(), smallNet(), protect.Secure, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestPaperSpeedupBands(t *testing.T) {
 	cfg := DefaultConfig()
 	var secTot, tnpuTot, gnnTot float64
 	for _, n := range workload.All() {
-		results, err := RunAll(n, []protect.Design{protect.Baseline, protect.TNPU, protect.GuardNN, protect.Seculator}, cfg)
+		results, err := RunAll(context.Background(), n, []protect.Design{protect.Baseline, protect.TNPU, protect.GuardNN, protect.Seculator}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,11 +176,11 @@ func TestPaperSpeedupBands(t *testing.T) {
 
 func TestSeculatorPlusEqualsSeculatorWithoutWidening(t *testing.T) {
 	cfg := DefaultConfig()
-	a, err := Run(smallNet(), protect.Seculator, cfg)
+	a, err := Run(context.Background(), smallNet(), protect.Seculator, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(smallNet(), protect.SeculatorPlus, cfg)
+	b, err := Run(context.Background(), smallNet(), protect.SeculatorPlus, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSeculatorPlusEqualsSeculatorWithoutWidening(t *testing.T) {
 }
 
 func TestResultHelpers(t *testing.T) {
-	r, err := Run(smallNet(), protect.Baseline, DefaultConfig())
+	r, err := Run(context.Background(), smallNet(), protect.Baseline, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,17 +214,17 @@ func TestRunLayersSchedule(t *testing.T) {
 		{Name: "decoy", Type: workload.Conv, C: 16, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1},
 		{Name: "real2", Type: workload.Conv, C: 8, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
 	}
-	r, err := RunLayers("noisy", layers, protect.SeculatorPlus, DefaultConfig())
+	r, err := RunLayers(context.Background(), "noisy", layers, protect.SeculatorPlus, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(r.Layers) != 3 || r.Cycles == 0 {
 		t.Fatalf("RunLayers result: %d layers, %d cycles", len(r.Layers), r.Cycles)
 	}
-	if _, err := RunLayers("empty", nil, protect.Baseline, DefaultConfig()); err == nil {
+	if _, err := RunLayers(context.Background(), "empty", nil, protect.Baseline, DefaultConfig()); err == nil {
 		t.Fatal("empty schedule accepted")
 	}
-	if _, err := RunLayers("bad", layers, protect.Baseline, Config{}); err == nil {
+	if _, err := RunLayers(context.Background(), "bad", layers, protect.Baseline, Config{}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -233,11 +234,11 @@ func TestRunLayersSchedule(t *testing.T) {
 func TestRunLayersMatchesRun(t *testing.T) {
 	net := smallNet()
 	for _, d := range []protect.Design{protect.Baseline, protect.TNPU, protect.Seculator} {
-		whole, err := Run(net, d, DefaultConfig())
+		whole, err := Run(context.Background(), net, d, DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched, err := RunLayers(net.Name, net.Layers, d, DefaultConfig())
+		sched, err := RunLayers(context.Background(), net.Name, net.Layers, d, DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +251,7 @@ func TestRunLayersMatchesRun(t *testing.T) {
 
 // Per-layer results must decompose the total exactly.
 func TestLayerDecomposition(t *testing.T) {
-	r, err := Run(smallNet(), protect.TNPU, DefaultConfig())
+	r, err := Run(context.Background(), smallNet(), protect.TNPU, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

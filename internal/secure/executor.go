@@ -22,7 +22,9 @@
 package secure
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"seculator/internal/dataflow"
@@ -31,6 +33,7 @@ import (
 	"seculator/internal/nn"
 	"seculator/internal/npu"
 	"seculator/internal/protect"
+	"seculator/internal/resilience"
 	"seculator/internal/sched"
 	"seculator/internal/tensor"
 	"seculator/internal/workload"
@@ -53,15 +56,28 @@ type Executor struct {
 
 	// AfterPhase, when non-nil, is the attacker hook.
 	AfterPhase Hook
+
+	// Injector, when non-nil, is installed on the DRAM read/write paths —
+	// the fault-injection attachment point (package fault).
+	Injector mem.Injector
+
+	// Retry bounds the layer-level detect-and-recover loop: on an
+	// integrity-check failure the executor re-fetches the layer's working
+	// set, re-derives its VN sequence, and re-executes the layer up to
+	// MaxRetries times with exponential backoff. The zero policy disables
+	// recovery (every detection is terminal).
+	Retry resilience.Policy
 }
 
-// NewExecutor returns an executor with the default system configuration.
+// NewExecutor returns an executor with the default system configuration
+// and the default recovery policy.
 func NewExecutor() *Executor {
 	return &Executor{
 		NPU:    npu.DefaultConfig(),
 		DRAM:   mem.DefaultConfig(),
 		Secret: 0x5ec1_a70f_ee1d_c0de,
 		Random: 0xb007_5eed,
+		Retry:  resilience.DefaultPolicy(),
 	}
 }
 
@@ -117,22 +133,48 @@ type Result struct {
 	Output *nn.Tensor
 	Layers int
 	Blocks int // DRAM lines holding the encrypted model + activations
+
+	// Recovery reports the detect-and-recover activity of the run: layer
+	// retries performed, layers recovered from transient faults, and
+	// whether a persistent violation latched the breach.
+	Recovery resilience.Stats
 }
 
 // Run executes the network on input with the given per-layer weights (nil
-// for pools), returning the decrypted output. Any integrity violation —
-// induced by the AfterPhase hook or otherwise — aborts with an error
-// wrapping mac.ErrIntegrity.
-func (x *Executor) Run(net workload.Network, input *nn.Tensor, weights []*nn.Weights) (Result, error) {
+// for pools), returning the decrypted output. An integrity violation —
+// induced by the AfterPhase hook, the fault Injector, or real tampering —
+// triggers the layer-level recovery loop: the layer's working set is
+// re-fetched, its VN sequence re-derived, and the layer re-executed under
+// the Retry policy. A violation that clears is counted as a recovered
+// transient; one that persists aborts the run with the breach latched and a
+// typed error (resilience.FreshnessError on the versioned activation path,
+// a persistent resilience.IntegrityError on host-golden data). No panic
+// escapes this method; ctx cancels between layers and between retries.
+func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tensor, weights []*nn.Weights) (res Result, err error) {
+	defer resilience.Recover(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := x.NPU.Validate(); err != nil {
+		return Result{}, &resilience.ConfigError{Err: err}
+	}
+	if err := x.DRAM.Validate(); err != nil {
+		return Result{}, &resilience.ConfigError{Err: err}
+	}
 	if err := net.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
 	}
 	if len(weights) != len(net.Layers) {
-		return Result{}, fmt.Errorf("secure: %d weight tensors for %d layers", len(weights), len(net.Layers))
+		return Result{}, &resilience.ConfigError{
+			Err: fmt.Errorf("secure: %d weight tensors for %d layers", len(weights), len(net.Layers)),
+		}
 	}
 	dram, err := mem.New(x.DRAM)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &resilience.ConfigError{Err: err}
+	}
+	if x.Injector != nil {
+		dram.SetInjector(x.Injector)
 	}
 	sm := protect.NewSeculatorMemory(dram, x.Secret, x.Random)
 
@@ -142,28 +184,38 @@ func (x *Executor) Run(net workload.Network, input *nn.Tensor, weights []*nn.Wei
 	}
 	x.hook(-1, dram)
 
+	var stats resilience.Stats
 	producer := inputLayout
 	producerData := input
-	var pendingExternal *mac.Digest // nil until a layer is pending verification
 	for i := range states {
 		st := &states[i]
-		unread, err := x.runLayer(sm, st, producer, producerData, weights[i])
-		if err != nil {
-			return Result{}, fmt.Errorf("secure: layer %d (%s): %w", i, st.layer.Name, err)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
-		if i == 0 {
-			// First-layer inputs verify against the host's golden digest;
-			// blocks the mapping never touched fold in host-side.
-			if err := sm.VerifyInputsGolden(goldenInput.Xor(unread)); err != nil {
-				return Result{}, fmt.Errorf("secure: layer 0 inputs: %w", err)
+		// One attempt = re-fetch + re-execute the layer's event stream,
+		// then close the pending verification (layer-0 golden inputs, or
+		// the previous layer's Equation 1 check).
+		attempt := func(restart bool) error {
+			unread, err := x.runLayer(sm, st, producer, producerData, weights[i], restart)
+			if err != nil {
+				return classify(err, i, resilience.ClassWeight)
 			}
-		} else if pendingExternal != nil {
-			if err := sm.VerifyPreviousLayer(pendingExternal.Xor(unread)); err != nil {
-				return Result{}, fmt.Errorf("secure: verifying layer %d: %w", i-1, err)
+			if i == 0 {
+				// First-layer inputs verify against the host's golden
+				// digest; blocks the mapping never touched fold host-side.
+				if err := sm.VerifyInputsGolden(goldenInput.Xor(unread)); err != nil {
+					return classify(fmt.Errorf("secure: layer 0 inputs: %w", err), 0, resilience.ClassInput)
+				}
+				return nil
 			}
+			if err := sm.VerifyPreviousLayer(unread); err != nil {
+				return classify(fmt.Errorf("secure: verifying layer %d: %w", i-1, err), i-1, resilience.ClassActivation)
+			}
+			return nil
 		}
-		zero := mac.Digest{}
-		pendingExternal = &zero
+		if err := x.recoverLoop(ctx, attempt, &stats); err != nil {
+			return Result{Recovery: stats}, fmt.Errorf("secure: layer %d (%s): %w", i, st.layer.Name, err)
+		}
 		producer = st.act
 		producerData = st.out
 		x.hook(i, dram)
@@ -171,11 +223,64 @@ func (x *Executor) Run(net workload.Network, input *nn.Tensor, weights []*nn.Wei
 
 	// Host readout epoch: consume the last layer's outputs through the
 	// same first-read path and close its Equation 1 check.
-	out, err := x.readout(sm, states, producer)
-	if err != nil {
-		return Result{}, err
+	var out *nn.Tensor
+	readAttempt := func(restart bool) error {
+		var err error
+		out, err = x.readout(sm, states, producer, restart)
+		if err != nil {
+			return classify(err, len(states)-1, resilience.ClassOutput)
+		}
+		return nil
 	}
-	return Result{Output: out, Layers: len(states), Blocks: dram.Lines()}, nil
+	if err := x.recoverLoop(ctx, readAttempt, &stats); err != nil {
+		return Result{Recovery: stats}, err
+	}
+	return Result{Output: out, Layers: len(states), Blocks: dram.Lines(), Recovery: stats}, nil
+}
+
+// classify wraps an integrity failure in the typed taxonomy; other errors
+// (mapping, protocol, context) pass through untouched.
+func classify(err error, layer int, class resilience.TensorClass) error {
+	if !errors.Is(err, mac.ErrIntegrity) {
+		return err
+	}
+	return &resilience.IntegrityError{Layer: layer, Tensor: class, Err: err}
+}
+
+// recoverLoop drives one layer (or the readout epoch) through the bounded
+// detect-and-recover policy: retry transient integrity failures with
+// backoff; classify survivors as persistent, latch the breach, and — on the
+// versioned activation/output path — promote them to freshness violations,
+// the signature of replay or splice tampering that re-fetching cannot fix.
+func (x *Executor) recoverLoop(ctx context.Context, attempt func(restart bool) error, stats *resilience.Stats) error {
+	for try := 0; ; try++ {
+		err := attempt(try > 0)
+		if err == nil {
+			if try > 0 {
+				stats.Recovered++
+			}
+			return nil
+		}
+		if !resilience.Retryable(err) {
+			return err
+		}
+		if try >= x.Retry.MaxRetries {
+			stats.Persistent++
+			stats.Breached = true
+			var ie *resilience.IntegrityError
+			if errors.As(err, &ie) {
+				ie.Persistent = true
+				if ie.Tensor == resilience.ClassActivation || ie.Tensor == resilience.ClassOutput {
+					return &resilience.FreshnessError{Layer: ie.Layer, Tensor: ie.Tensor, Retries: try, Err: ie}
+				}
+			}
+			return err
+		}
+		stats.Retries++
+		if werr := x.Retry.Wait(ctx, try+1); werr != nil {
+			return werr
+		}
+	}
 }
 
 func (x *Executor) hook(phase int, d *mem.DRAM) {

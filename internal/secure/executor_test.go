@@ -1,6 +1,7 @@
 package secure
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -36,7 +37,7 @@ func TestSecureExecutionMatchesGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewExecutor().Run(net, in, ws)
+	res, err := NewExecutor().Run(context.Background(), net, in, ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestSecureExecutionStridesAndValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewExecutor().Run(net, in, ws)
+	res, err := NewExecutor().Run(context.Background(), net, in, ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestSecureExecutionSeeds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := NewExecutor().Run(net, in, ws)
+		res, err := NewExecutor().Run(context.Background(), net, in, ws)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -102,7 +103,7 @@ func runWithHook(t *testing.T, hook Hook) error {
 	in, ws := nn.RandomModel(net, 42)
 	x := NewExecutor()
 	x.AfterPhase = hook
-	_, err := x.Run(net, in, ws)
+	_, err := x.Run(context.Background(), net, in, ws)
 	return err
 }
 
@@ -167,12 +168,12 @@ func TestTamperWeightsDetected(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	x := NewExecutor()
-	if _, err := x.Run(workload.Network{Name: "empty"}, nil, nil); err == nil {
+	if _, err := x.Run(context.Background(), workload.Network{Name: "empty"}, nil, nil); err == nil {
 		t.Fatal("invalid network accepted")
 	}
 	net := miniNet()
 	in, _ := nn.RandomModel(net, 1)
-	if _, err := x.Run(net, in, nil); err == nil {
+	if _, err := x.Run(context.Background(), net, in, nil); err == nil {
 		t.Fatal("weight count mismatch accepted")
 	}
 }
@@ -238,7 +239,7 @@ func TestSecureExecutionRandomNetsProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := NewExecutor().Run(net, in, ws)
+		res, err := NewExecutor().Run(context.Background(), net, in, ws)
 		if err != nil {
 			t.Logf("seed=%d l1=%+v: %v", seed, l1, err)
 			return false
@@ -263,7 +264,7 @@ func TestSecureExecutionGANGenerator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewExecutor().Run(net, in, ws)
+	res, err := NewExecutor().Run(context.Background(), net, in, ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSecureExecutionPreprocPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewExecutor().Run(net, in, ws)
+	res, err := NewExecutor().Run(context.Background(), net, in, ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestSecureExecutionTransformer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NewExecutor().Run(net, in, ws)
+	res, err := NewExecutor().Run(context.Background(), net, in, ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestSecureExecutionMiniBenchmarks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", net.Name, err)
 		}
-		res, err := NewExecutor().Run(net, in, ws)
+		res, err := NewExecutor().Run(context.Background(), net, in, ws)
 		if err != nil {
 			t.Fatalf("%s: %v", net.Name, err)
 		}

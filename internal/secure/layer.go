@@ -35,11 +35,17 @@ type layerRun struct {
 
 // runLayer executes one layer's tile-event stream and returns the external
 // digest covering producer blocks this layer never read (folded host-side
-// into the producer's verification).
+// into the producer's verification). restart re-runs the layer after a
+// failed verification: the layer's own MAC folds are discarded while the
+// producer's pending bank is kept for re-verification.
 func (x *Executor) runLayer(sm *protect.SeculatorMemory, st *layerState,
-	producer actLayout, producerData *nn.Tensor, weights *nn.Weights) (mac.Digest, error) {
+	producer actLayout, producerData *nn.Tensor, weights *nn.Weights, restart bool) (mac.Digest, error) {
 
-	sm.BeginLayer(st.act.ownerID)
+	if restart {
+		sm.RestartLayer()
+	} else {
+		sm.BeginLayer(st.act.ownerID)
+	}
 	run := &layerRun{
 		sm: sm, st: st,
 		producer: producer, producerData: producerData,
@@ -354,11 +360,17 @@ func (r *layerRun) unreadExternal() mac.Digest {
 
 // readout is the host consuming the final outputs: a fresh layer epoch that
 // first-reads every output block and closes the last layer's verification.
+// restart re-runs the epoch after a failed verification, keeping the last
+// layer's pending bank.
 func (x *Executor) readout(sm *protect.SeculatorMemory, states []layerState,
-	final actLayout) (*nn.Tensor, error) {
+	final actLayout, restart bool) (*nn.Tensor, error) {
 
 	last := states[len(states)-1]
-	sm.BeginLayer(uint32(len(states) + 1))
+	if restart {
+		sm.RestartLayer()
+	} else {
+		sm.BeginLayer(uint32(len(states) + 1))
+	}
 	out := nn.NewTensor(final.chans, final.rows, final.cols)
 	for ch := 0; ch < final.chans; ch++ {
 		for row := 0; row < final.rows; row++ {

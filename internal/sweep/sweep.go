@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"seculator/internal/protect"
@@ -33,8 +34,8 @@ var designSet = []protect.Design{
 	protect.Baseline, protect.Secure, protect.TNPU, protect.GuardNN, protect.Seculator,
 }
 
-func runPoint(n workload.Network, cfg runner.Config, param float64) (Point, error) {
-	rs, err := runner.RunAll(n, designSet, cfg)
+func runPoint(ctx context.Context, n workload.Network, cfg runner.Config, param float64) (Point, error) {
+	rs, err := runner.RunAll(ctx, n, designSet, cfg)
 	if err != nil {
 		return Point{}, err
 	}
@@ -45,8 +46,9 @@ func runPoint(n workload.Network, cfg runner.Config, param float64) (Point, erro
 	return p, nil
 }
 
-// Bandwidth sweeps the DRAM bandwidth (blocks per NPU cycle).
-func Bandwidth(n workload.Network, base runner.Config, values []float64) (Result, error) {
+// Bandwidth sweeps the DRAM bandwidth (blocks per NPU cycle). ctx cancels
+// between simulation points.
+func Bandwidth(ctx context.Context, n workload.Network, base runner.Config, values []float64) (Result, error) {
 	res := Result{Name: "DRAM bandwidth", Unit: "blocks/cycle", Designs: designSet}
 	for _, v := range values {
 		if v <= 0 {
@@ -54,7 +56,7 @@ func Bandwidth(n workload.Network, base runner.Config, values []float64) (Result
 		}
 		cfg := base
 		cfg.DRAM.BlocksPerCycle = v
-		p, err := runPoint(n, cfg, v)
+		p, err := runPoint(ctx, n, cfg, v)
 		if err != nil {
 			return Result{}, err
 		}
@@ -64,7 +66,7 @@ func Bandwidth(n workload.Network, base runner.Config, values []float64) (Result
 }
 
 // GlobalBuffer sweeps the on-chip buffer capacity in KB.
-func GlobalBuffer(n workload.Network, base runner.Config, kbs []int) (Result, error) {
+func GlobalBuffer(ctx context.Context, n workload.Network, base runner.Config, kbs []int) (Result, error) {
 	res := Result{Name: "global buffer", Unit: "KB", Designs: designSet}
 	for _, kb := range kbs {
 		if kb <= 0 {
@@ -72,7 +74,7 @@ func GlobalBuffer(n workload.Network, base runner.Config, kbs []int) (Result, er
 		}
 		cfg := base
 		cfg.NPU.GlobalBufferBytes = kb * 1024
-		p, err := runPoint(n, cfg, float64(kb))
+		p, err := runPoint(ctx, n, cfg, float64(kb))
 		if err != nil {
 			return Result{}, err
 		}
@@ -82,7 +84,7 @@ func GlobalBuffer(n workload.Network, base runner.Config, kbs []int) (Result, er
 }
 
 // PEArray sweeps the (square) systolic array extent.
-func PEArray(n workload.Network, base runner.Config, dims []int) (Result, error) {
+func PEArray(ctx context.Context, n workload.Network, base runner.Config, dims []int) (Result, error) {
 	res := Result{Name: "PE array", Unit: "rows=cols", Designs: designSet}
 	for _, d := range dims {
 		if d <= 0 {
@@ -90,7 +92,7 @@ func PEArray(n workload.Network, base runner.Config, dims []int) (Result, error)
 		}
 		cfg := base
 		cfg.NPU.Rows, cfg.NPU.Cols = d, d
-		p, err := runPoint(n, cfg, float64(d))
+		p, err := runPoint(ctx, n, cfg, float64(d))
 		if err != nil {
 			return Result{}, err
 		}
@@ -100,7 +102,7 @@ func PEArray(n workload.Network, base runner.Config, dims []int) (Result, error)
 }
 
 // MACCache sweeps the MAC-cache capacity of the per-block designs in KB.
-func MACCache(n workload.Network, base runner.Config, kbs []int) (Result, error) {
+func MACCache(ctx context.Context, n workload.Network, base runner.Config, kbs []int) (Result, error) {
 	res := Result{Name: "MAC cache", Unit: "KB", Designs: designSet}
 	for _, kb := range kbs {
 		if kb <= 0 {
@@ -108,7 +110,7 @@ func MACCache(n workload.Network, base runner.Config, kbs []int) (Result, error)
 		}
 		cfg := base
 		cfg.Protect.MACCacheBytes = kb * 1024
-		p, err := runPoint(n, cfg, float64(kb))
+		p, err := runPoint(ctx, n, cfg, float64(kb))
 		if err != nil {
 			return Result{}, err
 		}

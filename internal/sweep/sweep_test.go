@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"seculator/internal/protect"
@@ -26,7 +27,7 @@ func fixNet() workload.Network {
 }
 
 func TestBandwidthSweep(t *testing.T) {
-	res, err := Bandwidth(fixNet(), runner.DefaultConfig(), []float64{0.1, 0.22, 0.5})
+	res, err := Bandwidth(context.Background(), fixNet(), runner.DefaultConfig(), []float64{0.1, 0.22, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,13 +44,13 @@ func TestBandwidthSweep(t *testing.T) {
 	if lo < 0 || hi < lo {
 		t.Fatalf("advantage range (%.3f, %.3f)", lo, hi)
 	}
-	if _, err := Bandwidth(fixNet(), runner.DefaultConfig(), []float64{0}); err == nil {
+	if _, err := Bandwidth(context.Background(), fixNet(), runner.DefaultConfig(), []float64{0}); err == nil {
 		t.Fatal("zero bandwidth accepted")
 	}
 }
 
 func TestGlobalBufferSweep(t *testing.T) {
-	res, err := GlobalBuffer(fixNet(), runner.DefaultConfig(), []int{120, 240, 480})
+	res, err := GlobalBuffer(context.Background(), fixNet(), runner.DefaultConfig(), []int{120, 240, 480})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,26 +62,26 @@ func TestGlobalBufferSweep(t *testing.T) {
 			t.Fatalf("advantage inverted at GB %g", p.Param)
 		}
 	}
-	if _, err := GlobalBuffer(fixNet(), runner.DefaultConfig(), []int{0}); err == nil {
+	if _, err := GlobalBuffer(context.Background(), fixNet(), runner.DefaultConfig(), []int{0}); err == nil {
 		t.Fatal("zero GB accepted")
 	}
 }
 
 func TestPEArraySweep(t *testing.T) {
-	res, err := PEArray(fixNet(), runner.DefaultConfig(), []int{16, 32, 64})
+	res, err := PEArray(context.Background(), fixNet(), runner.DefaultConfig(), []int{16, 32, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Points) != 3 {
 		t.Fatal("missing points")
 	}
-	if _, err := PEArray(fixNet(), runner.DefaultConfig(), []int{-1}); err == nil {
+	if _, err := PEArray(context.Background(), fixNet(), runner.DefaultConfig(), []int{-1}); err == nil {
 		t.Fatal("negative dim accepted")
 	}
 }
 
 func TestMACCacheSweep(t *testing.T) {
-	res, err := MACCache(fixNet(), runner.DefaultConfig(), []int{2, 8, 64})
+	res, err := MACCache(context.Background(), fixNet(), runner.DefaultConfig(), []int{2, 8, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestMACCacheSweep(t *testing.T) {
 		t.Fatalf("64 KB MAC cache (%.3f) caught Seculator (%.3f)",
 			last.Performance[protect.TNPU], first.Performance[protect.Seculator])
 	}
-	if _, err := MACCache(fixNet(), runner.DefaultConfig(), []int{0}); err == nil {
+	if _, err := MACCache(context.Background(), fixNet(), runner.DefaultConfig(), []int{0}); err == nil {
 		t.Fatal("zero cache accepted")
 	}
 }

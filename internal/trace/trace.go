@@ -11,6 +11,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,10 +43,11 @@ type Trace struct {
 }
 
 // Capture simulates (network, design) under cfg and records the trace.
-func Capture(n workload.Network, d protect.Design, cfg runner.Config) (*Trace, error) {
+// ctx cancels the underlying simulation.
+func Capture(ctx context.Context, n workload.Network, d protect.Design, cfg runner.Config) (*Trace, error) {
 	t := &Trace{Network: n.Name, Design: d}
 	cfg.TraceFn = t.sink()
-	if _, err := runner.Run(n, d, cfg); err != nil {
+	if _, err := runner.Run(ctx, n, d, cfg); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -53,10 +55,10 @@ func Capture(n workload.Network, d protect.Design, cfg runner.Config) (*Trace, e
 
 // CaptureLayers records the trace of an arbitrary layer schedule (e.g. a
 // dummy-interspersed Seculator+ execution, which is not a chained network).
-func CaptureLayers(name string, layers []workload.Layer, d protect.Design, cfg runner.Config) (*Trace, error) {
+func CaptureLayers(ctx context.Context, name string, layers []workload.Layer, d protect.Design, cfg runner.Config) (*Trace, error) {
 	t := &Trace{Network: name, Design: d}
 	cfg.TraceFn = t.sink()
-	if _, err := runner.RunLayers(name, layers, d, cfg); err != nil {
+	if _, err := runner.RunLayers(ctx, name, layers, d, cfg); err != nil {
 		return nil, err
 	}
 	return t, nil

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"testing"
 
 	"seculator/internal/protect"
@@ -22,7 +23,7 @@ func testNet() workload.Network {
 
 func capture(t *testing.T, n workload.Network) *Trace {
 	t.Helper()
-	tr, err := Capture(n, protect.Baseline, runner.DefaultConfig())
+	tr, err := Capture(context.Background(), n, protect.Baseline, runner.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestCaptureBasics(t *testing.T) {
 	}
 	// The trace's total must match the runner's data traffic.
 	var cfg = runner.DefaultConfig()
-	res, err := runner.Run(testNet(), protect.Baseline, cfg)
+	res, err := runner.Run(context.Background(), testNet(), protect.Baseline, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestInterspersedTraceConfusesDepth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := CaptureLayers("noisy", sched, protect.SeculatorPlus, runner.DefaultConfig())
+	tr, err := CaptureLayers(context.Background(), "noisy", sched, protect.SeculatorPlus, runner.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

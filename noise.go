@@ -1,6 +1,8 @@
 package seculator
 
 import (
+	"context"
+
 	"seculator/internal/runner"
 	"seculator/internal/trace"
 	"seculator/internal/widen"
@@ -18,12 +20,18 @@ func IntersperseDummy(real, dummy Network, period int) ([]Layer, error) {
 // RunLayerSchedule simulates an arbitrary layer schedule (e.g. a
 // dummy-interspersed execution) on a design.
 func RunLayerSchedule(name string, layers []Layer, d Design, cfg Config) (Result, error) {
-	return runner.RunLayers(name, layers, d, cfg)
+	return runner.RunLayers(context.Background(), name, layers, d, cfg)
+}
+
+// RunLayerScheduleContext is RunLayerSchedule with cancellation between
+// layers.
+func RunLayerScheduleContext(ctx context.Context, name string, layers []Layer, d Design, cfg Config) (Result, error) {
+	return runner.RunLayers(ctx, name, layers, d, cfg)
 }
 
 // CaptureLayerTrace records the address trace of a layer schedule.
 func CaptureLayerTrace(name string, layers []Layer, d Design, cfg Config) (*MemoryTrace, error) {
-	return trace.CaptureLayers(name, layers, d, cfg)
+	return trace.CaptureLayers(context.Background(), name, layers, d, cfg)
 }
 
 // PreprocStyle is the computation style of an image pre-processing stage

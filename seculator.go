@@ -28,6 +28,8 @@
 package seculator
 
 import (
+	"context"
+
 	"seculator/internal/mem"
 	"seculator/internal/npu"
 	"seculator/internal/protect"
@@ -136,10 +138,22 @@ type LayerResult = runner.LayerResult
 
 // Run simulates one network on one design.
 func Run(n Network, d Design, cfg Config) (Result, error) {
-	return runner.Run(n, d, cfg)
+	return runner.Run(context.Background(), n, d, cfg)
+}
+
+// RunContext is Run with a context: the simulation stops between layers
+// when ctx is cancelled or its deadline passes.
+func RunContext(ctx context.Context, n Network, d Design, cfg Config) (Result, error) {
+	return runner.Run(ctx, n, d, cfg)
 }
 
 // RunAll simulates a network across several designs.
 func RunAll(n Network, designs []Design, cfg Config) ([]Result, error) {
-	return runner.RunAll(n, designs, cfg)
+	return runner.RunAll(context.Background(), n, designs, cfg)
+}
+
+// RunAllContext is RunAll with a context: cancellation is observed between
+// designs and between layers.
+func RunAllContext(ctx context.Context, n Network, designs []Design, cfg Config) ([]Result, error) {
+	return runner.RunAll(ctx, n, designs, cfg)
 }
