@@ -282,6 +282,32 @@ func BenchmarkAblationIntegrityGranularity(b *testing.B) {
 	b.ReportMetric(float64(layer), "layer")
 }
 
+// BenchmarkParallelSpeedup measures the experiment engine's fan-out at one
+// worker versus GOMAXPROCS workers. Each iteration resets the simulation
+// cache so both arms do the same cold work; on a multi-core host the
+// parallel arm's ns/op divided into the serial arm's is the speedup.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	cfg := DefaultConfig()
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"gomaxprocs", 0},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			SetParallelism(arm.workers)
+			defer SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				ResetSimCache()
+				if _, err := Fig4Characterization(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ------------------------------------------------------- microbenchmarks
 
 // BenchmarkVNGenerator measures the FSM's throughput: one VN per Next call.

@@ -6,6 +6,8 @@
 //	seculator-bench               # everything
 //	seculator-bench -exp fig7     # one experiment
 //	seculator-bench -exp table6
+//	seculator-bench -parallel 8   # pin the fan-out worker count
+//	seculator-bench -cache-stats  # report simulation-cache hits/misses
 //
 // Experiments: fig4, fig5, fig7, fig8, fig9, table5, table6, matrix, energy,
 // sensitivity, patterns, all.
@@ -22,7 +24,10 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig4, fig5, fig7, fig8, fig9, table5, table6, matrix, energy, sensitivity, patterns, all)")
 	format := flag.String("format", "text", "output format: text or markdown")
+	par := flag.Int("parallel", 0, "worker count for experiment fan-out (0 = GOMAXPROCS, 1 = serial)")
+	stats := flag.Bool("cache-stats", false, "print simulation-cache hit/miss counters after the run")
 	flag.Parse()
+	seculator.SetParallelism(*par)
 
 	show := func(t seculator.Table) {
 		if *format == "markdown" {
@@ -112,6 +117,11 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "seculator-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *stats {
+		cs := seculator.SimCacheStats()
+		fmt.Printf("sim cache: %d hits, %d misses, %d entries (%.0f%% hit rate), %d workers\n",
+			cs.Hits, cs.Misses, cs.Entries, cs.HitRate()*100, seculator.Parallelism())
 	}
 }
 

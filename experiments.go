@@ -6,12 +6,25 @@ import (
 	"strings"
 
 	"seculator/internal/hw"
+	"seculator/internal/parallel"
 	"seculator/internal/pattern"
 	"seculator/internal/protect"
 	"seculator/internal/runner"
 	"seculator/internal/widen"
 	"seculator/internal/workload"
 )
+
+// baselineOf returns the Baseline result of a design comparison, looked up
+// by design rather than slice position, so the normalization denominator
+// cannot silently change if the design set is reordered.
+func baselineOf(rs []runner.Result) (runner.Result, error) {
+	for _, r := range rs {
+		if r.Design == protect.Baseline {
+			return r, nil
+		}
+	}
+	return runner.Result{}, fmt.Errorf("seculator: design set has no Baseline to normalize against")
+}
 
 // Table is a rendered experiment result: a titled grid of cells plus notes.
 type Table struct {
@@ -104,18 +117,29 @@ type CharacterizationResult struct {
 
 // Fig4Characterization reproduces Figure 4 (and gathers Figure 5's cache
 // data): Baseline vs Secure vs TNPU vs GuardNN across the five benchmarks.
+// The five networks fan out on the worker pool (each network in turn fans
+// out over its designs); points land in network-then-design order, so the
+// tables are byte-identical at any worker count.
 func Fig4Characterization(cfg Config) (CharacterizationResult, error) {
 	res := CharacterizationResult{
 		MACMissRate:     map[string]float64{},
 		CounterMissRate: map[string]float64{},
 	}
 	designs := []Design{Baseline, Secure, TNPU, GuardNN}
-	for _, n := range workload.All() {
-		rs, err := runner.RunAll(context.Background(), n, designs, cfg)
+	nets := workload.All()
+	perNet, err := parallel.Map(context.Background(), 0, nets,
+		func(ctx context.Context, n workload.Network) ([]runner.Result, error) {
+			return runner.RunAll(ctx, n, designs, cfg)
+		})
+	if err != nil {
+		return res, err
+	}
+	for i, n := range nets {
+		rs := perNet[i]
+		base, err := baselineOf(rs)
 		if err != nil {
 			return res, err
 		}
-		base := rs[0]
 		for _, r := range rs {
 			res.Points = append(res.Points, PerfPoint{
 				Network:     n.Name,
@@ -167,15 +191,24 @@ type EvaluationResult struct {
 	Points []PerfPoint
 }
 
-// Fig7Performance reproduces Figures 7 and 8.
+// Fig7Performance reproduces Figures 7 and 8. Networks fan out on the
+// worker pool; point order is deterministic at any worker count.
 func Fig7Performance(cfg Config) (EvaluationResult, error) {
 	var res EvaluationResult
-	for _, n := range workload.All() {
-		rs, err := runner.RunAll(context.Background(), n, protect.Designs(), cfg)
+	nets := workload.All()
+	perNet, err := parallel.Map(context.Background(), 0, nets,
+		func(ctx context.Context, n workload.Network) ([]runner.Result, error) {
+			return runner.RunAll(ctx, n, protect.Designs(), cfg)
+		})
+	if err != nil {
+		return res, err
+	}
+	for i, n := range nets {
+		rs := perNet[i]
+		base, err := baselineOf(rs)
 		if err != nil {
 			return res, err
 		}
-		base := rs[0]
 		for _, r := range rs {
 			res.Points = append(res.Points, PerfPoint{
 				Network:     n.Name,
@@ -261,32 +294,49 @@ func Fig9Widening(cfg Config) (WideningResult, error) {
 		Name: "base", Type: workload.Conv,
 		C: 3, H: 32, W: 32, K: 16, R: 3, S: 3, Stride: 1,
 	}
-	run := func(d Design, size int) (float64, error) {
+	run := func(ctx context.Context, d Design, size int) (float64, error) {
 		l, err := widen.Layer(baseLayer, size, size, 3)
 		if err != nil {
 			return 0, err
 		}
 		net := workload.Network{Name: fmt.Sprintf("widen-%d", size), Layers: []workload.Layer{l}}
-		r, err := runner.Run(context.Background(), net, d, cfg)
+		r, err := runner.RunCached(ctx, net, d, cfg)
 		if err != nil {
 			return 0, err
 		}
 		return float64(r.Cycles), nil
 	}
-	ref, err := run(Baseline, sizes[0])
+	// Every (design, size) cell is an independent single-layer simulation:
+	// fan them all out at once. The Baseline@32 reference is one of the
+	// cells, so the memo cache hands it back without a second simulation.
+	type cell struct {
+		d    Design
+		size int
+	}
+	var cells []cell
+	for _, d := range protect.Designs() {
+		for _, size := range sizes {
+			cells = append(cells, cell{d, size})
+		}
+	}
+	lat, err := parallel.Map(context.Background(), 0, cells,
+		func(ctx context.Context, c cell) (float64, error) {
+			return run(ctx, c.d, c.size)
+		})
 	if err != nil {
 		return res, err
 	}
-	for _, d := range protect.Designs() {
-		for _, size := range sizes {
-			cyc, err := run(d, size)
-			if err != nil {
-				return res, err
-			}
-			res.Points = append(res.Points, WideningPoint{
-				Design: d, InputSize: size, Latency: cyc / ref,
-			})
-		}
+	ref, err := run(context.Background(), Baseline, sizes[0])
+	if err != nil {
+		return res, err
+	}
+	if ref == 0 {
+		return res, fmt.Errorf("seculator: zero-cycle widening reference run")
+	}
+	for i, c := range cells {
+		res.Points = append(res.Points, WideningPoint{
+			Design: c.d, InputSize: c.size, Latency: lat[i] / ref,
+		})
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"seculator/internal/mem"
+	"seculator/internal/parallel"
 	"seculator/internal/protect"
 )
 
@@ -47,33 +48,36 @@ type DetectionCell struct {
 }
 
 // DetectionMatrix runs every attack against every design's functional
-// memory and returns the full matrix. ctx cancels between cells.
+// memory and returns the full matrix in design-major, attack-minor order.
+// Cells fan out on the worker pool — each builds its own functional memory
+// over a fresh DRAM, so no state is shared between concurrent attacks.
+// ctx cancels in-flight cells.
 func DetectionMatrix(ctx context.Context, s Scenario) ([]DetectionCell, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	designs := []protect.Design{
 		protect.Baseline, protect.Secure, protect.TNPU, protect.GuardNN, protect.Seculator,
 	}
-	var out []DetectionCell
+	type cell struct {
+		d   protect.Design
+		atk MatrixAttack
+	}
+	var cells []cell
 	for _, d := range designs {
 		for _, atk := range MatrixAttacks() {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			m, macs, dram, err := NewFunctionalMemory(d)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunMatrix(m, macs, dram, s, atk)
-			if err != nil {
-				return nil, fmt.Errorf("attack: %s/%s: %w", d, atk, err)
-			}
-			out = append(out, DetectionCell{
-				Design: d, Attack: atk,
-				Detected: res.Detected, Corrupted: res.Corrupted,
-			})
+			cells = append(cells, cell{d, atk})
 		}
 	}
-	return out, nil
+	return parallel.Map(ctx, 0, cells, func(ctx context.Context, c cell) (DetectionCell, error) {
+		m, macs, dram, err := NewFunctionalMemory(c.d)
+		if err != nil {
+			return DetectionCell{}, err
+		}
+		res, err := RunMatrix(m, macs, dram, s, c.atk)
+		if err != nil {
+			return DetectionCell{}, fmt.Errorf("attack: %s/%s: %w", c.d, c.atk, err)
+		}
+		return DetectionCell{
+			Design: c.d, Attack: c.atk,
+			Detected: res.Detected, Corrupted: res.Corrupted,
+		}, nil
+	})
 }

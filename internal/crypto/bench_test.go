@@ -1,0 +1,84 @@
+package crypto
+
+import (
+	"testing"
+
+	"seculator/internal/tensor"
+)
+
+// The hot-path contract: per-block encryption/decryption performs zero heap
+// allocations. The engines stage pads and tweaks in reusable scratch fields
+// (engine-per-worker contract; see DESIGN.md §8), so the only way an alloc
+// creeps back in is a local escaping through the cipher.Block interface —
+// which these benchmarks and tests catch via -benchmem / AllocsPerRun.
+
+func BenchmarkCTREncryptBlock(b *testing.B) {
+	e := NewCTR(0xfeed, 0xcafe)
+	src := make([]byte, tensor.BlockBytes)
+	dst := make([]byte, tensor.BlockBytes)
+	b.SetBytes(tensor.BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EncryptBlock(dst, src, Counter{VN: uint32(i), Block: uint32(i)})
+	}
+}
+
+func BenchmarkCTRDecryptBlock(b *testing.B) {
+	e := NewCTR(0xfeed, 0xcafe)
+	src := make([]byte, tensor.BlockBytes)
+	dst := make([]byte, tensor.BlockBytes)
+	b.SetBytes(tensor.BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DecryptBlock(dst, src, Counter{VN: uint32(i), Block: uint32(i)})
+	}
+}
+
+func BenchmarkXTSEncryptBlock(b *testing.B) {
+	e := NewXTS(1, 2)
+	src := make([]byte, tensor.BlockBytes)
+	dst := make([]byte, tensor.BlockBytes)
+	b.SetBytes(tensor.BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EncryptBlock(dst, src, uint64(i))
+	}
+}
+
+func BenchmarkXTSDecryptBlock(b *testing.B) {
+	e := NewXTS(1, 2)
+	src := make([]byte, tensor.BlockBytes)
+	dst := make([]byte, tensor.BlockBytes)
+	b.SetBytes(tensor.BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DecryptBlock(dst, src, uint64(i))
+	}
+}
+
+// TestBlockOpsAllocFree enforces the de-allocation acceptance criterion
+// (allocs/op <= 1 on the per-block paths) as a plain test so CI's race job
+// catches regressions without running benchmarks.
+func TestBlockOpsAllocFree(t *testing.T) {
+	ctr := NewCTR(0xfeed, 0xcafe)
+	xts := NewXTS(1, 2)
+	src := make([]byte, tensor.BlockBytes)
+	dst := make([]byte, tensor.BlockBytes)
+	for _, op := range []struct {
+		name string
+		fn   func()
+	}{
+		{"CTR.EncryptBlock", func() { ctr.EncryptBlock(dst, src, Counter{VN: 1, Block: 2}) }},
+		{"CTR.DecryptBlock", func() { ctr.DecryptBlock(dst, src, Counter{VN: 1, Block: 2}) }},
+		{"XTS.EncryptBlock", func() { xts.EncryptBlock(dst, src, 7) }},
+		{"XTS.DecryptBlock", func() { xts.DecryptBlock(dst, src, 7) }},
+	} {
+		if allocs := testing.AllocsPerRun(100, op.fn); allocs > 1 {
+			t.Errorf("%s: %.0f allocs/op, want <= 1", op.name, allocs)
+		}
+	}
+}

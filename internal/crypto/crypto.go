@@ -40,9 +40,21 @@ func (c Counter) String() string {
 
 // CTREngine is the counter-mode memory encryption engine. Four parallel
 // AES-128 lanes produce the 64-byte one-time pad for a block.
+//
+// An engine is NOT safe for concurrent use: the per-block pad and counter
+// buffers are reusable scratch, which keeps the encrypt/decrypt hot path
+// allocation-free. The experiment engine upholds this by construction —
+// every simulation, functional memory and secure executor owns a private
+// engine (the engine-per-worker contract; see DESIGN.md §8).
 type CTREngine struct {
 	block cipher.Block
 	key   [16]byte
+
+	// Scratch reused across EncryptBlock/DecryptBlock calls. Stack arrays
+	// would escape through the cipher.Block interface call and allocate
+	// per block; engine-owned buffers do not.
+	padBuf [tensor.BlockBytes]byte
+	ctrBuf [16]byte
 }
 
 // NewCTR builds the engine with the hardware-specific key: the
@@ -60,16 +72,17 @@ func NewCTR(secretID, bootRandom uint64) *CTREngine {
 	return &CTREngine{block: b, key: key}
 }
 
-// pad computes the 64-byte one-time pad for the counter: four AES blocks,
-// one per 16-byte lane, distinguished by a 2-bit lane index.
-func (e *CTREngine) pad(dst *[tensor.BlockBytes]byte, c Counter) {
-	var in [16]byte
+// pad computes the 64-byte one-time pad for the counter into the engine's
+// scratch: four AES blocks, one per 16-byte lane, distinguished by a 2-bit
+// lane index.
+func (e *CTREngine) pad(c Counter) {
+	in := &e.ctrBuf
 	binary.BigEndian.PutUint32(in[0:4], c.Fmap)
 	binary.BigEndian.PutUint32(in[4:8], c.Layer)
 	binary.BigEndian.PutUint32(in[8:12], c.VN)
 	for lane := 0; lane < 4; lane++ {
 		binary.BigEndian.PutUint32(in[12:16], c.Block<<2|uint32(lane))
-		e.block.Encrypt(dst[lane*16:(lane+1)*16], in[:])
+		e.block.Encrypt(e.padBuf[lane*16:(lane+1)*16], in[:])
 	}
 }
 
@@ -80,10 +93,9 @@ func (e *CTREngine) EncryptBlock(dst, src []byte, c Counter) {
 		panic(fmt.Sprintf("crypto: CTR block must be %d bytes, got dst=%d src=%d",
 			tensor.BlockBytes, len(dst), len(src)))
 	}
-	var p [tensor.BlockBytes]byte
-	e.pad(&p, c)
-	for i := range p {
-		dst[i] = src[i] ^ p[i]
+	e.pad(c)
+	for i := range e.padBuf {
+		dst[i] = src[i] ^ e.padBuf[i]
 	}
 }
 
@@ -95,9 +107,15 @@ func (e *CTREngine) DecryptBlock(dst, src []byte, c Counter) {
 // XTSEngine is the AES-XTS-style engine TNPU uses: the tweak is the block's
 // address, independent of any version number, so freshness must come from
 // elsewhere (TNPU's tensor table).
+//
+// Like CTREngine, an XTSEngine is NOT safe for concurrent use: the tweak
+// and lane buffers are engine-owned scratch so the per-block path never
+// allocates. Give each goroutine its own engine.
 type XTSEngine struct {
 	data  cipher.Block // K1: data encryption
 	tweak cipher.Block // K2: tweak encryption
+
+	seedBuf, twBuf, laneBuf [16]byte // per-block scratch (see CTREngine)
 }
 
 // NewXTS builds the two-key XTS engine.
@@ -147,10 +165,10 @@ func (e *XTSEngine) process(dst, src []byte, addr uint64, encrypt bool) {
 		panic(fmt.Sprintf("crypto: XTS block must be %d bytes, got dst=%d src=%d",
 			tensor.BlockBytes, len(dst), len(src)))
 	}
-	var seed, tw [16]byte
+	seed, tw, buf := &e.seedBuf, &e.twBuf, &e.laneBuf
+	// seed[0:8] is never written, so it stays zero across reuses.
 	binary.BigEndian.PutUint64(seed[8:16], addr)
 	e.tweak.Encrypt(tw[:], seed[:])
-	var buf [16]byte
 	for lane := 0; lane < 4; lane++ {
 		o := lane * 16
 		for i := 0; i < 16; i++ {
@@ -164,7 +182,7 @@ func (e *XTSEngine) process(dst, src []byte, addr uint64, encrypt bool) {
 		for i := 0; i < 16; i++ {
 			dst[o+i] = buf[i] ^ tw[i]
 		}
-		gfDouble(&tw)
+		gfDouble(tw)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"seculator/internal/mac"
 	"seculator/internal/mem"
 	"seculator/internal/nn"
+	"seculator/internal/parallel"
 	"seculator/internal/protect"
 	"seculator/internal/resilience"
 	"seculator/internal/secure"
@@ -178,7 +179,22 @@ func Run(ctx context.Context, c Campaign) ([]Point, error) {
 		c.Retry = resilience.DefaultPolicy()
 	}
 
+	// Enumerate every (kind, rate, design, trial) cell up front — the seed
+	// derivation must see the same cell numbering the sequential sweep used —
+	// then fan the independent trials out on the worker pool and fold each
+	// trial's outcome into its point. Points keep enumeration order and each
+	// point's Outcome is a commutative sum, so the result is identical at
+	// any worker count.
+	type trialJob struct {
+		point int // index into out
+		kind  Kind
+		rate  float64
+		d     protect.Design
+		trial int
+		seed  int64
+	}
 	var out []Point
+	var jobs []trialJob
 	cell := int64(0)
 	for _, kind := range c.Faults {
 		rates := c.Rates
@@ -194,33 +210,42 @@ func Run(ctx context.Context, c Campaign) ([]Point, error) {
 				if kind == KindMACRegister && d != protect.Seculator {
 					continue // no layer MAC registers to upset
 				}
-				p := Point{Fault: kind, Rate: rate, Design: d}
+				out = append(out, Point{Fault: kind, Rate: rate, Design: d})
 				for trial := 0; trial < c.Trials; trial++ {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-					seed := c.Seed + cell*1009 + int64(trial)*7919
-					var (
-						o   Outcome
-						err error
-					)
-					switch {
-					case kind == KindMACRegister:
-						o, err = macRegisterTrial(seed)
-					case d == protect.Seculator:
-						o, err = c.executorTrial(ctx, kind, rate, seed)
-					default:
-						o, err = designTrial(d, kind, rate, seed)
-					}
-					if err != nil {
-						return nil, fmt.Errorf("fault: %s/%s rate %g trial %d: %w",
-							d, kind, rate, trial, err)
-					}
-					p.Outcome.add(o)
+					jobs = append(jobs, trialJob{
+						point: len(out) - 1,
+						kind:  kind, rate: rate, d: d, trial: trial,
+						seed: c.Seed + cell*1009 + int64(trial)*7919,
+					})
 				}
-				out = append(out, p)
 			}
 		}
+	}
+
+	outcomes, err := parallel.Map(ctx, 0, jobs, func(ctx context.Context, j trialJob) (Outcome, error) {
+		var (
+			o   Outcome
+			err error
+		)
+		switch {
+		case j.kind == KindMACRegister:
+			o, err = macRegisterTrial(j.seed)
+		case j.d == protect.Seculator:
+			o, err = c.executorTrial(ctx, j.kind, j.rate, j.seed)
+		default:
+			o, err = designTrial(j.d, j.kind, j.rate, j.seed)
+		}
+		if err != nil {
+			return Outcome{}, fmt.Errorf("fault: %s/%s rate %g trial %d: %w",
+				j.d, j.kind, j.rate, j.trial, err)
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		out[j.point].Outcome.add(outcomes[i])
 	}
 	return out, nil
 }

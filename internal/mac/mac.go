@@ -65,20 +65,42 @@ type BlockRef struct {
 	Index  uint32 // block index within the fmap (I)
 }
 
+// hdrSize is the serialized BlockRef prefix: P(8) L(4) F(4) VN(4) I(4).
+const hdrSize = 24
+
+// maxInlineData sizes the stack buffer of BlockMAC's allocation-free fast
+// path; 64 covers the simulator's one block size (tensor.BlockBytes).
+const maxInlineData = 64
+
 // BlockMAC computes SHA256(P || L || F || VN || I || B).
+//
+// For data up to 64 bytes — every caller in the simulator; blocks are
+// 64-byte DRAM lines — the message is assembled in a stack buffer and
+// hashed with sha256.Sum256, so the per-block MAC path performs zero heap
+// allocations. Longer data streams through a hash.Hash.
 func BlockMAC(ref BlockRef, data []byte) Digest {
+	if len(data) <= maxInlineData {
+		var buf [hdrSize + maxInlineData]byte
+		putHeader(buf[:hdrSize], ref)
+		copy(buf[hdrSize:], data)
+		return Digest(sha256.Sum256(buf[:hdrSize+len(data)]))
+	}
 	h := sha256.New()
-	var hdr [24]byte
-	binary.BigEndian.PutUint64(hdr[0:8], ref.Secret)
-	binary.BigEndian.PutUint32(hdr[8:12], ref.Layer)
-	binary.BigEndian.PutUint32(hdr[12:16], ref.Fmap)
-	binary.BigEndian.PutUint32(hdr[16:20], ref.VN)
-	binary.BigEndian.PutUint32(hdr[20:24], ref.Index)
+	var hdr [hdrSize]byte
+	putHeader(hdr[:], ref)
 	h.Write(hdr[:])
 	h.Write(data)
 	var d Digest
 	copy(d[:], h.Sum(nil))
 	return d
+}
+
+func putHeader(hdr []byte, ref BlockRef) {
+	binary.BigEndian.PutUint64(hdr[0:8], ref.Secret)
+	binary.BigEndian.PutUint32(hdr[8:12], ref.Layer)
+	binary.BigEndian.PutUint32(hdr[12:16], ref.Fmap)
+	binary.BigEndian.PutUint32(hdr[16:20], ref.VN)
+	binary.BigEndian.PutUint32(hdr[20:24], ref.Index)
 }
 
 // Register is one XOR-MAC accumulator.

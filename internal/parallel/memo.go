@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"sync"
+)
+
+// MemoStats is a snapshot of a Memo's hit/miss counters.
+type MemoStats struct {
+	Hits    uint64 // Do calls served from the cache (including waits on an in-flight compute)
+	Misses  uint64 // Do calls that triggered a compute
+	Entries int    // distinct keys cached
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s MemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// memoEntry is one cached computation. The sync.Once gives singleflight
+// semantics: concurrent misses on the same key compute exactly once, the
+// losers block on the Once and read the stored result.
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Memo is a concurrency-safe memoization cache for deterministic
+// computations, keyed by a comparable fingerprint. A sync.RWMutex guards
+// the key map; per-key sync.Once serializes the compute so a point is
+// never simulated twice. Both values and errors are cached — the
+// simulations it fronts are pure functions of their fingerprint.
+//
+// Cached values are shared across callers: treat anything returned
+// through a Memo as immutable.
+type Memo[K comparable, V any] struct {
+	mu           sync.RWMutex
+	entries      map[K]*memoEntry[V]
+	hits, misses uint64
+}
+
+// NewMemo returns an empty cache.
+func NewMemo[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{entries: make(map[K]*memoEntry[V])}
+}
+
+// Do returns the cached result for key, computing it with fn on first
+// use. Concurrent calls with the same key run fn once; the rest wait and
+// share the result.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.RLock()
+	e, ok := m.entries[key]
+	m.mu.RUnlock()
+	if !ok {
+		m.mu.Lock()
+		if e, ok = m.entries[key]; !ok {
+			e = &memoEntry[V]{}
+			m.entries[key] = e
+			m.misses++
+		} else {
+			m.hits++
+		}
+		m.mu.Unlock()
+	} else {
+		m.mu.Lock()
+		m.hits++
+		m.mu.Unlock()
+	}
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Forget drops the entry for key, if any. Callers use it to evict a
+// result that should not persist — e.g. a compute that failed with a
+// context cancellation rather than a deterministic error.
+func (m *Memo[K, V]) Forget(key K) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, key)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Memo[K, V]) Stats() MemoStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Entries: len(m.entries)}
+}
+
+// Reset discards every entry and zeroes the counters.
+func (m *Memo[K, V]) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[K]*memoEntry[V])
+	m.hits, m.misses = 0, 0
+}

@@ -1,0 +1,142 @@
+// Package parallel is the experiment engine's fan-out primitive: a
+// context-aware, bounded-concurrency worker pool with errgroup-style
+// first-error propagation and deterministic result ordering (results land
+// by item index, never by completion order).
+//
+// The evaluation pipeline is embarrassingly parallel across independent
+// (network x design x sweep-point x fault-trial) simulations; every
+// fan-out site in the repository — runner.RunAll, the four sweeps, the
+// figure experiments, the attack matrix and the fault campaign — is built
+// on Map/ForEach so a full table regeneration saturates all cores.
+//
+// Concurrency contract: fn is invoked from multiple goroutines, each call
+// on a distinct item. Everything fn touches must either be goroutine-safe
+// or owned by the call — the simulation stack satisfies this by
+// constructing one protection engine, DRAM and crypto engine per
+// simulation (the "engine per worker" contract; see DESIGN.md §8).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the GOMAXPROCS-scaled default when positive.
+var defaultWorkers atomic.Int64
+
+// SetWorkers sets the default worker count used when Map/ForEach are
+// called with workers <= 0. n <= 0 restores the GOMAXPROCS default.
+// It is the hook behind the seculator-bench -parallel flag.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers returns the current default worker count: SetWorkers' value if
+// set, otherwise GOMAXPROCS.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item with at most `workers` concurrent calls
+// (workers <= 0 means Workers()) and returns the outputs in item order.
+// The first error wins: it cancels the context passed to in-flight calls,
+// prevents un-started items from running, and is the error returned.
+// A cancelled parent context yields ctx.Err().
+func Map[I, O any](ctx context.Context, workers int, items []I, fn func(ctx context.Context, item I) (O, error)) ([]O, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	out := make([]O, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, same semantics.
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			o, err := fn(ctx, items[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = o
+		}
+		return out, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // work-stealing item cursor
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := wctx.Err(); err != nil {
+					return
+				}
+				o, err := fn(wctx, items[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = o
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The parent may have been cancelled after the last item completed;
+	// report it rather than returning a silently truncated run.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is Map without outputs: it applies fn to every item with
+// bounded concurrency and first-error propagation.
+func ForEach[I any](ctx context.Context, workers int, items []I, fn func(ctx context.Context, item I) error) error {
+	_, err := Map(ctx, workers, items, func(ctx context.Context, item I) (struct{}, error) {
+		return struct{}{}, fn(ctx, item)
+	})
+	return err
+}

@@ -23,6 +23,13 @@ type SeculatorMemory struct {
 	secret  uint64
 	layer   uint32
 	started bool
+
+	// ct is the reusable ciphertext staging buffer: DRAM copies payloads
+	// on write and into the caller's dst on read, so the block only lives
+	// here transiently. One buffer per memory keeps the per-block path
+	// allocation-free; like its crypto engine, a SeculatorMemory is
+	// single-goroutine by contract.
+	ct [tensor.BlockBytes]byte
 }
 
 // NewSeculatorMemory builds the functional secure memory. secret is the
@@ -73,9 +80,8 @@ func (m *SeculatorMemory) ref(layer, fmapID uint32, vn int, blockIdx uint32) mac
 // into MAC_W.
 func (m *SeculatorMemory) WriteBlock(addr uint64, fmapID uint32, vn int, blockIdx uint32, plaintext []byte) {
 	m.mustStart()
-	ct := make([]byte, tensor.BlockBytes)
-	m.engine.EncryptBlock(ct, plaintext, m.counter(m.layer, fmapID, vn, blockIdx))
-	m.dram.WriteBlock(addr, ct, 0)
+	m.engine.EncryptBlock(m.ct[:], plaintext, m.counter(m.layer, fmapID, vn, blockIdx))
+	m.dram.WriteBlock(addr, m.ct[:], 0)
 	m.checker.OnWrite(mac.BlockMAC(m.ref(m.layer, fmapID, vn, blockIdx), plaintext))
 }
 
@@ -117,9 +123,8 @@ func (m *SeculatorMemory) ReadStatic(addr uint64, ownerLayer, fmapID uint32, vn 
 // touching the NPU's MAC registers. It returns the block's MAC so the host
 // can accumulate golden digests.
 func (m *SeculatorMemory) HostWriteBlock(addr uint64, ownerLayer, fmapID uint32, vn int, blockIdx uint32, plaintext []byte) mac.Digest {
-	ct := make([]byte, tensor.BlockBytes)
-	m.engine.EncryptBlock(ct, plaintext, m.counter(ownerLayer, fmapID, vn, blockIdx))
-	m.dram.WriteBlock(addr, ct, 0)
+	m.engine.EncryptBlock(m.ct[:], plaintext, m.counter(ownerLayer, fmapID, vn, blockIdx))
+	m.dram.WriteBlock(addr, m.ct[:], 0)
 	return mac.BlockMAC(m.ref(ownerLayer, fmapID, vn, blockIdx), plaintext)
 }
 
@@ -130,10 +135,11 @@ func (m *SeculatorMemory) BlockDigest(ownerLayer, fmapID uint32, vn int, blockId
 }
 
 func (m *SeculatorMemory) fetch(addr uint64, layer, fmapID uint32, vn int, blockIdx uint32) []byte {
-	ct := make([]byte, tensor.BlockBytes)
-	m.dram.ReadBlock(addr, ct, 0)
+	m.dram.ReadBlock(addr, m.ct[:], 0)
+	// The plaintext is returned to the caller and must survive the next
+	// fetch: it is the one allocation left on this path.
 	pt := make([]byte, tensor.BlockBytes)
-	m.engine.DecryptBlock(pt, ct, m.counter(layer, fmapID, vn, blockIdx))
+	m.engine.DecryptBlock(pt, m.ct[:], m.counter(layer, fmapID, vn, blockIdx))
 	return pt
 }
 

@@ -132,6 +132,8 @@ type SGXMemory struct {
 	// deferred holds a Merkle-update failure from Write, surfaced at the
 	// next Read or EndLayer (FunctionalMemory.Write has no error return).
 	deferred error
+
+	ct [tensor.BlockBytes]byte // reusable ciphertext staging (single-goroutine)
 }
 
 // NewSGXMemory builds the Secure functional memory covering `pages` 4 KB
@@ -194,9 +196,8 @@ func (m *SGXMemory) Write(addr uint64, _ uint32, _ int, _ uint32, pt []byte) {
 		}
 		return
 	}
-	ct := make([]byte, tensor.BlockBytes)
-	m.engine.EncryptBlock(ct, pt, m.ctrOf(addr, v))
-	m.dram.WriteBlock(addr, ct, 0)
+	m.engine.EncryptBlock(m.ct[:], pt, m.ctrOf(addr, v))
+	m.dram.WriteBlock(addr, m.ct[:], 0)
 	m.macs.Put(addr, m.macOf(addr, v, pt))
 }
 
@@ -210,10 +211,9 @@ func (m *SGXMemory) Read(addr uint64, _, _ uint32, _ int, _ uint32, _ bool) ([]b
 		return nil, fmt.Errorf("%w: %v", ErrBlockIntegrity, err)
 	}
 	v := m.counters.Value(addr)
-	ct := make([]byte, tensor.BlockBytes)
-	m.dram.ReadBlock(addr, ct, 0)
+	m.dram.ReadBlock(addr, m.ct[:], 0)
 	pt := make([]byte, tensor.BlockBytes)
-	m.engine.DecryptBlock(pt, ct, m.ctrOf(addr, v))
+	m.engine.DecryptBlock(pt, m.ct[:], m.ctrOf(addr, v))
 	want, ok := m.macs.Get(addr)
 	if !ok || m.macOf(addr, v, pt) != want {
 		return nil, fmt.Errorf("%w: Secure: block %#x MAC mismatch", ErrBlockIntegrity, addr)
@@ -235,6 +235,8 @@ type TNPUMemory struct {
 	table  map[uint32]int // tensor table: fmap/tile -> current VN
 	macs   *MACStore
 	secret uint64
+
+	ct [tensor.BlockBytes]byte // reusable ciphertext staging (single-goroutine)
 }
 
 // NewTNPUMemory builds the TNPU functional memory.
@@ -267,9 +269,8 @@ func (m *TNPUMemory) macOf(addr uint64, fmap uint32, vn int, idx uint32, data []
 // VN in the tensor table, store a VN-binding MAC.
 func (m *TNPUMemory) Write(addr uint64, fmap uint32, vn int, idx uint32, pt []byte) {
 	m.table[fmap] = vn
-	ct := make([]byte, tensor.BlockBytes)
-	m.engine.EncryptBlock(ct, pt, addr)
-	m.dram.WriteBlock(addr, ct, 0)
+	m.engine.EncryptBlock(m.ct[:], pt, addr)
+	m.dram.WriteBlock(addr, m.ct[:], 0)
 	m.macs.Put(addr, m.macOf(addr, fmap, vn, idx, pt))
 }
 
@@ -281,10 +282,9 @@ func (m *TNPUMemory) Read(addr uint64, _, fmap uint32, _ int, idx uint32, _ bool
 	if !ok {
 		return nil, fmt.Errorf("%w: TNPU: no table entry for fmap %d", ErrBlockIntegrity, fmap)
 	}
-	ct := make([]byte, tensor.BlockBytes)
-	m.dram.ReadBlock(addr, ct, 0)
+	m.dram.ReadBlock(addr, m.ct[:], 0)
 	pt := make([]byte, tensor.BlockBytes)
-	m.engine.DecryptBlock(pt, ct, addr)
+	m.engine.DecryptBlock(pt, m.ct[:], addr)
 	want, ok := m.macs.Get(addr)
 	if !ok || m.macOf(addr, fmap, vn, idx, pt) != want {
 		return nil, fmt.Errorf("%w: TNPU: block %#x MAC mismatch", ErrBlockIntegrity, addr)
@@ -306,6 +306,8 @@ type GuardNNMemory struct {
 	scheduler map[uint32]int // host scheduler's VN ledger: fmap -> VN
 	macs      *MACStore
 	secret    uint64
+
+	ct [tensor.BlockBytes]byte // reusable ciphertext staging (single-goroutine)
 }
 
 // NewGuardNNMemory builds the GuardNN functional memory.
@@ -342,9 +344,8 @@ func (m *GuardNNMemory) macOf(addr uint64, fmap uint32, vn int, idx uint32, data
 // the scheduler mirrors.
 func (m *GuardNNMemory) Write(addr uint64, fmap uint32, vn int, idx uint32, pt []byte) {
 	m.scheduler[fmap] = vn
-	ct := make([]byte, tensor.BlockBytes)
-	m.engine.EncryptBlock(ct, pt, m.ctrOf(addr, fmap, vn))
-	m.dram.WriteBlock(addr, ct, 0)
+	m.engine.EncryptBlock(m.ct[:], pt, m.ctrOf(addr, fmap, vn))
+	m.dram.WriteBlock(addr, m.ct[:], 0)
 	m.macs.Put(addr, m.macOf(addr, fmap, vn, idx, pt))
 }
 
@@ -354,10 +355,9 @@ func (m *GuardNNMemory) Read(addr uint64, _, fmap uint32, _ int, idx uint32, _ b
 	if !ok {
 		return nil, fmt.Errorf("%w: GuardNN: scheduler has no VN for fmap %d", ErrBlockIntegrity, fmap)
 	}
-	ct := make([]byte, tensor.BlockBytes)
-	m.dram.ReadBlock(addr, ct, 0)
+	m.dram.ReadBlock(addr, m.ct[:], 0)
 	pt := make([]byte, tensor.BlockBytes)
-	m.engine.DecryptBlock(pt, ct, m.ctrOf(addr, fmap, vn))
+	m.engine.DecryptBlock(pt, m.ct[:], m.ctrOf(addr, fmap, vn))
 	want, ok := m.macs.Get(addr)
 	if !ok || m.macOf(addr, fmap, vn, idx, pt) != want {
 		return nil, fmt.Errorf("%w: GuardNN: block %#x MAC mismatch", ErrBlockIntegrity, addr)

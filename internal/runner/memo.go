@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"seculator/internal/parallel"
+	"seculator/internal/protect"
+	"seculator/internal/workload"
+)
+
+// simCache memoizes whole-simulation results across experiments: Fig4 and
+// Fig5 share every point, Fig7/Fig8 re-run four of Fig4's designs, and the
+// sweeps re-run the base configuration once per knob. The cache is keyed
+// by a (network, design, config) fingerprint, so any experiment that asks
+// for an already-simulated point gets the stored Result instead of a
+// re-simulation.
+var simCache = parallel.NewMemo[string, Result]()
+
+// fingerprint renders the full simulation input as a stable string key.
+// The network fingerprint includes every layer field, so two networks
+// that merely share a name cannot collide; the config fingerprint covers
+// every knob of the NPU, DRAM and protection models.
+func fingerprint(n workload.Network, d protect.Design, cfg Config) string {
+	cfg.TraceFn = nil // never part of the key; traced runs bypass the cache
+	return fmt.Sprintf("%+v|%d|%+v", n, d, cfg)
+}
+
+// RunCached is Run behind the memoizing simulation cache. The returned
+// Result is shared with every other caller of the same point: treat it as
+// immutable. Runs with a TraceFn bypass the cache — their value is the
+// trace side channel, which a cache hit would silence.
+func RunCached(ctx context.Context, n workload.Network, d protect.Design, cfg Config) (Result, error) {
+	if cfg.TraceFn != nil {
+		return Run(ctx, n, d, cfg)
+	}
+	key := fingerprint(n, d, cfg)
+	res, err := simCache.Do(key, func() (Result, error) {
+		return Run(ctx, n, d, cfg)
+	})
+	// A cancellation is a property of this call's context, not of the
+	// simulation point: evict it so a later caller re-simulates.
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		simCache.Forget(key)
+	}
+	return res, err
+}
+
+// CacheStats returns the simulation cache's hit/miss counters.
+func CacheStats() parallel.MemoStats { return simCache.Stats() }
+
+// ResetCache discards every memoized simulation (tests, long-lived hosts).
+func ResetCache() { simCache.Reset() }

@@ -14,6 +14,7 @@ import (
 	"seculator/internal/dataflow"
 	"seculator/internal/mem"
 	"seculator/internal/npu"
+	"seculator/internal/parallel"
 	"seculator/internal/protect"
 	"seculator/internal/resilience"
 	"seculator/internal/sched"
@@ -247,18 +248,20 @@ func chargeCost(dram *mem.DRAM, c protect.Cost) {
 	}
 }
 
-// RunAll simulates a network across a set of designs, returning results in
-// the same order. ctx cancels between designs and layers.
+// RunAll simulates a network across a set of designs concurrently (one
+// worker-pool task per design), returning results in designs order. Each
+// simulation owns its engine and DRAM, so the tasks share nothing; results
+// come from the memoizing simulation cache when the point was already run.
+// With a TraceFn configured, designs run sequentially instead — the trace
+// callback sees one interleaving-free address stream per design.
 func RunAll(ctx context.Context, n workload.Network, designs []protect.Design, cfg Config) ([]Result, error) {
-	out := make([]Result, 0, len(designs))
-	for _, d := range designs {
-		r, err := Run(ctx, n, d, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	workers := 0
+	if cfg.TraceFn != nil {
+		workers = 1
 	}
-	return out, nil
+	return parallel.Map(ctx, workers, designs, func(ctx context.Context, d protect.Design) (Result, error) {
+		return RunCached(ctx, n, d, cfg)
+	})
 }
 
 // RunLayers simulates an arbitrary layer sequence that need not chain as a

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"seculator/internal/parallel"
 	"seculator/internal/protect"
 	"seculator/internal/runner"
 	"seculator/internal/workload"
@@ -39,84 +40,106 @@ func runPoint(ctx context.Context, n workload.Network, cfg runner.Config, param 
 	if err != nil {
 		return Point{}, err
 	}
+	// Normalize against the Baseline result looked up by design, never by
+	// slice position: reordering designSet (or any future change in how
+	// results land) must not silently change the denominator.
+	var base *runner.Result
+	for i := range rs {
+		if rs[i].Design == protect.Baseline {
+			base = &rs[i]
+			break
+		}
+	}
+	if base == nil {
+		return Point{}, fmt.Errorf("sweep: design set %v has no Baseline to normalize against", designSet)
+	}
 	p := Point{Param: param, Performance: map[protect.Design]float64{}}
 	for _, r := range rs {
-		p.Performance[r.Design] = r.Performance(rs[0])
+		p.Performance[r.Design] = r.Performance(*base)
 	}
 	return p, nil
 }
 
-// Bandwidth sweeps the DRAM bandwidth (blocks per NPU cycle). ctx cancels
-// between simulation points.
+// sweepPoints runs one simulation point per value concurrently on the
+// worker pool; points land in values order regardless of completion order.
+func sweepPoints[V any](ctx context.Context, n workload.Network, values []V,
+	point func(ctx context.Context, v V) (Point, error)) ([]Point, error) {
+	return parallel.Map(ctx, 0, values, func(ctx context.Context, v V) (Point, error) {
+		return point(ctx, v)
+	})
+}
+
+// Bandwidth sweeps the DRAM bandwidth (blocks per NPU cycle). Points run
+// concurrently; ctx cancels the in-flight simulations.
 func Bandwidth(ctx context.Context, n workload.Network, base runner.Config, values []float64) (Result, error) {
-	res := Result{Name: "DRAM bandwidth", Unit: "blocks/cycle", Designs: designSet}
 	for _, v := range values {
 		if v <= 0 {
 			return Result{}, fmt.Errorf("sweep: bandwidth %g must be positive", v)
 		}
+	}
+	points, err := sweepPoints(ctx, n, values, func(ctx context.Context, v float64) (Point, error) {
 		cfg := base
 		cfg.DRAM.BlocksPerCycle = v
-		p, err := runPoint(ctx, n, cfg, v)
-		if err != nil {
-			return Result{}, err
-		}
-		res.Points = append(res.Points, p)
+		return runPoint(ctx, n, cfg, v)
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	return res, nil
+	return Result{Name: "DRAM bandwidth", Unit: "blocks/cycle", Designs: designSet, Points: points}, nil
 }
 
 // GlobalBuffer sweeps the on-chip buffer capacity in KB.
 func GlobalBuffer(ctx context.Context, n workload.Network, base runner.Config, kbs []int) (Result, error) {
-	res := Result{Name: "global buffer", Unit: "KB", Designs: designSet}
 	for _, kb := range kbs {
 		if kb <= 0 {
 			return Result{}, fmt.Errorf("sweep: GB size %d must be positive", kb)
 		}
+	}
+	points, err := sweepPoints(ctx, n, kbs, func(ctx context.Context, kb int) (Point, error) {
 		cfg := base
 		cfg.NPU.GlobalBufferBytes = kb * 1024
-		p, err := runPoint(ctx, n, cfg, float64(kb))
-		if err != nil {
-			return Result{}, err
-		}
-		res.Points = append(res.Points, p)
+		return runPoint(ctx, n, cfg, float64(kb))
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	return res, nil
+	return Result{Name: "global buffer", Unit: "KB", Designs: designSet, Points: points}, nil
 }
 
 // PEArray sweeps the (square) systolic array extent.
 func PEArray(ctx context.Context, n workload.Network, base runner.Config, dims []int) (Result, error) {
-	res := Result{Name: "PE array", Unit: "rows=cols", Designs: designSet}
 	for _, d := range dims {
 		if d <= 0 {
 			return Result{}, fmt.Errorf("sweep: PE dim %d must be positive", d)
 		}
+	}
+	points, err := sweepPoints(ctx, n, dims, func(ctx context.Context, d int) (Point, error) {
 		cfg := base
 		cfg.NPU.Rows, cfg.NPU.Cols = d, d
-		p, err := runPoint(ctx, n, cfg, float64(d))
-		if err != nil {
-			return Result{}, err
-		}
-		res.Points = append(res.Points, p)
+		return runPoint(ctx, n, cfg, float64(d))
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	return res, nil
+	return Result{Name: "PE array", Unit: "rows=cols", Designs: designSet, Points: points}, nil
 }
 
 // MACCache sweeps the MAC-cache capacity of the per-block designs in KB.
 func MACCache(ctx context.Context, n workload.Network, base runner.Config, kbs []int) (Result, error) {
-	res := Result{Name: "MAC cache", Unit: "KB", Designs: designSet}
 	for _, kb := range kbs {
 		if kb <= 0 {
 			return Result{}, fmt.Errorf("sweep: MAC cache %d must be positive", kb)
 		}
+	}
+	points, err := sweepPoints(ctx, n, kbs, func(ctx context.Context, kb int) (Point, error) {
 		cfg := base
 		cfg.Protect.MACCacheBytes = kb * 1024
-		p, err := runPoint(ctx, n, cfg, float64(kb))
-		if err != nil {
-			return Result{}, err
-		}
-		res.Points = append(res.Points, p)
+		return runPoint(ctx, n, cfg, float64(kb))
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	return res, nil
+	return Result{Name: "MAC cache", Unit: "KB", Designs: designSet, Points: points}, nil
 }
 
 // AdvantageRange returns the min and max of Seculator's speedup over TNPU

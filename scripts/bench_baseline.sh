@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_baseline.sh — snapshot the crypto/MAC/pool microbenchmarks to
+# BENCH_baseline.json so perf regressions show up as a diff. Standard
+# library + awk only; no external dependencies.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+set -eu
+
+out="${1:-BENCH_baseline.json}"
+cd "$(dirname "$0")/.."
+
+go test -run='^$' -bench='Block|Fold|ParallelSpeedup' -benchtime=100x -benchmem \
+	. ./internal/crypto/ ./internal/mac/ |
+	awk '
+	BEGIN { print "{"; n = 0 }
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		nsop = ""; bop = ""; allocs = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "ns/op") nsop = $i
+			if ($(i+1) == "B/op") bop = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+		}
+		if (nsop == "") next
+		if (n++) printf ",\n"
+		printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
+		if (bop != "") printf ", \"bytes_per_op\": %s", bop
+		if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+		printf "}"
+	}
+	END { print "\n}" }
+	' >"$out"
+
+echo "wrote $out:"
+cat "$out"
