@@ -1,0 +1,224 @@
+// Command seculator-serve is the secure inference serving daemon: it
+// exposes the Seculator host/NPU stack over HTTP with session management,
+// micro-batching and admission control, and drains gracefully on
+// SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	seculator-serve                          # serve on :8080
+//	seculator-serve -addr 127.0.0.1:9090
+//	seculator-serve -batch 16 -linger 5ms -queue 512 -workers 8
+//	seculator-serve -loadgen -rps 200 -duration 5s -network Mini
+//	seculator-serve -loadgen -target http://host:8080 -rps 100
+//	seculator-serve -smoke                   # start, one round-trip, drain
+//
+// -loadgen without -target starts an in-process server, drives it at the
+// requested rate, prints p50/p95/p99 latency and sustained RPS, and exits.
+// -smoke is the CI mode: start, one session round-trip verified against
+// the reference computation, graceful shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seculator"
+	"seculator/internal/serve"
+	"seculator/internal/serve/client"
+	"seculator/internal/serve/loadgen"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		queue   = flag.Int("queue", 256, "admission queue depth (429 beyond it)")
+		batch   = flag.Int("batch", 8, "max requests per micro-batch")
+		linger  = flag.Duration("linger", 2*time.Millisecond, "batch formation window")
+		workers = flag.Int("workers", 0, "batch executor pool size (0 = GOMAXPROCS)")
+		idle    = flag.Duration("session-idle", 5*time.Minute, "session idle expiry")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+
+		doLoad   = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target   = flag.String("target", "", "loadgen target base URL (empty = in-process server)")
+		rps      = flag.Float64("rps", 100, "loadgen target arrival rate")
+		duration = flag.Duration("duration", 3*time.Second, "loadgen run length")
+		network  = flag.String("network", "Mini", "loadgen network")
+		sessions = flag.Bool("sessions", false, "loadgen: bind requests to a secure session")
+
+		smoke = flag.Bool("smoke", false, "start, one verified round-trip, graceful drain, exit")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		Scheduler: serve.SchedulerConfig{
+			Workers:  *workers,
+			MaxQueue: *queue,
+			MaxBatch: *batch,
+			Linger:   *linger,
+		},
+		SessionIdle:    *idle,
+		DefaultTimeout: *timeout,
+	}
+
+	switch {
+	case *smoke:
+		if err := runSmoke(opts); err != nil {
+			fail(err)
+		}
+	case *doLoad:
+		if err := runLoadgen(opts, *target, loadgen.Options{
+			RPS: *rps, Duration: *duration, Network: *network, Sessions: *sessions,
+		}); err != nil {
+			fail(err)
+		}
+	default:
+		if err := runServer(opts, *addr); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "seculator-serve: %v\n", err)
+	os.Exit(1)
+}
+
+// runServer serves until SIGTERM/SIGINT, then drains: the listener closes,
+// in-flight HTTP requests finish, the scheduler delivers everything it
+// admitted, and only then does the process exit.
+func runServer(opts serve.Options, addr string) error {
+	srv, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("seculator-serve: listening on %s\n", addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("seculator-serve: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		return fmt.Errorf("scheduler drain: %w", err)
+	}
+	fmt.Println("seculator-serve: drained cleanly")
+	return nil
+}
+
+// startInProcess brings a server up on a loopback listener and returns its
+// base URL plus a drain function.
+func startInProcess(opts serve.Options) (string, func() error, error) {
+	srv, err := serve.New(opts)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	drain := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		return srv.Close(ctx)
+	}
+	return "http://" + ln.Addr().String(), drain, nil
+}
+
+func runLoadgen(opts serve.Options, target string, lopts loadgen.Options) error {
+	base := target
+	drain := func() error { return nil }
+	if base == "" {
+		var err error
+		base, drain, err = startInProcess(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seculator-serve: in-process server at %s\n", base)
+	}
+	c := client.New(base, nil)
+	rep, err := loadgen.Run(context.Background(), c, lopts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	m, err := c.Metrics(context.Background())
+	if err == nil {
+		fmt.Println("server metrics after run:")
+		fmt.Print(m)
+	}
+	return drain()
+}
+
+// runSmoke is the CI round-trip: session inference over HTTP whose output
+// checksum must equal the local reference computation, then a clean drain.
+func runSmoke(opts serve.Options) error {
+	base, drain, err := startInProcess(opts)
+	if err != nil {
+		return err
+	}
+	c := client.New(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sess, err := c.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		return fmt.Errorf("smoke: create session: %w", err)
+	}
+	const seed = 7
+	resp, err := c.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: seed, Session: sess.SessionID})
+	if err != nil {
+		return fmt.Errorf("smoke: infer: %w", err)
+	}
+
+	net := serve.MiniNet()
+	in, ws := seculator.RandomModel(net, seed)
+	golden, err := seculator.ReferenceInference(net, in, ws)
+	if err != nil {
+		return fmt.Errorf("smoke: reference: %w", err)
+	}
+	if want := serve.OutputSum(golden); resp.OutputSum != want {
+		return fmt.Errorf("smoke: output checksum %#x, reference %#x", resp.OutputSum, want)
+	}
+	if resp.Commands != len(net.Layers) {
+		return fmt.Errorf("smoke: %d commands for %d layers", resp.Commands, len(net.Layers))
+	}
+	if err := c.CloseSession(ctx, sess.SessionID); err != nil {
+		return fmt.Errorf("smoke: close session: %w", err)
+	}
+	if err := drain(); err != nil {
+		return fmt.Errorf("smoke: drain: %w", err)
+	}
+	fmt.Printf("SMOKE OK: %s over HTTP, %d commands, checksum %#x, batch %d, drained cleanly\n",
+		resp.Network, resp.Commands, resp.OutputSum, resp.BatchSize)
+	return nil
+}

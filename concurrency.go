@@ -27,3 +27,9 @@ func SimCacheStats() CacheStats { return runner.CacheStats() }
 // ResetSimCache discards every memoized simulation result. Long-lived
 // hosts call it to bound memory; tests call it to force cold runs.
 func ResetSimCache() { runner.ResetCache() }
+
+// ResetSimCacheStats zeroes the cache's hit/miss counters without evicting
+// any entry, so a long-running process (the serving daemon's /metrics
+// scraper, a soak test) can window the counters — hit rate since the last
+// reset — instead of only accumulating since process start.
+func ResetSimCacheStats() { runner.ResetCacheStats() }

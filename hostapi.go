@@ -61,7 +61,8 @@ type SessionIntercept = host.Intercept
 
 // SessionOptions extends a secure session beyond the timing simulation: a
 // man-in-the-middle intercept, a functional model (Input/Weights) executed
-// with layer-level detect-and-recover, a retry policy and a fault injector.
+// with layer-level detect-and-recover, a retry policy, a fault injector,
+// and a DRAM-phase attack hook (Hook) for replay/splice demos.
 type SessionOptions = host.SessionOptions
 
 // RunSecureSession drives the complete Figure 6 flow on the Seculator

@@ -53,6 +53,12 @@ type SessionOptions struct {
 	// Injector, when non-nil, attaches a fault injector to the functional
 	// execution's DRAM.
 	Injector mem.Injector
+
+	// Hook, when non-nil, interposes an attacker between the functional
+	// execution's phases (see secure.Hook) — the DRAM-level counterpart to
+	// Intercept's command-channel man in the middle. Tests and demos use it
+	// to mount replay/splice attacks against a session's encrypted memory.
+	Hook secure.Hook
 }
 
 // RunSession drives the complete Figure 6 flow for one inference on the
@@ -120,7 +126,10 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 		}
 	}
 
-	r, err := runner.Run(ctx, net, protect.Seculator, cfg)
+	// The timing simulation is a pure function of (net, design, cfg); the
+	// memoized path lets a serving host run many sessions of the same model
+	// without re-simulating every request.
+	r, err := runner.RunCached(ctx, net, protect.Seculator, cfg)
 	if err != nil {
 		return SessionResult{}, err
 	}
@@ -130,6 +139,7 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 		x := secure.NewExecutor()
 		x.NPU, x.DRAM = cfg.NPU, cfg.DRAM
 		x.Injector = opts.Injector
+		x.AfterPhase = opts.Hook
 		if opts.Retry != (resilience.Policy{}) {
 			x.Retry = opts.Retry
 		}

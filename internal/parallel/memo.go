@@ -97,3 +97,12 @@ func (m *Memo[K, V]) Reset() {
 	m.entries = make(map[K]*memoEntry[V])
 	m.hits, m.misses = 0, 0
 }
+
+// ResetStats zeroes the hit/miss counters while keeping every cached entry.
+// Long-running processes use it to window the counters (hit rate since the
+// last scrape) without throwing away warm state.
+func (m *Memo[K, V]) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hits, m.misses = 0, 0
+}

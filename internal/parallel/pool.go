@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Submit after Close has begun: the pool
+// drains what it already accepted but takes no new work.
+var ErrPoolClosed = errors.New("parallel: pool closed")
+
+// Pool is the persistent counterpart to Map/ForEach: a fixed set of worker
+// goroutines consuming an unbounded FIFO of tasks. Map is built for one-shot
+// experiment fan-outs that start and finish together; a long-lived server
+// needs workers that outlive any single request, so the serving scheduler
+// submits each micro-batch here instead of spawning goroutines per request.
+//
+// The queue is deliberately unbounded: admission control (bounding how much
+// work may be outstanding) belongs to the caller, which can reject work
+// before it is submitted — the serving layer does exactly that with its
+// queue-depth limit. An in-pool bound would make Submit block, and a
+// blocking Submit under the scheduler's lock is a deadlock.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with n workers (n <= 0 means Workers()).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = Workers()
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		task()
+	}
+}
+
+// Submit enqueues a task for the next free worker. It never blocks; after
+// Close it rejects the task with ErrPoolClosed.
+func (p *Pool) Submit(task func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, task)
+	p.cond.Signal()
+	return nil
+}
+
+// Depth returns the number of tasks waiting for a worker (not counting
+// tasks already executing).
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Close stops accepting new tasks, lets the workers drain everything
+// already accepted, and waits for them to exit. Safe to call twice.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

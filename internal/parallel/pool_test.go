@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(4)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { ran.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", ran.Load())
+	}
+}
+
+func TestPoolCloseDrainsAcceptedWork(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	var mu sync.Mutex
+	block := make(chan struct{})
+	p.Submit(func() { <-block })
+	for i := 0; i < 5; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	time.Sleep(10 * time.Millisecond) // Close must be waiting, not cancelling
+	close(block)
+	<-done
+	if len(order) != 5 {
+		t.Fatalf("drained %d of 5 queued tasks", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if err := p.Submit(func() {}); err != ErrPoolClosed {
+		t.Fatalf("submit after close: %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolDepth(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	release := make(chan struct{})
+	p.Submit(func() { close(block); <-release })
+	<-block
+	p.Submit(func() {})
+	p.Submit(func() {})
+	if d := p.Depth(); d != 2 {
+		t.Fatalf("depth %d, want 2", d)
+	}
+	close(release)
+}

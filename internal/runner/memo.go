@@ -52,3 +52,8 @@ func CacheStats() parallel.MemoStats { return simCache.Stats() }
 
 // ResetCache discards every memoized simulation (tests, long-lived hosts).
 func ResetCache() { simCache.Reset() }
+
+// ResetCacheStats zeroes the hit/miss counters without evicting any cached
+// simulation — the windowing hook for long-running servers that report
+// cache effectiveness per scrape interval.
+func ResetCacheStats() { simCache.ResetStats() }

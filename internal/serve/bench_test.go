@@ -1,0 +1,77 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seculator/internal/serve"
+	"seculator/internal/serve/client"
+)
+
+func newBenchServer(b *testing.B, opts serve.Options) *client.Client {
+	b.Helper()
+	s, err := serve.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+		hs.Close()
+	})
+	return client.New(hs.URL, hs.Client())
+}
+
+// BenchmarkServeInfer is the serving-layer round-trip: HTTP + scheduler +
+// secure functional inference, one request at a time (no batching headroom).
+func BenchmarkServeInfer(b *testing.B) {
+	c := newBenchServer(b, serve.Options{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeInferParallel drives concurrent clients so the
+// micro-batcher and the worker pool both engage — the serving throughput
+// figure.
+func BenchmarkServeInferParallel(b *testing.B) {
+	c := newBenchServer(b, serve.Options{
+		Scheduler: serve.SchedulerConfig{MaxBatch: 8, Linger: time.Millisecond, MaxQueue: 4096},
+	})
+	ctx := context.Background()
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: seed.Add(1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSessionInfer adds the authenticated command channel to the
+// measured path.
+func BenchmarkServeSessionInfer(b *testing.B) {
+	c := newBenchServer(b, serve.Options{})
+	ctx := context.Background()
+	sess, err := c.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i), Session: sess.SessionID}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

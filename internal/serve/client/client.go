@@ -1,0 +1,171 @@
+// Package client is the typed Go client of the serving API: it speaks the
+// wire types of internal/serve and converts non-2xx responses into
+// *APIError values that carry the machine-readable error class, the layer
+// index of a security violation, and the server's Retry-After hint.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"seculator/internal/serve"
+)
+
+// APIError is a non-2xx response from the serving API.
+type APIError struct {
+	StatusCode int
+	Body       serve.ErrorBody
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve API %d (%s): %s", e.StatusCode, e.Body.Class, e.Body.Error)
+}
+
+// RetryAfter returns the server's backoff hint (zero if none).
+func (e *APIError) RetryAfter() time.Duration {
+	return time.Duration(e.Body.RetryAfterMs) * time.Millisecond
+}
+
+// classIs reports whether err is an *APIError of the given class.
+func classIs(err error, class string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Body.Class == class
+}
+
+// IsQueueFull reports 429 admission-control rejection.
+func IsQueueFull(err error) bool { return classIs(err, serve.ClassQueueFull) }
+
+// IsDeadline reports a 503 deadline expiry.
+func IsDeadline(err error) bool { return classIs(err, serve.ClassDeadline) }
+
+// IsShutdown reports a 503 drain rejection.
+func IsShutdown(err error) bool { return classIs(err, serve.ClassShutdown) }
+
+// IsBreach reports a 409 security violation (freshness, channel, or
+// persistent integrity).
+func IsBreach(err error) bool {
+	return classIs(err, serve.ClassFreshness) || classIs(err, serve.ClassChannel) ||
+		classIs(err, serve.ClassIntegrity)
+}
+
+// IsUnknownSession reports a 404 session lookup failure.
+func IsUnknownSession(err error) bool { return classIs(err, serve.ClassUnknownSession) }
+
+// Client talks to one serving daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New creates a client for a base URL ("http://127.0.0.1:8080"). A nil
+// httpClient uses http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// do issues a request and decodes the response into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		ae := &APIError{StatusCode: resp.StatusCode}
+		if jerr := json.Unmarshal(data, &ae.Body); jerr != nil || ae.Body.Error == "" {
+			ae.Body.Error = strings.TrimSpace(string(data))
+			if ae.Body.Class == "" {
+				ae.Body.Class = "http"
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (serve.HealthResponse, error) {
+	var out serve.HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Designs fetches the design/network registry.
+func (c *Client) Designs(ctx context.Context) (serve.DesignsResponse, error) {
+	var out serve.DesignsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/designs", nil, &out)
+	return out, err
+}
+
+// CreateSession opens a secure session.
+func (c *Client) CreateSession(ctx context.Context, req serve.SessionCreateRequest) (serve.SessionCreateResponse, error) {
+	var out serve.SessionCreateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// CloseSession deletes a session.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Infer runs one secure inference.
+func (c *Client) Infer(ctx context.Context, req serve.InferRequest) (serve.InferResponse, error) {
+	var out serve.InferResponse
+	err := c.do(ctx, http.MethodPost, "/v1/infer", req, &out)
+	return out, err
+}
+
+// Metrics fetches the raw /metrics text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: /metrics returned %d", resp.StatusCode)
+	}
+	return string(data), nil
+}

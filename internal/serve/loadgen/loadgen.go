@@ -1,0 +1,223 @@
+// Package loadgen drives the serving layer at a target request rate and
+// reports the latency distribution — the serving-performance counterpart
+// of the microbenchmark trajectory in BENCH_baseline.json.
+//
+// The generator is open-loop: arrivals fire on a fixed schedule regardless
+// of completions (the "millions of users" shape — users do not wait for
+// each other), with a concurrency cap as the safety valve. Requests that
+// would exceed the cap are counted as shed rather than silently delaying
+// the schedule, so overload shows up in the report instead of bending the
+// arrival process.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seculator/internal/serve"
+	"seculator/internal/serve/client"
+)
+
+// Inferer is the request sink: the typed client satisfies it, and tests
+// can drive a server in-process through it.
+type Inferer interface {
+	Infer(ctx context.Context, req serve.InferRequest) (serve.InferResponse, error)
+}
+
+// Options shapes a load run.
+type Options struct {
+	// RPS is the target arrival rate (default 50).
+	RPS float64
+	// Duration is how long to generate load (default 3s).
+	Duration time.Duration
+	// Concurrency caps in-flight requests (default 4x RPS, min 8);
+	// arrivals beyond it are shed and counted.
+	Concurrency int
+	// Network names the model every request runs (default "Mini").
+	Network string
+	// Sessions, when true, opens one secure session per worker slot and
+	// binds its requests to it — the command channel joins the measured
+	// path.
+	Sessions bool
+	// TimeoutMs is the per-request deadline sent to the server (0 uses
+	// the server default).
+	TimeoutMs int64
+	// Seeds vary per request (seed = request index) so the generated
+	// models exercise distinct inputs while staying deterministic.
+}
+
+func (o *Options) setDefaults() {
+	if o.RPS <= 0 {
+		o.RPS = 50
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = int(4 * o.RPS)
+		if o.Concurrency < 8 {
+			o.Concurrency = 8
+		}
+	}
+	if o.Network == "" {
+		o.Network = "Mini"
+	}
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Sent, OK, Shed int
+	Errors         map[string]int // error class (or "transport") -> count
+	Elapsed        time.Duration
+	AchievedRPS    float64 // completed OK per second of run time
+	P50, P95, P99  time.Duration
+	Max            time.Duration
+	MeanBatch      float64 // mean server-reported batch size over OK requests
+}
+
+// String renders the report for humans.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d sent, %d ok, %d shed, %d errors in %v\n",
+		r.Sent, r.OK, r.Shed, r.Sent-r.OK-r.Shed, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput: %.1f req/s sustained\n", r.AchievedRPS)
+	fmt.Fprintf(&b, "  latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
+		r.P99.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
+	fmt.Fprintf(&b, "  batching: mean batch size %.2f\n", r.MeanBatch)
+	if len(r.Errors) > 0 {
+		classes := make([]string, 0, len(r.Errors))
+		for c := range r.Errors {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(&b, "  errors:")
+		for _, c := range classes {
+			fmt.Fprintf(&b, " %s=%d", c, r.Errors[c])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Run drives target at the configured rate until the duration elapses or
+// ctx is cancelled, then waits for in-flight requests and reports.
+func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
+	opts.setDefaults()
+	interval := time.Duration(float64(time.Second) / opts.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+
+	var (
+		mu        sync.Mutex
+		lats      []time.Duration
+		batchSum  int
+		rep       Report
+		wg        sync.WaitGroup
+		slots     = make(chan struct{}, opts.Concurrency)
+		sessionID string
+	)
+	rep.Errors = make(map[string]int)
+
+	if opts.Sessions {
+		c, ok := target.(*client.Client)
+		if !ok {
+			return Report{}, fmt.Errorf("loadgen: Sessions requires a *client.Client target")
+		}
+		sres, err := c.CreateSession(ctx, serve.SessionCreateRequest{})
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: opening session: %w", err)
+		}
+		sessionID = sres.SessionID
+	}
+
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	seed := int64(0)
+arrivals:
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-ticker.C:
+		}
+		rep.Sent++
+		seed++
+		select {
+		case slots <- struct{}{}:
+		default:
+			rep.Shed++
+			continue
+		}
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			req := serve.InferRequest{
+				Network:   opts.Network,
+				Seed:      seed,
+				Session:   sessionID,
+				TimeoutMs: opts.TimeoutMs,
+			}
+			t0 := time.Now()
+			resp, err := target.Infer(ctx, req)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				var ae *client.APIError
+				switch {
+				case errors.As(err, &ae):
+					rep.Errors[ae.Body.Class]++
+				case ctx.Err() != nil:
+					rep.Errors["canceled"]++
+				default:
+					rep.Errors["transport"]++
+				}
+				return
+			}
+			rep.OK++
+			lats = append(lats, lat)
+			batchSum += resp.BatchSize
+		}(seed)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	if rep.Elapsed > 0 {
+		rep.AchievedRPS = float64(rep.OK) / rep.Elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.P50 = percentile(lats, 0.50)
+		rep.P95 = percentile(lats, 0.95)
+		rep.P99 = percentile(lats, 0.99)
+		rep.Max = lats[len(lats)-1]
+		rep.MeanBatch = float64(batchSum) / float64(rep.OK)
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

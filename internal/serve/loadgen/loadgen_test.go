@@ -1,0 +1,81 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seculator/internal/serve"
+	"seculator/internal/serve/client"
+	"seculator/internal/serve/loadgen"
+)
+
+func newTarget(t *testing.T) *client.Client {
+	t.Helper()
+	s, err := serve.New(serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+		hs.Close()
+	})
+	return client.New(hs.URL, hs.Client())
+}
+
+// The load generator sustains a rate against a live server and reports a
+// complete latency distribution.
+func TestLoadgenReportsLatencyAndThroughput(t *testing.T) {
+	c := newTarget(t)
+	rep, err := loadgen.Run(context.Background(), c, loadgen.Options{
+		RPS: 200, Duration: 500 * time.Millisecond, Network: "Mini",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rep.OK == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.OK+rep.Shed+errCount(rep) != rep.Sent {
+		t.Fatalf("accounting broken: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P95 < rep.P50 || rep.P99 < rep.P95 || rep.Max < rep.P99 {
+		t.Fatalf("percentiles out of order: p50=%v p95=%v p99=%v max=%v", rep.P50, rep.P95, rep.P99, rep.Max)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Fatalf("throughput %v", rep.AchievedRPS)
+	}
+	out := rep.String()
+	for _, want := range []string{"p50", "p95", "p99", "req/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Session mode binds the whole run to one secure session.
+func TestLoadgenSessions(t *testing.T) {
+	c := newTarget(t)
+	rep, err := loadgen.Run(context.Background(), c, loadgen.Options{
+		RPS: 100, Duration: 300 * time.Millisecond, Network: "Mini", Sessions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no session traffic succeeded: %+v", rep)
+	}
+}
+
+func errCount(r loadgen.Report) int {
+	n := 0
+	for _, v := range r.Errors {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seculator/internal/runner"
+)
+
+// Metrics is the server's counter set, rendered Prometheus-style on
+// GET /metrics. Everything is monotonic except the gauges (queue depth,
+// active sessions) sampled at scrape time; the simulation-cache lines come
+// from runner.CacheStats, which ResetSimCacheStats can window.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests   map[int]uint64 // HTTP status -> count (infer endpoint)
+	batches    uint64
+	batchItems uint64
+	maxBatch   int
+
+	inferOK    uint64
+	latencySum time.Duration // successful inferences, admission to response
+	queueSum   time.Duration
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[int]uint64)}
+}
+
+// Request records one inference request's final status.
+func (m *Metrics) Request(status int) {
+	m.mu.Lock()
+	m.requests[status]++
+	m.mu.Unlock()
+}
+
+// Batch records a dispatched micro-batch of the given live size.
+func (m *Metrics) Batch(size int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchItems += uint64(size)
+	if size > m.maxBatch {
+		m.maxBatch = size
+	}
+	m.mu.Unlock()
+}
+
+// Inference records one successful inference's latency split.
+func (m *Metrics) Inference(total, queued time.Duration) {
+	m.mu.Lock()
+	m.inferOK++
+	m.latencySum += total
+	m.queueSum += queued
+	m.mu.Unlock()
+}
+
+// Render writes the scrape text. The gauges are passed in by the server so
+// the metrics type stays free of scheduler/session dependencies.
+func (m *Metrics) Render(queueDepth, sessionsActive int, sessionsCreated uint64, evicted map[string]uint64) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	codes := make([]int, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "seculator_serve_requests_total{code=%q} %d\n", fmt.Sprint(c), m.requests[c])
+	}
+	fmt.Fprintf(&b, "seculator_serve_infer_ok_total %d\n", m.inferOK)
+	fmt.Fprintf(&b, "seculator_serve_infer_latency_ms_total %.3f\n", float64(m.latencySum)/float64(time.Millisecond))
+	fmt.Fprintf(&b, "seculator_serve_infer_queue_ms_total %.3f\n", float64(m.queueSum)/float64(time.Millisecond))
+	fmt.Fprintf(&b, "seculator_serve_batches_total %d\n", m.batches)
+	fmt.Fprintf(&b, "seculator_serve_batch_items_total %d\n", m.batchItems)
+	fmt.Fprintf(&b, "seculator_serve_batch_max_size %d\n", m.maxBatch)
+	fmt.Fprintf(&b, "seculator_serve_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(&b, "seculator_serve_sessions_active %d\n", sessionsActive)
+	fmt.Fprintf(&b, "seculator_serve_sessions_created_total %d\n", sessionsCreated)
+	reasons := make([]string, 0, len(evicted))
+	for r := range evicted {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "seculator_serve_sessions_evicted_total{reason=%q} %d\n", r, evicted[r])
+	}
+	cs := runner.CacheStats()
+	fmt.Fprintf(&b, "seculator_serve_sim_cache_hits %d\n", cs.Hits)
+	fmt.Fprintf(&b, "seculator_serve_sim_cache_misses %d\n", cs.Misses)
+	fmt.Fprintf(&b, "seculator_serve_sim_cache_entries %d\n", cs.Entries)
+	return b.String()
+}

@@ -1,0 +1,479 @@
+// Package serve is the secure inference serving layer: a multi-tenant host
+// daemon that brokers secure sessions to the simulated NPU and schedules
+// inference requests onto it, reproducing the deployment shape the paper's
+// host/NPU split implies (Section 6.1's authenticated command channel
+// behind a host service, as TNPU and GuardNN are evaluated).
+//
+// The HTTP/JSON surface:
+//
+//	POST /v1/sessions       issue a secure session (key stays server-side)
+//	DELETE /v1/sessions/{id} close a session
+//	POST /v1/infer          run one secure inference (optionally in-session)
+//	GET  /v1/designs        the design/network registry
+//	GET  /healthz           liveness + drain state
+//	GET  /metrics           Prometheus-style counters
+//
+// Requests flow through a micro-batching scheduler (scheduler.go): requests
+// for the same network admitted within a linger window execute as one batch
+// on a persistent worker pool, admission control bounds the queue with
+// 429/503 backpressure, and per-request deadlines come from context. An
+// inference that latches a security breach (replay, splice, channel
+// tampering) maps to 409 with the typed class and layer index, and evicts
+// its session — the serving-layer "security breach → reboot" of Figure 6.
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seculator/internal/host"
+	"seculator/internal/mem"
+	"seculator/internal/nn"
+	"seculator/internal/npu"
+	"seculator/internal/protect"
+	"seculator/internal/resilience"
+	"seculator/internal/runner"
+	"seculator/internal/secure"
+	"seculator/internal/workload"
+)
+
+// Options configures a Server. The zero value serves with defaults.
+type Options struct {
+	// Config is the simulated system; zero means runner.DefaultConfig().
+	Config runner.Config
+	// Scheduler bounds the micro-batching scheduler.
+	Scheduler SchedulerConfig
+	// SessionIdle is the default session idle expiry (default 5m).
+	SessionIdle time.Duration
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (default 30s); MaxTimeout clamps requested deadlines (default
+	// 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxInputLen caps the explicit input override length (default 1<<20).
+	MaxInputLen int
+
+	// Intercept and Hook are attack instrumentation applied to every
+	// session-bound inference: the command-channel man in the middle and
+	// the DRAM phase hook. Tests and demos use them to mount replay and
+	// splice attacks through the HTTP boundary; production servers leave
+	// them nil.
+	Intercept host.Intercept
+	Hook      secure.Hook
+}
+
+func (o *Options) setDefaults() {
+	if o.SessionIdle <= 0 {
+		o.SessionIdle = 5 * time.Minute
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.MaxInputLen <= 0 {
+		o.MaxInputLen = 1 << 20
+	}
+}
+
+// Server is the serving daemon: scheduler + session store + registry.
+type Server struct {
+	opts     Options
+	cfg      runner.Config
+	sched    *Scheduler
+	sessions *SessionManager
+	metrics  *Metrics
+	mux      *http.ServeMux
+
+	networks map[string]workload.Network
+	netNames []string // registry order
+
+	draining  atomic.Bool
+	closeOnce sync.Once
+	closed    chan struct{}
+	janitor   chan struct{}
+	janitorWG sync.WaitGroup
+}
+
+// New builds a server. The configuration is validated up front so a
+// misconfigured daemon fails at start, not on its first request.
+func New(opts Options) (*Server, error) {
+	opts.setDefaults()
+	cfg := opts.Config
+	if cfg.NPU == (npu.Config{}) && cfg.DRAM == (mem.Config{}) {
+		cfg = runner.DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, &resilience.ConfigError{Err: err}
+	}
+	s := &Server{
+		opts:     opts,
+		cfg:      cfg,
+		sessions: NewSessionManager(opts.SessionIdle),
+		metrics:  NewMetrics(),
+		networks: make(map[string]workload.Network),
+		closed:   make(chan struct{}),
+		janitor:  make(chan struct{}),
+	}
+	s.sched = NewScheduler(opts.Scheduler)
+	s.sched.onBatch = s.metrics.Batch
+
+	s.register(MiniNet())
+	for _, n := range workload.All() {
+		s.register(n)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.janitorWG.Add(1)
+	go s.runJanitor()
+	return s, nil
+}
+
+func (s *Server) register(n workload.Network) {
+	if _, dup := s.networks[n.Name]; !dup {
+		s.networks[n.Name] = n
+		s.netNames = append(s.netNames, n.Name)
+	}
+}
+
+// MiniNet is the serving demo network: one layer of every type, small
+// enough that a functional secure inference completes in milliseconds —
+// the unit of work for load generation and smoke tests.
+func MiniNet() workload.Network {
+	return workload.Network{
+		Name: "Mini",
+		Note: "serving demo network (conv/pool/depthwise/pointwise/FC)",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 3, H: 12, W: 12, K: 8, R: 3, S: 3, Stride: 1},
+			{Name: "p1", Type: workload.Pool, C: 8, H: 12, W: 12, K: 8, R: 2, S: 2, Stride: 2, Valid: true},
+			{Name: "dw", Type: workload.Depthwise, C: 8, H: 6, W: 6, K: 8, R: 3, S: 3, Stride: 1},
+			{Name: "pw", Type: workload.Pointwise, C: 8, H: 6, W: 6, K: 16, R: 1, S: 1, Stride: 1},
+			{Name: "fc", Type: workload.FC, C: 16 * 6 * 6, H: 1, W: 1, K: 10, R: 1, S: 1, Stride: 1},
+		},
+	}
+}
+
+// resolveNetwork looks a request's network up: a registry name, or
+// "Name/div" for a shrunk benchmark (workload.Shrink), so load tests can
+// dial model size without a registry change.
+func (s *Server) resolveNetwork(name string) (workload.Network, error) {
+	if n, ok := s.networks[name]; ok {
+		return n, nil
+	}
+	if base, divs, ok := strings.Cut(name, "/"); ok {
+		div, err := strconv.Atoi(divs)
+		if err == nil {
+			if n, ok := s.networks[base]; ok {
+				return workload.Shrink(n, div)
+			}
+		}
+	}
+	return workload.Network{}, fmt.Errorf("serve: unknown network %q", name)
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the server: new work is rejected with 503, admitted work
+// finishes, sessions are dropped. It returns nil once fully drained, or
+// ctx's error if the deadline passes first (the drain keeps finishing in
+// the background either way).
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.janitor)
+		go func() {
+			s.sched.Close()
+			s.janitorWG.Wait()
+			close(s.closed)
+		}()
+	})
+	select {
+	case <-s.closed:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) runJanitor() {
+	defer s.janitorWG.Done()
+	period := s.opts.SessionIdle / 2
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitor:
+			return
+		case <-t.C:
+			s.sessions.Sweep()
+		}
+	}
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	if body.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((body.RetryAfterMs+999)/1000, 10))
+	}
+	s.metrics.Request(status)
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
+			return
+		}
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrShuttingDown.Error(), Class: ClassShutdown, RetryAfterMs: retryAfter.Milliseconds()})
+		return
+	}
+	resp, err := s.sessions.Create(time.Duration(req.IdleTimeoutMs) * time.Millisecond)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: err.Error(), Class: ClassInternal})
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if s.sessions.Evict(r.PathValue("id"), EvictClose) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, ErrorBody{Error: ErrSessionUnknown.Error(), Class: ClassUnknownSession})
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
+	var resp DesignsResponse
+	for _, d := range protect.Designs() {
+		p := protect.PropertiesOf(d)
+		resp.Designs = append(resp.Designs, DesignInfo{
+			Name:          d.String(),
+			Encryption:    p.Encryption,
+			Integrity:     p.IntegrityLevel,
+			AntiReplay:    p.AntiReplay,
+			MEAProtection: p.MEAProtection,
+		})
+	}
+	for _, name := range s.netNames {
+		n := s.networks[name]
+		resp.Networks = append(resp.Networks, NetworkInfo{
+			Name: n.Name, Layers: len(n.Layers), Params: n.Params(), MACs: n.MACs(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{Status: "ok", Sessions: s.sessions.Active(), Queue: s.sched.Depth()}
+	if s.draining.Load() {
+		resp.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	created, evicted := s.sessions.Counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, s.metrics.Render(s.sched.Depth(), s.sessions.Active(), created, evicted))
+}
+
+// inferOutcome is what an executed inference task returns through the
+// scheduler.
+type inferOutcome struct {
+	out      *nn.Tensor
+	cycles   uint64
+	commands int
+	recovery resilience.Stats
+	runMs    float64
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	admitted := time.Now()
+	var req InferRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
+		return
+	}
+	if s.draining.Load() {
+		status, body := statusFor(ErrShuttingDown)
+		s.writeError(w, status, body)
+		return
+	}
+	net, err := s.resolveNetwork(req.Network)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Class: ClassBadRequest})
+		return
+	}
+	first := net.Layers[0]
+	if len(req.Input) > 0 {
+		if len(req.Input) > s.opts.MaxInputLen {
+			s.writeError(w, http.StatusBadRequest, ErrorBody{
+				Error: fmt.Sprintf("serve: input too large (%d > %d)", len(req.Input), s.opts.MaxInputLen), Class: ClassBadRequest})
+			return
+		}
+		if want := first.C * first.H * first.W; len(req.Input) != want {
+			s.writeError(w, http.StatusBadRequest, ErrorBody{
+				Error: fmt.Sprintf("serve: input length %d, network %s wants %d", len(req.Input), net.Name, want), Class: ClassBadRequest})
+			return
+		}
+	}
+
+	var sessionKey []byte
+	if req.Session != "" {
+		sessionKey, err = s.sessions.Acquire(req.Session)
+		if err != nil {
+			status, body := statusFor(err)
+			s.writeError(w, status, body)
+			return
+		}
+	}
+
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := "net=" + net.Name
+	res, info, err := s.sched.Submit(ctx, key, func(ctx context.Context, b BatchInfo) (any, error) {
+		return s.runInference(ctx, net, &req, sessionKey)
+	})
+	if err != nil {
+		status, body := statusFor(err)
+		if req.Session != "" && breachError(err) {
+			body.SessionEvicted = s.sessions.Evict(req.Session, EvictBreach)
+		}
+		s.writeError(w, status, body)
+		return
+	}
+
+	oc := res.(*inferOutcome)
+	resp := InferResponse{
+		Network:   net.Name,
+		Layers:    len(net.Layers),
+		OutputSum: OutputSum(oc.out),
+		Cycles:    oc.cycles,
+		Commands:  oc.commands,
+		BatchSize: info.Size,
+		QueueMs:   float64(info.Queued) / float64(time.Millisecond),
+		RunMs:     oc.runMs,
+		Recovery: RecoveryInfo{
+			Retries:    oc.recovery.Retries,
+			Recovered:  oc.recovery.Recovered,
+			Persistent: oc.recovery.Persistent,
+			Breached:   oc.recovery.Breached,
+		},
+	}
+	resp.OutputDims = [3]int{oc.out.Chans, oc.out.H, oc.out.W}
+	if req.ReturnOutput {
+		resp.Output = oc.out.Data
+	}
+	s.metrics.Inference(time.Since(admitted), info.Queued)
+	s.metrics.Request(http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runInference executes one request on a pool worker: build the
+// deterministic model, then either the full secure session (command
+// channel + functional execution) or the sessionless secure inference
+// with the memoized timing simulation alongside.
+func (s *Server) runInference(ctx context.Context, net workload.Network, req *InferRequest, sessionKey []byte) (*inferOutcome, error) {
+	start := time.Now()
+	in, ws := nn.RandomModel(net, req.Seed)
+	if len(req.Input) > 0 {
+		copy(in.Data, req.Input)
+	}
+
+	oc := &inferOutcome{}
+	if sessionKey != nil {
+		res, err := host.RunSession(ctx, net, s.cfg, sessionKey, host.SessionOptions{
+			Input: in, Weights: ws,
+			Intercept: s.opts.Intercept,
+			Hook:      s.opts.Hook,
+		})
+		oc.recovery = res.Recovery
+		if err != nil {
+			return nil, err
+		}
+		oc.out = res.Output
+		oc.cycles = uint64(res.Cycles)
+		oc.commands = res.Commands
+	} else {
+		x := secure.NewExecutor()
+		x.NPU, x.DRAM = s.cfg.NPU, s.cfg.DRAM
+		x.AfterPhase = s.opts.Hook
+		fr, err := x.Run(ctx, net, in, ws)
+		oc.recovery = fr.Recovery
+		if err != nil {
+			return nil, err
+		}
+		oc.out = fr.Output
+		// Timing rides the memoized simulation cache: the first request
+		// for a network pays the simulation, the batch (and every later
+		// request) shares it.
+		tr, err := runner.RunCached(ctx, net, protect.Seculator, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		oc.cycles = uint64(tr.Cycles)
+	}
+	oc.runMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return oc, nil
+}
+
+// OutputSum is the FNV-1a checksum of a tensor's dims and data — the
+// client-verifiable fingerprint carried in InferResponse.
+func OutputSum(t *nn.Tensor) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, d := range []int{t.Chans, t.H, t.W} {
+		binary.BigEndian.PutUint32(b[:], uint32(d))
+		_, _ = h.Write(b[:])
+	}
+	for _, v := range t.Data {
+		binary.BigEndian.PutUint32(b[:], uint32(v))
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
+}

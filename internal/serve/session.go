@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Session-store lookup failures; the HTTP layer maps both to 404 with the
+// unknown_session class (an evicted or expired session is indistinguishable
+// from one that never existed — no oracle for attackers probing IDs).
+var (
+	ErrSessionUnknown = errors.New("serve: unknown or expired session")
+)
+
+// Eviction reasons, reported on /metrics.
+const (
+	EvictIdle   = "idle"
+	EvictBreach = "breach"
+	EvictClose  = "close"
+)
+
+// sessionKeyBytes is the negotiated session-key length. The command
+// channel's HMAC-SHA256 takes any length; 32 bytes matches the hash.
+const sessionKeyBytes = 32
+
+// session is one issued secure session: the key the host controller and
+// NPU endpoint share, and its idle horizon.
+type session struct {
+	id      string
+	key     [sessionKeyBytes]byte
+	idle    time.Duration
+	expires time.Time
+}
+
+// SessionManager issues and tracks secure sessions. Sessions expire after
+// an idle period (each use extends the horizon) and are evicted immediately
+// when an inference under their key latches a security breach — the
+// serving-layer analogue of Figure 6's "security breach → reboot": the
+// session key is dead, the client must negotiate a new one.
+type SessionManager struct {
+	mu      sync.Mutex
+	m       map[string]*session
+	idle    time.Duration
+	now     func() time.Time // injectable for tests
+	created uint64
+	evicted map[string]uint64 // reason -> count
+}
+
+// NewSessionManager creates a store with the given default idle timeout.
+func NewSessionManager(idle time.Duration) *SessionManager {
+	return &SessionManager{
+		m:       make(map[string]*session),
+		idle:    idle,
+		now:     time.Now,
+		evicted: make(map[string]uint64),
+	}
+}
+
+// Create issues a new session. A positive idle below the server default
+// shortens this session's expiry.
+func (sm *SessionManager) Create(idle time.Duration) (SessionCreateResponse, error) {
+	s := &session{idle: sm.idle}
+	if idle > 0 && idle < sm.idle {
+		s.idle = idle
+	}
+	var idb [16]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return SessionCreateResponse{}, fmt.Errorf("serve: session id: %w", err)
+	}
+	if _, err := rand.Read(s.key[:]); err != nil {
+		return SessionCreateResponse{}, fmt.Errorf("serve: session key: %w", err)
+	}
+	s.id = "s-" + hex.EncodeToString(idb[:])
+
+	sm.mu.Lock()
+	s.expires = sm.now().Add(s.idle)
+	sm.m[s.id] = s
+	sm.created++
+	sm.mu.Unlock()
+	return SessionCreateResponse{
+		SessionID:     s.id,
+		IdleTimeoutMs: s.idle.Milliseconds(),
+		ExpiresAt:     s.expires,
+	}, nil
+}
+
+// Acquire resolves a session ID to its key and extends the idle horizon.
+// Expired sessions are evicted on touch.
+func (sm *SessionManager) Acquire(id string) ([]byte, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	s, ok := sm.m[id]
+	if !ok {
+		return nil, ErrSessionUnknown
+	}
+	if sm.now().After(s.expires) {
+		delete(sm.m, id)
+		sm.evicted[EvictIdle]++
+		return nil, ErrSessionUnknown
+	}
+	s.expires = sm.now().Add(s.idle)
+	key := make([]byte, sessionKeyBytes)
+	copy(key, s.key[:])
+	return key, nil
+}
+
+// Evict removes a session (breach latch, explicit delete). It reports
+// whether the session existed.
+func (sm *SessionManager) Evict(id, reason string) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if _, ok := sm.m[id]; !ok {
+		return false
+	}
+	delete(sm.m, id)
+	sm.evicted[reason]++
+	return true
+}
+
+// Sweep evicts every expired session and returns how many it removed; the
+// server's janitor calls it periodically so abandoned sessions don't pin
+// memory until their next (never-coming) use.
+func (sm *SessionManager) Sweep() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	now := sm.now()
+	n := 0
+	for id, s := range sm.m {
+		if now.After(s.expires) {
+			delete(sm.m, id)
+			sm.evicted[EvictIdle]++
+			n++
+		}
+	}
+	return n
+}
+
+// Active returns the live session count.
+func (sm *SessionManager) Active() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.m)
+}
+
+// Counters returns (created, evicted-by-reason) totals for /metrics.
+func (sm *SessionManager) Counters() (uint64, map[string]uint64) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	ev := make(map[string]uint64, len(sm.evicted))
+	for k, v := range sm.evicted {
+		ev[k] = v
+	}
+	return sm.created, ev
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"seculator/internal/resilience"
+)
+
+// Error classes carried in ErrorBody.Class. They are the wire names of the
+// resilience taxonomy plus the serving layer's own admission classes; the
+// full error→status table lives in DESIGN.md §9.
+const (
+	ClassBadRequest     = "bad_request"
+	ClassConfig         = "config"
+	ClassUnknownSession = "unknown_session"
+	ClassQueueFull      = "queue_full"
+	ClassDeadline       = "deadline"
+	ClassShutdown       = "shutdown"
+	ClassIntegrity      = "integrity"
+	ClassFreshness      = "freshness"
+	ClassChannel        = "channel"
+	ClassInternal       = "internal"
+)
+
+// retryAfter is the hint sent with 429/503 backpressure responses.
+const retryAfter = 1 * time.Second
+
+// statusFor maps an inference error to its HTTP status and JSON body —
+// the serving-layer rendering of the resilience taxonomy:
+//
+//	ConfigError               → 400 (the request described an invalid run)
+//	ErrSessionUnknown         → 404 (expired, evicted, or never issued)
+//	FreshnessError            → 409 (replay/splice breach; session evicted)
+//	ChannelError              → 409 (command-channel breach; session evicted)
+//	IntegrityError            → 409 (persistent tampering on golden data)
+//	ErrQueueFull              → 429 + Retry-After (admission control)
+//	deadline/cancel           → 503 + Retry-After (the request ran out of time)
+//	ErrShuttingDown           → 503 + Retry-After (drain in progress)
+//	InternalError, everything else → 500
+//
+// 409 Conflict is deliberate for the breach classes: the request conflicted
+// with the security state of the NPU (the breach latch), re-sending it
+// unchanged can never succeed, and the body says what to do instead (open
+// a new session).
+func statusFor(err error) (int, ErrorBody) {
+	body := ErrorBody{Error: err.Error()}
+
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		body.Class = ClassQueueFull
+		body.RetryAfterMs = retryAfter.Milliseconds()
+		return http.StatusTooManyRequests, body
+	case errors.Is(err, ErrShuttingDown):
+		body.Class = ClassShutdown
+		body.RetryAfterMs = retryAfter.Milliseconds()
+		return http.StatusServiceUnavailable, body
+	case errors.Is(err, ErrSessionUnknown):
+		body.Class = ClassUnknownSession
+		return http.StatusNotFound, body
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		body.Class = ClassDeadline
+		body.RetryAfterMs = retryAfter.Milliseconds()
+		return http.StatusServiceUnavailable, body
+	}
+
+	var fe *resilience.FreshnessError
+	if errors.As(err, &fe) {
+		body.Class = ClassFreshness
+		layer := fe.Layer
+		body.Layer = &layer
+		return http.StatusConflict, body
+	}
+	var ce *resilience.ChannelError
+	if errors.As(err, &ce) {
+		body.Class = ClassChannel
+		layer := ce.Layer
+		body.Layer = &layer
+		return http.StatusConflict, body
+	}
+	var ie *resilience.IntegrityError
+	if errors.As(err, &ie) {
+		body.Class = ClassIntegrity
+		layer := ie.Layer
+		body.Layer = &layer
+		return http.StatusConflict, body
+	}
+	var cfge *resilience.ConfigError
+	if errors.As(err, &cfge) {
+		body.Class = ClassConfig
+		return http.StatusBadRequest, body
+	}
+	body.Class = ClassInternal
+	return http.StatusInternalServerError, body
+}
+
+// breachError reports whether err is a security breach that must evict the
+// offending session: freshness and channel violations always latch the
+// breach; an integrity violation only when it survived recovery.
+func breachError(err error) bool {
+	var fe *resilience.FreshnessError
+	var ce *resilience.ChannelError
+	if errors.As(err, &fe) || errors.As(err, &ce) {
+		return true
+	}
+	var ie *resilience.IntegrityError
+	return errors.As(err, &ie) && ie.Persistent
+}

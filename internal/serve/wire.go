@@ -1,0 +1,126 @@
+package serve
+
+import "time"
+
+// The JSON wire types of the serving API. The typed client
+// (internal/serve/client) shares these; keep every field backward
+// compatible — add, never repurpose.
+
+// SessionCreateRequest opens a secure session (POST /v1/sessions). The
+// server negotiates the session key; the client only ever sees the opaque
+// session ID.
+type SessionCreateRequest struct {
+	// IdleTimeoutMs, when positive, requests a shorter idle expiry than the
+	// server default. Requests above the server default are clamped.
+	IdleTimeoutMs int64 `json:"idle_timeout_ms,omitempty"`
+}
+
+// SessionCreateResponse describes the issued session.
+type SessionCreateResponse struct {
+	SessionID     string    `json:"session_id"`
+	IdleTimeoutMs int64     `json:"idle_timeout_ms"`
+	ExpiresAt     time.Time `json:"expires_at"` // idle horizon; each use extends it
+}
+
+// InferRequest is one secure-inference order (POST /v1/infer).
+type InferRequest struct {
+	// Network names the model ("MobileNet", "ResNet18", …, or the serving
+	// demo network "Mini"); see GET /v1/designs for the registry.
+	Network string `json:"network"`
+	// Seed deterministically generates the model weights and input
+	// (nn.RandomModel), so a request is self-contained and repeatable.
+	Seed int64 `json:"seed"`
+	// Input, when non-empty, overrides the seed-generated input activations
+	// (flat channel-major C*H*W int32 layout).
+	Input []int32 `json:"input,omitempty"`
+	// Session, when non-empty, binds the inference to a secure session:
+	// the host issues one authenticated command per layer under the
+	// session key before the functional execution.
+	Session string `json:"session,omitempty"`
+	// ReturnOutput asks for the full output tensor in the response
+	// (otherwise only dimensions and a checksum are returned).
+	ReturnOutput bool `json:"return_output,omitempty"`
+	// TimeoutMs, when positive, sets the per-request deadline (queue wait
+	// included); the server clamps it to its configured maximum.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// RecoveryInfo mirrors resilience.Stats on the wire.
+type RecoveryInfo struct {
+	Retries    int  `json:"retries"`
+	Recovered  int  `json:"recovered"`
+	Persistent int  `json:"persistent"`
+	Breached   bool `json:"breached"`
+}
+
+// InferResponse is a completed secure inference.
+type InferResponse struct {
+	Network    string `json:"network"`
+	Layers     int    `json:"layers"`
+	OutputDims [3]int `json:"output_dims"` // channels, height, width
+	// OutputSum is the FNV-1a checksum of the output tensor — enough for a
+	// client to verify against a local reference run.
+	OutputSum uint64  `json:"output_sum"`
+	Output    []int32 `json:"output,omitempty"` // only with ReturnOutput
+
+	// Cycles is the simulated NPU execution time of the model under the
+	// Seculator design; Commands counts authenticated layer commands (zero
+	// for sessionless requests, which skip the command channel).
+	Cycles   uint64 `json:"cycles"`
+	Commands int    `json:"commands"`
+
+	// BatchSize is how many requests rode in this request's micro-batch.
+	BatchSize int     `json:"batch_size"`
+	QueueMs   float64 `json:"queue_ms"` // admission to execution start
+	RunMs     float64 `json:"run_ms"`   // execution wall time
+
+	Recovery RecoveryInfo `json:"recovery"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// Class is the machine-readable error class; see the error→status
+	// table in DESIGN.md §9: bad_request, config, unknown_session,
+	// queue_full, deadline, shutdown, integrity, freshness, channel,
+	// internal.
+	Class string `json:"class"`
+	// Layer carries the layer index of a security violation when the
+	// typed error localized one.
+	Layer *int `json:"layer,omitempty"`
+	// RetryAfterMs accompanies 429/503 backpressure responses.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// SessionEvicted reports that the offending session was evicted
+	// (breach latched server-side); the client must open a new session.
+	SessionEvicted bool `json:"session_evicted,omitempty"`
+}
+
+// DesignInfo is one protection design of the registry (the Table 5 row).
+type DesignInfo struct {
+	Name          string `json:"name"`
+	Encryption    string `json:"encryption,omitempty"`
+	Integrity     string `json:"integrity,omitempty"`
+	AntiReplay    string `json:"anti_replay,omitempty"`
+	MEAProtection bool   `json:"mea_protection,omitempty"`
+}
+
+// NetworkInfo is one servable network of the registry.
+type NetworkInfo struct {
+	Name   string `json:"name"`
+	Layers int    `json:"layers"`
+	Params int64  `json:"params"`
+	MACs   int64  `json:"macs"`
+}
+
+// DesignsResponse is GET /v1/designs: what the server can run.
+type DesignsResponse struct {
+	Designs  []DesignInfo  `json:"designs"`
+	Networks []NetworkInfo `json:"networks"`
+}
+
+// HealthResponse is GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Sessions int    `json:"sessions"`
+	Queue    int    `json:"queue"`
+}

@@ -1,7 +1,19 @@
 #!/bin/sh
-# bench_baseline.sh — snapshot the crypto/MAC/pool microbenchmarks to
-# BENCH_baseline.json so perf regressions show up as a diff. Standard
-# library + awk only; no external dependencies.
+# bench_baseline.sh — snapshot the crypto/MAC/pool microbenchmarks plus the
+# HTTP serving-path benchmarks to BENCH_baseline.json so perf regressions
+# show up as a diff. Standard library + awk only; no external dependencies.
+#
+# Schema: top-level keys are the historical microbenchmark entries
+# (unchanged), and the serving figures nest under one "serve" key:
+#
+#   {
+#     "BenchmarkEncryptBlock": {"ns_per_op": ..., ...},
+#     ...
+#     "serve": {
+#       "BenchmarkServeInfer": {"ns_per_op": ..., ...},
+#       ...
+#     }
+#   }
 #
 # Usage: scripts/bench_baseline.sh [output.json]
 set -eu
@@ -9,10 +21,11 @@ set -eu
 out="${1:-BENCH_baseline.json}"
 cd "$(dirname "$0")/.."
 
-go test -run='^$' -bench='Block|Fold|ParallelSpeedup' -benchtime=100x -benchmem \
-	. ./internal/crypto/ ./internal/mac/ |
-	awk '
-	BEGIN { print "{"; n = 0 }
+# entries <indent> — read `go test -bench` output on stdin, emit one JSON
+# member per benchmark line (no surrounding braces, no trailing comma).
+entries() {
+	awk -v pad="$1" '
+	BEGIN { n = 0 }
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
 		nsop = ""; bop = ""; allocs = ""
@@ -23,13 +36,30 @@ go test -run='^$' -bench='Block|Fold|ParallelSpeedup' -benchtime=100x -benchmem 
 		}
 		if (nsop == "") next
 		if (n++) printf ",\n"
-		printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
+		printf "%s\"%s\": {\"ns_per_op\": %s", pad, name, nsop
 		if (bop != "") printf ", \"bytes_per_op\": %s", bop
 		if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
 		printf "}"
 	}
-	END { print "\n}" }
-	' >"$out"
+	'
+}
+
+micro=$(go test -run='^$' -bench='Block|Fold|ParallelSpeedup' -benchtime=100x -benchmem \
+	. ./internal/crypto/ ./internal/mac/ | entries '  ')
+
+# Serving path: full HTTP round-trips through scheduler + secure executor.
+# Fewer iterations — each op is an entire inference.
+serve=$(go test -run='^$' -bench='Serve' -benchtime=20x -benchmem \
+	./internal/serve/ | entries '    ')
+
+{
+	echo "{"
+	printf '%s,\n' "$micro"
+	echo '  "serve": {'
+	printf '%s\n' "$serve"
+	echo "  }"
+	echo "}"
+} >"$out"
 
 echo "wrote $out:"
 cat "$out"
