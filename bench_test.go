@@ -394,11 +394,14 @@ func BenchmarkRunResNet18(b *testing.B) {
 
 // ------------------------------------------- functional & extension benches
 
-// BenchmarkSecureInference measures the full functional path: encrypted
-// DRAM, per-block AES-CTR + SHA-256, XOR-MAC layer verification, on a small
-// CNN, verifying equivalence each iteration.
+// BenchmarkSecureInference measures the full functional path — encrypted
+// DRAM, per-block AES-CTR + SHA-256, XOR-MAC layer verification — at two
+// model scales and two intra-inference worker counts, verifying
+// equivalence each iteration. serial vs parallel8 on the same net is the
+// tentpole speedup figure: the sharded crypto pipeline must be faster on a
+// multi-core runner while staying bit-identical.
 func BenchmarkSecureInference(b *testing.B) {
-	net := Network{
+	small := Network{
 		Name: "bench-cnn",
 		Layers: []Layer{
 			{Name: "c1", Type: Conv, C: 3, H: 16, W: 16, K: 8, R: 3, S: 3, Stride: 1},
@@ -406,20 +409,49 @@ func BenchmarkSecureInference(b *testing.B) {
 			{Name: "fc", Type: FC, C: 8 * 8 * 8, H: 1, W: 1, K: 10, R: 1, S: 1, Stride: 1},
 		},
 	}
-	in, ws := RandomModel(net, 1)
-	golden, err := ReferenceInference(net, in, ws)
-	if err != nil {
-		b.Fatal(err)
+	// deep carries enough blocks per tile that every stage of the parallel
+	// pipeline engages: sharded reads/writes, keystream precompute, and
+	// overlapped weight loading across its eight layers.
+	deep := Network{
+		Name: "bench-deep",
+		Layers: []Layer{
+			{Name: "c1", Type: Conv, C: 3, H: 24, W: 24, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: Conv, C: 16, H: 24, W: 24, K: 16, R: 3, S: 3, Stride: 1},
+			{Name: "p1", Type: Pool, C: 16, H: 24, W: 24, K: 16, R: 2, S: 2, Stride: 2, Valid: true},
+			{Name: "c3", Type: Conv, C: 16, H: 12, W: 12, K: 32, R: 3, S: 3, Stride: 1},
+			{Name: "c4", Type: Conv, C: 32, H: 12, W: 12, K: 32, R: 3, S: 3, Stride: 1},
+			{Name: "pw", Type: Pointwise, C: 32, H: 12, W: 12, K: 64, R: 1, S: 1, Stride: 1},
+			{Name: "fc", Type: FC, C: 64 * 12 * 12, H: 1, W: 1, K: 10, R: 1, S: 1, Stride: 1},
+		},
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := SecureInference(net, in, ws, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Output.Equal(golden) {
-			b.Fatal("diverged")
-		}
+	for _, bm := range []struct {
+		name    string
+		net     Network
+		workers int
+	}{
+		{"small/serial", small, 1},
+		{"small/parallel8", small, 8},
+		{"deep/serial", deep, 1},
+		{"deep/parallel8", deep, 8},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			in, ws := RandomModel(bm.net, 1)
+			golden, err := ReferenceInference(bm.net, in, ws)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := InferenceOptions{Parallel: bm.workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := SecureInferenceContext(context.Background(), bm.net, in, ws, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Output.Equal(golden) {
+					b.Fatal("diverged")
+				}
+			}
+		})
 	}
 }
 

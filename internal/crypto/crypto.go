@@ -72,17 +72,51 @@ func NewCTR(secretID, bootRandom uint64) *CTREngine {
 	return &CTREngine{block: b, key: key}
 }
 
-// pad computes the 64-byte one-time pad for the counter into the engine's
-// scratch: four AES blocks, one per 16-byte lane, distinguished by a 2-bit
-// lane index.
-func (e *CTREngine) pad(c Counter) {
+// Clone returns an engine that shares the immutable AES key schedule but
+// owns private scratch buffers. cipher.Block is safe for concurrent use, so
+// clones of one engine may run on different goroutines simultaneously and
+// produce identical pads — the per-worker engine of the sharded secure
+// execution path (DESIGN.md §8, §10).
+func (e *CTREngine) Clone() *CTREngine {
+	return &CTREngine{block: e.block, key: e.key}
+}
+
+// pad computes the 64-byte one-time pad for the counter into dst: four AES
+// blocks, one per 16-byte lane, distinguished by a 2-bit lane index.
+func (e *CTREngine) pad(dst []byte, c Counter) {
 	in := &e.ctrBuf
 	binary.BigEndian.PutUint32(in[0:4], c.Fmap)
 	binary.BigEndian.PutUint32(in[4:8], c.Layer)
 	binary.BigEndian.PutUint32(in[8:12], c.VN)
 	for lane := 0; lane < 4; lane++ {
 		binary.BigEndian.PutUint32(in[12:16], c.Block<<2|uint32(lane))
-		e.block.Encrypt(e.padBuf[lane*16:(lane+1)*16], in[:])
+		e.block.Encrypt(dst[lane*16:(lane+1)*16], in[:])
+	}
+}
+
+// Keystream writes the 64-byte one-time pad for counter c into dst. Pads
+// are data-independent — counter mode never sees the plaintext — so they
+// can be generated any time the counter is known; the secure executor's
+// keystream-precompute stage exploits exactly that, because the VN FSM
+// makes every counter of a layer deterministic in advance. Combine a pad
+// with data via XORPad.
+func (e *CTREngine) Keystream(dst []byte, c Counter) {
+	if len(dst) != tensor.BlockBytes {
+		panic(fmt.Sprintf("crypto: keystream dst must be %d bytes, got %d",
+			tensor.BlockBytes, len(dst)))
+	}
+	e.pad(dst, c)
+}
+
+// XORPad combines a 64-byte block with a precomputed pad: dst = src ⊕ pad.
+// It is the consume half of Keystream; dst may alias src.
+func XORPad(dst, src, pad []byte) {
+	if len(dst) != tensor.BlockBytes || len(src) != tensor.BlockBytes || len(pad) != tensor.BlockBytes {
+		panic(fmt.Sprintf("crypto: XORPad needs %d-byte slices, got dst=%d src=%d pad=%d",
+			tensor.BlockBytes, len(dst), len(src), len(pad)))
+	}
+	for i := range dst {
+		dst[i] = src[i] ^ pad[i]
 	}
 }
 
@@ -93,7 +127,7 @@ func (e *CTREngine) EncryptBlock(dst, src []byte, c Counter) {
 		panic(fmt.Sprintf("crypto: CTR block must be %d bytes, got dst=%d src=%d",
 			tensor.BlockBytes, len(dst), len(src)))
 	}
-	e.pad(c)
+	e.pad(e.padBuf[:], c)
 	for i := range e.padBuf {
 		dst[i] = src[i] ^ e.padBuf[i]
 	}
@@ -102,6 +136,27 @@ func (e *CTREngine) EncryptBlock(dst, src []byte, c Counter) {
 // DecryptBlock decrypts one block; CTR decryption is encryption.
 func (e *CTREngine) DecryptBlock(dst, src []byte, c Counter) {
 	e.EncryptBlock(dst, src, c)
+}
+
+// EncryptBlocks encrypts n consecutive blocks of one fmap row — counters
+// c, c+1, … in the Block field — from src into dst, both caller-owned and
+// at least n*64 bytes. The batch entry point keeps row-granular callers out
+// of the per-block call overhead without any hidden staging.
+func (e *CTREngine) EncryptBlocks(dst, src []byte, c Counter, n int) {
+	if len(dst) < n*tensor.BlockBytes || len(src) < n*tensor.BlockBytes {
+		panic(fmt.Sprintf("crypto: CTR batch of %d blocks needs %d bytes, got dst=%d src=%d",
+			n, n*tensor.BlockBytes, len(dst), len(src)))
+	}
+	for b := 0; b < n; b++ {
+		o := b * tensor.BlockBytes
+		e.EncryptBlock(dst[o:o+tensor.BlockBytes], src[o:o+tensor.BlockBytes], c)
+		c.Block++
+	}
+}
+
+// DecryptBlocks reverses EncryptBlocks; CTR decryption is encryption.
+func (e *CTREngine) DecryptBlocks(dst, src []byte, c Counter, n int) {
+	e.EncryptBlocks(dst, src, c, n)
 }
 
 // XTSEngine is the AES-XTS-style engine TNPU uses: the tweak is the block's

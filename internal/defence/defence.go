@@ -136,10 +136,3 @@ func PlanDefence(ctx context.Context, victim workload.Network, cfg runner.Config
 	}
 	return p, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -59,6 +59,12 @@ type SessionOptions struct {
 	// Intercept's command-channel man in the middle. Tests and demos use it
 	// to mount replay/splice attacks against a session's encrypted memory.
 	Hook secure.Hook
+
+	// Parallel is the intra-inference crypto worker count of the
+	// functional execution: 0 uses the process default, 1 forces serial,
+	// >1 shards block MACs and keystreams (bit-identical output either
+	// way). Ignored for timing-only sessions.
+	Parallel int
 }
 
 // RunSession drives the complete Figure 6 flow for one inference on the
@@ -140,6 +146,7 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 		x.NPU, x.DRAM = cfg.NPU, cfg.DRAM
 		x.Injector = opts.Injector
 		x.AfterPhase = opts.Hook
+		x.Parallel = opts.Parallel
 		if opts.Retry != (resilience.Policy{}) {
 			x.Retry = opts.Retry
 		}

@@ -92,6 +92,15 @@ type DRAM struct {
 	traffic  TrafficStats
 	store    map[uint64][]byte // line address -> 64-byte payload
 	injector Injector
+
+	// written marks which reserved lines have actually been stored to.
+	// Reserve pre-allocates line buffers so sharded execution never
+	// mutates the store map, but reservation must stay invisible to the
+	// attacker/test surface (Peek, Snapshot, Tamper, Swap, Restore,
+	// Lines): a reserved line "exists" only once written. nil without
+	// Reserve. Concurrent writes touch distinct elements (shards operate
+	// on distinct addresses by contract), so no synchronization is needed.
+	written []bool
 }
 
 // New builds a DRAM with the given config.
@@ -140,6 +149,72 @@ func (d *DRAM) ResetTraffic() { d.traffic = TrafficStats{} }
 // WriteBlock stores a 64-byte payload at the line address and accounts the
 // traffic. The payload is copied.
 func (d *DRAM) WriteBlock(lineAddr uint64, payload []byte, purpose sim.Traffic) {
+	d.WriteBlockQuiet(lineAddr, payload)
+	d.Record(sim.Write, purpose, 1)
+}
+
+// ReadBlock fetches the 64-byte payload at the line address into dst and
+// accounts the traffic. Reading a never-written line yields zeros.
+func (d *DRAM) ReadBlock(lineAddr uint64, dst []byte, purpose sim.Traffic) {
+	d.ReadBlockQuiet(lineAddr, dst)
+	d.Record(sim.Read, purpose, 1)
+}
+
+// Reserve pre-allocates backing lines [0, n), carved out of one contiguous
+// slab, leaving already-written lines untouched. The secure executor calls
+// it before sharding work across goroutines: with every line it will ever
+// touch pre-allocated, the store map is never mutated during parallel
+// execution — reads and writes only copy through existing, disjoint
+// per-line buffers, which is what makes concurrent WriteBlockQuiet /
+// ReadBlockQuiet calls at distinct addresses safe. The attacker/test view
+// is unaffected: a reserved line stays "nonexistent" until written.
+func (d *DRAM) Reserve(n uint64) {
+	if n == 0 {
+		return
+	}
+	if uint64(len(d.written)) < n {
+		grown := make([]bool, n)
+		copy(grown, d.written)
+		d.written = grown
+	}
+	for a := range d.store {
+		if a < n {
+			d.written[a] = true
+		}
+	}
+	slab := make([]byte, n*uint64(tensor.BlockBytes))
+	for a := uint64(0); a < n; a++ {
+		if _, ok := d.store[a]; !ok {
+			lo := a * uint64(tensor.BlockBytes)
+			hi := lo + uint64(tensor.BlockBytes)
+			d.store[a] = slab[lo:hi:hi]
+		}
+	}
+}
+
+// markWritten records that a reserved line now holds real data.
+func (d *DRAM) markWritten(lineAddr uint64) {
+	if d.written != nil && lineAddr < uint64(len(d.written)) {
+		d.written[lineAddr] = true
+	}
+}
+
+// lineExists reports whether a line holds written data (reserved-only
+// lines do not count).
+func (d *DRAM) lineExists(lineAddr uint64) bool {
+	if d.written != nil && lineAddr < uint64(len(d.written)) && !d.written[lineAddr] {
+		return false
+	}
+	_, ok := d.store[lineAddr]
+	return ok
+}
+
+// WriteBlockQuiet is WriteBlock without traffic accounting: shard workers
+// use it and count transfers locally, merging them into the shared counters
+// via Record on the main goroutine (the counters themselves are not
+// goroutine-safe). The injector still observes the transfer; serializing
+// injector access across shards is the caller's job.
+func (d *DRAM) WriteBlockQuiet(lineAddr uint64, payload []byte) {
 	if len(payload) != tensor.BlockBytes {
 		panic(fmt.Sprintf("mem: payload must be %d bytes, got %d", tensor.BlockBytes, len(payload)))
 	}
@@ -149,15 +224,15 @@ func (d *DRAM) WriteBlock(lineAddr uint64, payload []byte, purpose sim.Traffic) 
 		d.store[lineAddr] = buf
 	}
 	copy(buf, payload)
+	d.markWritten(lineAddr)
 	if d.injector != nil {
 		d.injector.OnWrite(lineAddr, buf)
 	}
-	d.Record(sim.Write, purpose, 1)
 }
 
-// ReadBlock fetches the 64-byte payload at the line address into dst and
-// accounts the traffic. Reading a never-written line yields zeros.
-func (d *DRAM) ReadBlock(lineAddr uint64, dst []byte, purpose sim.Traffic) {
+// ReadBlockQuiet is ReadBlock without traffic accounting (see
+// WriteBlockQuiet for the sharding contract).
+func (d *DRAM) ReadBlockQuiet(lineAddr uint64, dst []byte) {
 	if len(dst) != tensor.BlockBytes {
 		panic(fmt.Sprintf("mem: dst must be %d bytes, got %d", tensor.BlockBytes, len(dst)))
 	}
@@ -171,13 +246,15 @@ func (d *DRAM) ReadBlock(lineAddr uint64, dst []byte, purpose sim.Traffic) {
 	if d.injector != nil {
 		d.injector.OnRead(lineAddr, dst)
 	}
-	d.Record(sim.Read, purpose, 1)
 }
 
 // Peek returns the stored payload without traffic accounting (attacker /
 // test access). The returned slice aliases the store; mutating it mutates
 // DRAM, which is exactly what a physical attacker does.
 func (d *DRAM) Peek(lineAddr uint64) []byte {
+	if !d.lineExists(lineAddr) {
+		return nil
+	}
 	return d.store[lineAddr]
 }
 
@@ -185,7 +262,7 @@ func (d *DRAM) Peek(lineAddr uint64) []byte {
 // primitive). It reports whether the line existed.
 func (d *DRAM) Tamper(lineAddr uint64, off int, mask byte) bool {
 	buf, ok := d.store[lineAddr]
-	if !ok || off < 0 || off >= len(buf) {
+	if !ok || !d.lineExists(lineAddr) || off < 0 || off >= len(buf) {
 		return false
 	}
 	buf[off] ^= mask
@@ -196,7 +273,7 @@ func (d *DRAM) Tamper(lineAddr uint64, off int, mask byte) bool {
 func (d *DRAM) Swap(a, b uint64) bool {
 	pa, oka := d.store[a]
 	pb, okb := d.store[b]
-	if !oka || !okb {
+	if !oka || !okb || !d.lineExists(a) || !d.lineExists(b) {
 		return false
 	}
 	for i := range pa {
@@ -209,7 +286,7 @@ func (d *DRAM) Swap(a, b uint64) bool {
 // capture now, restore later with Restore).
 func (d *DRAM) Snapshot(lineAddr uint64) ([]byte, bool) {
 	buf, ok := d.store[lineAddr]
-	if !ok {
+	if !ok || !d.lineExists(lineAddr) {
 		return nil, false
 	}
 	cp := make([]byte, len(buf))
@@ -220,12 +297,25 @@ func (d *DRAM) Snapshot(lineAddr uint64) ([]byte, bool) {
 // Restore overwrites a line with a previously captured payload.
 func (d *DRAM) Restore(lineAddr uint64, payload []byte) bool {
 	buf, ok := d.store[lineAddr]
-	if !ok || len(payload) != len(buf) {
+	if !ok || !d.lineExists(lineAddr) || len(payload) != len(buf) {
 		return false
 	}
 	copy(buf, payload)
 	return true
 }
 
-// Lines returns the number of distinct lines ever written.
-func (d *DRAM) Lines() int { return len(d.store) }
+// Lines returns the number of distinct lines ever written (reserved but
+// never-written lines do not count, so the figure matches a lazily
+// allocated run exactly).
+func (d *DRAM) Lines() int {
+	if d.written == nil {
+		return len(d.store)
+	}
+	n := 0
+	for a := range d.store {
+		if d.lineExists(a) {
+			n++
+		}
+	}
+	return n
+}

@@ -272,3 +272,55 @@ func TestRowBufferAccessRange(t *testing.T) {
 		t.Fatalf("misses = %d, want 4", misses)
 	}
 }
+
+// Reserve pre-allocates line buffers for sharded execution, but must be
+// invisible to the attacker/test surface: a reserved line "exists" only
+// once something is written to it.
+func TestReserveInvisibleUntilWritten(t *testing.T) {
+	d := mustNew(t, DefaultConfig())
+	payload := make([]byte, tensor.BlockBytes)
+	payload[0] = 0xAB
+	d.WriteBlock(3, payload, sim.DataTraffic)
+
+	d.Reserve(8)
+	if d.Lines() != 1 {
+		t.Fatalf("Lines after Reserve = %d, want 1", d.Lines())
+	}
+	if d.Peek(5) != nil {
+		t.Fatal("Peek sees a reserved-but-unwritten line")
+	}
+	if got := d.Peek(3); got == nil || got[0] != 0xAB {
+		t.Fatal("Peek lost the pre-reservation line")
+	}
+	if d.Tamper(5, 0, 0xFF) {
+		t.Fatal("Tamper succeeded on a reserved-but-unwritten line")
+	}
+	if _, ok := d.Snapshot(5); ok {
+		t.Fatal("Snapshot succeeded on a reserved-but-unwritten line")
+	}
+	if d.Restore(5, payload) {
+		t.Fatal("Restore succeeded on a reserved-but-unwritten line")
+	}
+	if d.Swap(3, 5) {
+		t.Fatal("Swap succeeded with a reserved-but-unwritten line")
+	}
+
+	// Writing a reserved line makes it fully visible.
+	d.WriteBlockQuiet(5, payload)
+	if d.Lines() != 2 {
+		t.Fatalf("Lines after write = %d, want 2", d.Lines())
+	}
+	if got := d.Peek(5); got == nil || got[0] != 0xAB {
+		t.Fatal("written reserved line not visible to Peek")
+	}
+	if !d.Tamper(5, 0, 0x01) || !d.Swap(3, 5) {
+		t.Fatal("attacker primitives blocked on a written line")
+	}
+
+	// Reads round-trip through the reserved slab.
+	dst := make([]byte, tensor.BlockBytes)
+	d.ReadBlockQuiet(3, dst)
+	if dst[0] != 0xAB^0x01 {
+		t.Fatalf("swapped+tampered read = %#x", dst[0])
+	}
+}

@@ -73,6 +73,63 @@ func (p *Pool) Submit(task func()) error {
 	return nil
 }
 
+// Fork runs fn(0), fn(1), …, fn(n-1) concurrently — shards 1..n-1 on pool
+// workers, shard 0 inline on the calling goroutine — and returns when every
+// call has completed. It is the fork-join primitive under the secure
+// executor's intra-inference sharding: the caller keeps doing useful work
+// instead of blocking, so a Fork degrades gracefully to plain serial
+// execution when the pool is busy (or closed, in which case the remaining
+// shards also run inline).
+//
+// A panic in any shard is captured, and the first one re-raised on the
+// calling goroutine after all shards have finished — never on a pool
+// worker, where it would kill the process, and never before the join,
+// where the caller could unwind while shards still touch shared state.
+//
+// Fork must not be called from inside a pool task: a fully busy pool whose
+// tasks all wait on sub-forks would deadlock.
+func (p *Pool) Fork(n int, fn func(shard int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	run := func(shard int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(shard)
+	}
+	wg.Add(n - 1)
+	for s := 1; s < n; s++ {
+		s := s
+		task := func() {
+			defer wg.Done()
+			run(s)
+		}
+		if p.Submit(task) != nil {
+			task() // pool closed: degrade to inline
+		}
+	}
+	run(0)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
 // Depth returns the number of tasks waiting for a worker (not counting
 // tasks already executing).
 func (p *Pool) Depth() int {

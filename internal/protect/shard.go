@@ -1,0 +1,192 @@
+package protect
+
+import (
+	"seculator/internal/crypto"
+	"seculator/internal/mac"
+	"seculator/internal/sim"
+	"seculator/internal/tensor"
+)
+
+// SeculatorShard is a per-worker view of a SeculatorMemory for the sharded
+// secure execution path. Each shard owns a private clone of the CTR engine
+// (the AES key schedule is shared and immutable, the scratch is not), a
+// private mac.PartialBank, private ciphertext/plaintext staging buffers,
+// and local traffic counters — so any number of shards may encrypt, MAC and
+// fold concurrently without touching shared mutable state, as long as they
+// operate on distinct, pre-reserved DRAM lines (mem.DRAM.Reserve).
+//
+// Ownership rules (DESIGN.md §10): a shard is single-goroutine; plaintext
+// slices returned by its Read* methods alias the shard's scratch and are
+// valid only until the shard's next operation; nothing a shard accumulates
+// is visible to the checker until the orchestrator calls Merge on the main
+// goroutine after the shards have joined.
+type SeculatorShard struct {
+	parent  *SeculatorMemory
+	engine  *crypto.CTREngine
+	partial mac.PartialBank
+
+	reads  int // blocks fetched, merged into the DRAM traffic counters
+	writes int // blocks stored, merged into the DRAM traffic counters
+
+	ct [tensor.BlockBytes]byte
+	pt [tensor.BlockBytes]byte
+}
+
+// Shard creates a worker view of the memory. Shards are cheap; the secure
+// executor keeps one per worker for the whole run.
+func (m *SeculatorMemory) Shard() *SeculatorShard {
+	return &SeculatorShard{parent: m, engine: m.engine.Clone()}
+}
+
+// PadEngine returns a private clone of the memory's CTR engine — the
+// keystream-precompute stage generates pads ahead of use with it.
+func (m *SeculatorMemory) PadEngine() *crypto.CTREngine { return m.engine.Clone() }
+
+// Merge reduces shard state back into the memory: per-shard partial MAC
+// banks fold into the current layer's bank (commutative XOR, so the shard
+// order is immaterial), and local transfer counts flush into the DRAM
+// traffic counters. Must run on the orchestrating goroutine after every
+// merged shard has quiesced; it resets the shards for reuse.
+func (m *SeculatorMemory) Merge(shards ...*SeculatorShard) {
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if s.reads > 0 {
+			m.dram.Record(sim.Read, sim.DataTraffic, s.reads)
+			s.reads = 0
+		}
+		if s.writes > 0 {
+			m.dram.Record(sim.Write, sim.DataTraffic, s.writes)
+			s.writes = 0
+		}
+		if s.partial.Folds() > 0 {
+			m.mustStart()
+			m.checker.FoldBank(&s.partial)
+			s.partial.Reset()
+		}
+	}
+}
+
+// Registers returns the four XOR-MAC register values of the current layer's
+// bank — the observability hook the serial/parallel equivalence tests use
+// to assert bit-identical digests.
+func (m *SeculatorMemory) Registers() (w, r, fr, ir mac.Digest) {
+	b := m.checker.Current()
+	return b.W.Value(), b.R.Value(), b.FR.Value(), b.IR.Value()
+}
+
+// fetch reads and decrypts one block into the shard's plaintext scratch.
+func (s *SeculatorShard) fetch(addr uint64, layer, fmapID uint32, vn int, blockIdx uint32) []byte {
+	m := s.parent
+	m.dram.ReadBlockQuiet(addr, s.ct[:])
+	s.reads++
+	s.engine.DecryptBlock(s.pt[:], s.ct[:], m.counter(layer, fmapID, vn, blockIdx))
+	return s.pt[:]
+}
+
+// ReadInput is the shard counterpart of SeculatorMemory.ReadInput: it folds
+// into the shard's partial bank instead of the checker. The returned slice
+// is shard scratch, valid until the shard's next operation.
+func (s *SeculatorShard) ReadInput(addr uint64, prevLayer, fmapID uint32, vn int, blockIdx uint32, first bool) []byte {
+	pt := s.fetch(addr, prevLayer, fmapID, vn, blockIdx)
+	d := mac.BlockMAC(s.parent.ref(prevLayer, fmapID, vn, blockIdx), pt)
+	if first {
+		s.partial.OnFirstRead(d)
+	} else {
+		s.partial.OnRepeatRead(d)
+	}
+	return pt
+}
+
+// ReadInputPad is ReadInput consuming a precomputed keystream pad instead
+// of running AES: dst = ciphertext ⊕ pad. The pad must have been generated
+// for exactly this block's counter; the MAC fold is unchanged, so the
+// result is bit-identical to the engine path.
+func (s *SeculatorShard) ReadInputPad(addr uint64, prevLayer, fmapID uint32, vn int, blockIdx uint32, first bool, pad []byte) []byte {
+	m := s.parent
+	m.dram.ReadBlockQuiet(addr, s.ct[:])
+	s.reads++
+	crypto.XORPad(s.pt[:], s.ct[:], pad)
+	d := mac.BlockMAC(m.ref(prevLayer, fmapID, vn, blockIdx), s.pt[:])
+	if first {
+		s.partial.OnFirstRead(d)
+	} else {
+		s.partial.OnRepeatRead(d)
+	}
+	return s.pt[:]
+}
+
+// ReadPartial is the shard counterpart of SeculatorMemory.ReadPartial.
+func (s *SeculatorShard) ReadPartial(addr uint64, fmapID uint32, vn int, blockIdx uint32) []byte {
+	m := s.parent
+	pt := s.fetch(addr, m.layer, fmapID, vn, blockIdx)
+	s.partial.OnPartialRead(mac.BlockMAC(m.ref(m.layer, fmapID, vn, blockIdx), pt))
+	return pt
+}
+
+// ReadStatic is the shard counterpart of SeculatorMemory.ReadStatic: no
+// register folds; the block's MAC is returned for the caller's private
+// golden accumulation.
+func (s *SeculatorShard) ReadStatic(addr uint64, ownerLayer, fmapID uint32, vn int, blockIdx uint32) ([]byte, mac.Digest) {
+	pt := s.fetch(addr, ownerLayer, fmapID, vn, blockIdx)
+	return pt, mac.BlockMAC(s.parent.ref(ownerLayer, fmapID, vn, blockIdx), pt)
+}
+
+// WriteBlock is the shard counterpart of SeculatorMemory.WriteBlock.
+func (s *SeculatorShard) WriteBlock(addr uint64, fmapID uint32, vn int, blockIdx uint32, plaintext []byte) {
+	m := s.parent
+	s.engine.EncryptBlock(s.ct[:], plaintext, m.counter(m.layer, fmapID, vn, blockIdx))
+	m.dram.WriteBlockQuiet(addr, s.ct[:])
+	s.writes++
+	s.partial.OnWrite(mac.BlockMAC(m.ref(m.layer, fmapID, vn, blockIdx), plaintext))
+}
+
+// WriteRow encrypts and stores n consecutive blocks of one fmap row —
+// block indices blockIdx, blockIdx+1, … at line addresses addr, addr+1, …
+// — folding each block's MAC into the shard's partial MAC_W. plaintext
+// holds the n packed blocks; ctScratch is caller-owned ciphertext staging
+// of at least the same size (the batch API never allocates).
+func (s *SeculatorShard) WriteRow(addr uint64, fmapID uint32, vn int, blockIdx uint32, plaintext, ctScratch []byte) {
+	m := s.parent
+	n := len(plaintext) / tensor.BlockBytes
+	s.engine.EncryptBlocks(ctScratch, plaintext, m.counter(m.layer, fmapID, vn, blockIdx), n)
+	for b := 0; b < n; b++ {
+		o := b * tensor.BlockBytes
+		m.dram.WriteBlockQuiet(addr+uint64(b), ctScratch[o:o+tensor.BlockBytes])
+		s.partial.OnWrite(mac.BlockMAC(m.ref(m.layer, fmapID, vn, blockIdx+uint32(b)), plaintext[o:o+tensor.BlockBytes]))
+	}
+	s.writes += n
+}
+
+// HostWriteBlock is the shard counterpart of SeculatorMemory.HostWriteBlock.
+func (s *SeculatorShard) HostWriteBlock(addr uint64, ownerLayer, fmapID uint32, vn int, blockIdx uint32, plaintext []byte) mac.Digest {
+	m := s.parent
+	s.engine.EncryptBlock(s.ct[:], plaintext, m.counter(ownerLayer, fmapID, vn, blockIdx))
+	m.dram.WriteBlockQuiet(addr, s.ct[:])
+	s.writes++
+	return mac.BlockMAC(m.ref(ownerLayer, fmapID, vn, blockIdx), plaintext)
+}
+
+// HostWriteRow encrypts and stores n consecutive blocks on behalf of the
+// host (model load), returning the XOR of their MACs for the caller's
+// golden digest. Scratch rules match WriteRow.
+func (s *SeculatorShard) HostWriteRow(addr uint64, ownerLayer, fmapID uint32, vn int, blockIdx uint32, plaintext, ctScratch []byte) mac.Digest {
+	m := s.parent
+	n := len(plaintext) / tensor.BlockBytes
+	s.engine.EncryptBlocks(ctScratch, plaintext, m.counter(ownerLayer, fmapID, vn, blockIdx), n)
+	var g mac.Digest
+	for b := 0; b < n; b++ {
+		o := b * tensor.BlockBytes
+		m.dram.WriteBlockQuiet(addr+uint64(b), ctScratch[o:o+tensor.BlockBytes])
+		g = g.Xor(mac.BlockMAC(m.ref(ownerLayer, fmapID, vn, blockIdx+uint32(b)), plaintext[o:o+tensor.BlockBytes]))
+	}
+	s.writes += n
+	return g
+}
+
+// BlockDigest computes the MAC of a plaintext block at a position, like
+// SeculatorMemory.BlockDigest (pure; safe from any goroutine).
+func (s *SeculatorShard) BlockDigest(ownerLayer, fmapID uint32, vn int, blockIdx uint32, plaintext []byte) mac.Digest {
+	return s.parent.BlockDigest(ownerLayer, fmapID, vn, blockIdx, plaintext)
+}

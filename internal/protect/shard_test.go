@@ -1,0 +1,184 @@
+package protect
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"seculator/internal/mac"
+	"seculator/internal/mem"
+	"seculator/internal/tensor"
+)
+
+func shardTestDRAM(t *testing.T) *mem.DRAM {
+	t.Helper()
+	d, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// shardPattern builds a deterministic, index-unique plaintext block.
+func shardPattern(i int) []byte {
+	b := make([]byte, tensor.BlockBytes)
+	for j := range b {
+		b[j] = byte(i*31 + j*7)
+	}
+	return b
+}
+
+// runSerialScript drives the two-layer reference workload through the
+// serial SeculatorMemory API: layer 1 writes n blocks, layer 2 first-reads
+// them all, repeat-reads every fifth, and writes n more.
+func runSerialScript(t *testing.T, n int) (*mem.DRAM, *SeculatorMemory) {
+	t.Helper()
+	d := shardTestDRAM(t)
+	m := NewSeculatorMemory(d, 7, 9)
+	m.BeginLayer(1)
+	for i := 0; i < n; i++ {
+		m.WriteBlock(uint64(i), uint32(i%3), 1, uint32(i), shardPattern(i))
+	}
+	m.BeginLayer(2)
+	for i := 0; i < n; i++ {
+		pt := m.ReadInput(uint64(i), 1, uint32(i%3), 1, uint32(i), true)
+		if !bytes.Equal(pt, shardPattern(i)) {
+			t.Fatalf("serial read %d decrypted wrong plaintext", i)
+		}
+	}
+	for i := 0; i < n; i += 5 {
+		m.ReadInput(uint64(i), 1, uint32(i%3), 1, uint32(i), false)
+	}
+	for i := 0; i < n; i++ {
+		m.WriteBlock(uint64(n+i), 0, 2, uint32(i), shardPattern(n+i))
+	}
+	return d, m
+}
+
+// runShardedScript drives the same workload through w shards running on w
+// real goroutines against pre-reserved DRAM, interleaving the work by
+// index so the fold order differs maximally from the serial run.
+func runShardedScript(t *testing.T, n, w int) (*mem.DRAM, *SeculatorMemory) {
+	t.Helper()
+	d := shardTestDRAM(t)
+	d.Reserve(uint64(2 * n))
+	m := NewSeculatorMemory(d, 7, 9)
+	shards := make([]*SeculatorShard, w)
+	for s := range shards {
+		shards[s] = m.Shard()
+	}
+	fork := func(fn func(s int, sh *SeculatorShard)) {
+		var wg sync.WaitGroup
+		for s := range shards {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				fn(s, shards[s])
+			}(s)
+		}
+		wg.Wait()
+		m.Merge(shards...)
+	}
+
+	m.BeginLayer(1)
+	fork(func(s int, sh *SeculatorShard) {
+		for i := s; i < n; i += w {
+			sh.WriteBlock(uint64(i), uint32(i%3), 1, uint32(i), shardPattern(i))
+		}
+	})
+	m.BeginLayer(2)
+	fork(func(s int, sh *SeculatorShard) {
+		for i := s; i < n; i += w {
+			pt := sh.ReadInput(uint64(i), 1, uint32(i%3), 1, uint32(i), true)
+			if !bytes.Equal(pt, shardPattern(i)) {
+				t.Errorf("shard %d read %d decrypted wrong plaintext", s, i)
+			}
+		}
+		for i := s * 5; i < n; i += w * 5 {
+			sh.ReadInput(uint64(i), 1, uint32(i%3), 1, uint32(i), false)
+		}
+	})
+	fork(func(s int, sh *SeculatorShard) {
+		for i := s; i < n; i += w {
+			sh.WriteBlock(uint64(n+i), 0, 2, uint32(i), shardPattern(n+i))
+		}
+	})
+	return d, m
+}
+
+// TestShardedFoldsMatchSerial is the soundness test of the sharded crypto
+// path: for worker counts 1, 2 and 8, the four XOR-MAC registers, every
+// ciphertext byte in DRAM, and the traffic totals must be bit-identical to
+// the serial run — commutativity of the XOR fold makes the shard
+// interleaving immaterial.
+func TestShardedFoldsMatchSerial(t *testing.T) {
+	const n = 100
+	sd, sm := runSerialScript(t, n)
+	sw, sr, sfr, sir := sm.Registers()
+
+	for _, w := range []int{1, 2, 8} {
+		pd, pm := runShardedScript(t, n, w)
+		gw, gr, gfr, gir := pm.Registers()
+		if gw != sw || gr != sr || gfr != sfr || gir != sir {
+			t.Fatalf("w=%d: register mismatch\n  W  %x vs %x\n  R  %x vs %x\n  FR %x vs %x\n  IR %x vs %x",
+				w, gw, sw, gr, sr, gfr, sfr, gir, sir)
+		}
+		for a := uint64(0); a < 2*n; a++ {
+			if !bytes.Equal(pd.Peek(a), sd.Peek(a)) {
+				t.Fatalf("w=%d: ciphertext mismatch at line %d", w, a)
+			}
+		}
+		if pt, st := pd.Traffic(), sd.Traffic(); pt != st {
+			t.Fatalf("w=%d: traffic %+v, serial %+v", w, pt, st)
+		}
+		if pd.Lines() != sd.Lines() {
+			t.Fatalf("w=%d: %d lines, serial %d", w, pd.Lines(), sd.Lines())
+		}
+	}
+}
+
+// TestShardedEquationOneVerifies: layer 2 first-reads exactly layer 1's
+// writes, so Equation 1 must verify with a zero external digest on the
+// sharded path just as on the serial one.
+func TestShardedEquationOneVerifies(t *testing.T) {
+	_, m := runShardedScript(t, 60, 4)
+	if err := m.VerifyPreviousLayer(mac.Digest{}); err != nil {
+		t.Fatalf("Equation 1 failed on the sharded path: %v", err)
+	}
+}
+
+// TestShardBatchRowMatchesBlocks: the batch WriteRow path must produce the
+// same ciphertext and the same MAC folds as per-block WriteBlock calls.
+func TestShardBatchRowMatchesBlocks(t *testing.T) {
+	const n = 8
+	row := make([]byte, n*tensor.BlockBytes)
+	for i := 0; i < n; i++ {
+		copy(row[i*tensor.BlockBytes:], shardPattern(i))
+	}
+
+	da := shardTestDRAM(t)
+	ma := NewSeculatorMemory(da, 3, 4)
+	ma.BeginLayer(1)
+	sa := ma.Shard()
+	ct := make([]byte, n*tensor.BlockBytes)
+	sa.WriteRow(0, 2, 1, 0, row, ct)
+	ma.Merge(sa)
+	aw, _, _, _ := ma.Registers()
+
+	db := shardTestDRAM(t)
+	mb := NewSeculatorMemory(db, 3, 4)
+	mb.BeginLayer(1)
+	for i := 0; i < n; i++ {
+		mb.WriteBlock(uint64(i), 2, 1, uint32(i), shardPattern(i))
+	}
+	bw, _, _, _ := mb.Registers()
+
+	if aw != bw {
+		t.Fatalf("MAC_W differs: batch %x, per-block %x", aw, bw)
+	}
+	for a := uint64(0); a < n; a++ {
+		if !bytes.Equal(da.Peek(a), db.Peek(a)) {
+			t.Fatalf("ciphertext differs at line %d", a)
+		}
+	}
+}

@@ -67,6 +67,14 @@ type Executor struct {
 	// MaxRetries times with exponential backoff. The zero policy disables
 	// recovery (every detection is terminal).
 	Retry resilience.Policy
+
+	// Parallel is the intra-inference worker count: how many shards the
+	// per-tile AES-CTR + SHA-256 work (and the MAC-free arithmetic) is
+	// split across. The XOR-MAC's commutative fold makes the sharded run
+	// bit-identical to the serial one — outputs and all four registers.
+	// 0 means the process default (DefaultParallel, settable via
+	// SetDefaultParallel or SECULATOR_INFER_PARALLEL); 1 runs serial.
+	Parallel int
 }
 
 // NewExecutor returns an executor with the default system configuration
@@ -134,6 +142,12 @@ type Result struct {
 	Layers int
 	Blocks int // DRAM lines holding the encrypted model + activations
 
+	// OutputMAC is the final layer's MAC_W register — the XOR-MAC a host
+	// consuming the outputs verifies against. Because the XOR fold is
+	// commutative, it is bit-identical across worker counts; the
+	// serial/parallel equivalence tests assert exactly that.
+	OutputMAC mac.Digest
+
 	// Recovery reports the detect-and-recover activity of the run: layer
 	// retries performed, layers recovered from transient faults, and
 	// whether a persistent violation latched the breach.
@@ -173,14 +187,43 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 	if err != nil {
 		return Result{}, &resilience.ConfigError{Err: err}
 	}
-	if x.Injector != nil {
-		dram.SetInjector(x.Injector)
-	}
 	sm := protect.NewSeculatorMemory(dram, x.Secret, x.Random)
+	rt := x.newRuntime(sm, dram)
+	defer rt.drain()
+	if x.Injector != nil {
+		if rt.parallelOn() {
+			// Fault injectors keep state (RNG, replay maps) and are
+			// single-goroutine by contract; shards reach them through a
+			// serializing wrapper.
+			dram.SetInjector(&lockedInjector{in: x.Injector})
+		} else {
+			dram.SetInjector(x.Injector)
+		}
+	}
 
-	states, inputLayout, goldenInput, err := x.load(net, input, weights, sm)
+	states, inputLayout, total, err := x.plan(net, weights)
 	if err != nil {
 		return Result{}, err
+	}
+	if rt.parallelOn() {
+		// Pre-allocate every line the run will touch so the store map is
+		// read-only during sharded execution (mem.DRAM.Reserve).
+		dram.Reserve(total)
+	}
+	goldenInput := x.loadInput(rt, input, inputLayout)
+
+	// Layer-overlap pipeline: while layer k executes, a loader shard
+	// host-writes layer k+1's weights and computes their golden XOR-MAC on
+	// the pool. Only without an attacker hook or injector — both observe
+	// load/execute ordering that overlapping would change.
+	overlap := rt.parallelOn() && x.AfterPhase == nil && x.Injector == nil
+	if overlap {
+		if weights[0] != nil {
+			states[0].goldenWeights = x.loadLayerWeights(rt.shards[0], &states[0], weights[0])
+			sm.Merge(rt.shards[0])
+		}
+	} else {
+		x.loadAllWeights(rt, states, weights)
 	}
 	x.hook(-1, dram)
 
@@ -192,11 +235,24 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		if overlap {
+			if i > 0 && weights[i] != nil {
+				if g, ok := rt.waitPreload(); ok {
+					st.goldenWeights = g
+				} else {
+					st.goldenWeights = x.loadLayerWeights(rt.shards[0], st, weights[i])
+					sm.Merge(rt.shards[0])
+				}
+			}
+			if i+1 < len(states) {
+				rt.startPreload(x, &states[i+1], weights[i+1])
+			}
+		}
 		// One attempt = re-fetch + re-execute the layer's event stream,
 		// then close the pending verification (layer-0 golden inputs, or
 		// the previous layer's Equation 1 check).
 		attempt := func(restart bool) error {
-			unread, err := x.runLayer(sm, st, producer, producerData, weights[i], restart)
+			unread, err := x.runLayer(rt, st, producer, producerData, weights[i], restart)
 			if err != nil {
 				return classify(err, i, resilience.ClassWeight)
 			}
@@ -221,12 +277,16 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 		x.hook(i, dram)
 	}
 
+	// The final layer's W register is the output MAC the host verifies
+	// against; capture it before the readout epoch swaps banks.
+	outputMAC := sm.FinalOutputMAC()
+
 	// Host readout epoch: consume the last layer's outputs through the
 	// same first-read path and close its Equation 1 check.
 	var out *nn.Tensor
 	readAttempt := func(restart bool) error {
 		var err error
-		out, err = x.readout(sm, states, producer, restart)
+		out, err = x.readout(rt, states, producer, restart)
 		if err != nil {
 			return classify(err, len(states)-1, resilience.ClassOutput)
 		}
@@ -235,7 +295,8 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 	if err := x.recoverLoop(ctx, readAttempt, &stats); err != nil {
 		return Result{Recovery: stats}, err
 	}
-	return Result{Output: out, Layers: len(states), Blocks: dram.Lines(), Recovery: stats}, nil
+	return Result{Output: out, OutputMAC: outputMAC, Layers: len(states),
+		Blocks: dram.Lines(), Recovery: stats}, nil
 }
 
 // classify wraps an integrity failure in the typed taxonomy; other errors
@@ -289,14 +350,14 @@ func (x *Executor) hook(phase int, d *mem.DRAM) {
 	}
 }
 
-// load maps every layer, lays out the address space, and host-writes the
-// encrypted input and weights.
-func (x *Executor) load(net workload.Network, input *nn.Tensor, weights []*nn.Weights,
-	sm *protect.SeculatorMemory) ([]layerState, actLayout, mac.Digest, error) {
-
+// plan maps every layer and lays out the address space without writing
+// anything: the input region, then per layer its activation and weight
+// regions, all contiguous from line 0. It returns the total line count so
+// parallel runs can pre-reserve the DRAM store before sharding.
+func (x *Executor) plan(net workload.Network, weights []*nn.Weights) ([]layerState, actLayout, uint64, error) {
 	choices, err := sched.MapNetwork(net, x.NPU, x.DRAM)
 	if err != nil {
-		return nil, actLayout{}, mac.Digest{}, err
+		return nil, actLayout{}, 0, err
 	}
 	var next uint64
 
@@ -307,16 +368,6 @@ func (x *Executor) load(net workload.Network, input *nn.Tensor, weights []*nn.We
 		bpr: tensor.CeilDiv(first.W*4, tensor.BlockBytes), ownerID: 0, vn: 1,
 	}
 	next += uint64(inputLayout.blocks())
-	var goldenInput mac.Digest
-	for c := 0; c < input.Chans; c++ {
-		for y := 0; y < input.H; y++ {
-			row := encodeRow(rowOf(input, c, y), inputLayout.bpr)
-			for j, blk := range row {
-				d := sm.HostWriteBlock(inputLayout.addr(c, y, j), 0, uint32(c), 1, uint32(y*inputLayout.bpr+j), blk)
-				goldenInput = goldenInput.Xor(d)
-			}
-		}
-	}
 
 	states := make([]layerState, len(net.Layers))
 	for i, choice := range choices {
@@ -335,7 +386,7 @@ func (x *Executor) load(net workload.Network, input *nn.Tensor, weights []*nn.We
 		next += uint64(st.act.blocks())
 
 		// Weight region (host-written, owner tag 0x8000+i, version 1).
-		if w := weights[i]; w != nil {
+		if weights[i] != nil {
 			ct := choice.CT
 			if l.Type == workload.Depthwise {
 				ct = 1
@@ -349,29 +400,74 @@ func (x *Executor) load(net workload.Network, input *nn.Tensor, weights []*nn.We
 				ownerID:     uint32(0x8000 + i),
 			}
 			next += uint64(st.wl.k * st.wl.cGroups * st.wl.sliceBlocks)
-			st.goldenWeights = x.loadWeights(sm, &st, w)
 		}
 		states[i] = st
 	}
-	return states, inputLayout, goldenInput, nil
+	return states, inputLayout, next, nil
 }
 
-// loadWeights host-writes one layer's weights slice by slice.
-func (x *Executor) loadWeights(sm *protect.SeculatorMemory, st *layerState, w *nn.Weights) mac.Digest {
+// loadInput host-writes the encrypted layer-0 input, sharded across the
+// runtime, and returns the host's golden XOR-MAC over all its blocks. The
+// per-shard partial digests XOR together, so the golden value is identical
+// for any worker count.
+func (x *Executor) loadInput(rt *inferRuntime, input *nn.Tensor, il actLayout) mac.Digest {
+	golden := make([]mac.Digest, rt.workers)
+	n := input.Chans * input.H
+	rt.forkBlocks(n, il.bpr, func(s int, sh *protect.SeculatorShard, lo, hi int) {
+		pt, ct := rt.rowScratch(s, il.bpr)
+		for it := lo; it < hi; it++ {
+			c, y := it/input.H, it%input.H
+			encodeRowInto(pt, rowOf(input, c, y))
+			d := sh.HostWriteRow(il.addr(c, y, 0), 0, uint32(c), 1, uint32(y*il.bpr), pt, ct)
+			golden[s] = golden[s].Xor(d)
+		}
+	})
+	var g mac.Digest
+	for _, d := range golden {
+		g = g.Xor(d)
+	}
+	return g
+}
+
+// loadLayerWeights host-writes one layer's weights through a shard, slice
+// by slice, returning the layer's golden XOR-MAC. It runs either inline or
+// as the overlapped preload stage; scratch is local, so a preload never
+// shares state with the executing layer's shards.
+func (x *Executor) loadLayerWeights(sh *protect.SeculatorShard, st *layerState, w *nn.Weights) mac.Digest {
 	var golden mac.Digest
 	wl := st.wl
+	pt := make([]byte, wl.sliceBlocks*tensor.BlockBytes)
+	ct := make([]byte, wl.sliceBlocks*tensor.BlockBytes)
 	for k := 0; k < wl.k; k++ {
 		for cg := 0; cg < wl.cGroups; cg++ {
 			ints := weightSlice(st.layer, w, k, cg, wl.sliceInts)
-			blocks := encodeRow(ints, wl.sliceBlocks)
-			for j, blk := range blocks {
-				d := sm.HostWriteBlock(wl.addr(k, cg, j), wl.ownerID, uint32(k), 1,
-					uint32(cg*wl.sliceBlocks+j), blk)
-				golden = golden.Xor(d)
-			}
+			encodeRowInto(pt, ints)
+			golden = golden.Xor(sh.HostWriteRow(wl.addr(k, cg, 0), wl.ownerID, uint32(k), 1,
+				uint32(cg*wl.sliceBlocks), pt, ct))
 		}
 	}
 	return golden
+}
+
+// loadAllWeights host-writes every layer's weights (non-overlap mode),
+// forked across layers: each layer's region and golden digest belong to
+// exactly one chunk.
+func (x *Executor) loadAllWeights(rt *inferRuntime, states []layerState, weights []*nn.Weights) {
+	total := 0
+	for i := range states {
+		if weights[i] != nil {
+			total += states[i].wl.k * states[i].wl.cGroups * states[i].wl.sliceBlocks
+		}
+	}
+	n := len(states)
+	rt.forkBlocks(n, total/max(n, 1), func(s int, sh *protect.SeculatorShard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if weights[i] == nil {
+				continue
+			}
+			states[i].goldenWeights = x.loadLayerWeights(sh, &states[i], weights[i])
+		}
+	})
 }
 
 // weightSlice extracts the (k, c-group) weight slice as a flat int32 row.
@@ -425,6 +521,18 @@ func encodeRow(vals []int32, nblocks int) [][]byte {
 		out[j] = blk
 	}
 	return out
+}
+
+// encodeRowInto packs vals into dst — a whole number of zero-padded
+// 64-byte blocks — without allocating: the flat-buffer counterpart of
+// encodeRow for the batch write path. Values beyond dst's capacity are
+// dropped, matching encodeRow's clipping.
+func encodeRowInto(dst []byte, vals []int32) {
+	clear(dst)
+	n := min(len(vals), len(dst)/4)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(dst[i*4:], uint32(vals[i]))
+	}
 }
 
 // decodeBlock unpacks a 64-byte block into up to n int32 values appended to

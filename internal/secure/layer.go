@@ -14,8 +14,13 @@ import (
 
 // layerRun is the per-layer execution context: the decrypted working set
 // being assembled from DRAM reads, first-touch bitmaps, and the weight
-// integrity register.
+// integrity digest. The tile-event handlers shard their block loops across
+// the runtime's workers; the first-touch bitmaps stay race-free because a
+// chunk partition never assigns the same block to two shards within one
+// event, and across events the handlers run sequentially on the
+// orchestrator with a merge barrier in between.
 type layerRun struct {
+	rt *inferRuntime
 	sm *protect.SeculatorMemory
 	st *layerState
 
@@ -28,7 +33,7 @@ type layerRun struct {
 
 	inTouched []bool // per producer block: first-read seen
 	wTouched  []bool // per weight block: first-read seen
-	wRegister mac.Register
+	wDigest   mac.Digest
 
 	err error
 }
@@ -38,16 +43,23 @@ type layerRun struct {
 // into the producer's verification). restart re-runs the layer after a
 // failed verification: the layer's own MAC folds are discarded while the
 // producer's pending bank is kept for re-verification.
-func (x *Executor) runLayer(sm *protect.SeculatorMemory, st *layerState,
+func (x *Executor) runLayer(rt *inferRuntime, st *layerState,
 	producer actLayout, producerData *nn.Tensor, weights *nn.Weights, restart bool) (mac.Digest, error) {
 
+	sm := rt.sm
 	if restart {
 		sm.RestartLayer()
 	} else {
 		sm.BeginLayer(st.act.ownerID)
 	}
+	if rt.parallelOn() {
+		// Precompute the producer region's keystream ahead of the reads
+		// that consume it; the VN FSM makes every counter known up front.
+		rt.ks.start(rt.pool, rt.ksEngine, producer)
+		defer rt.ks.cancel()
+	}
 	run := &layerRun{
-		sm: sm, st: st,
+		rt: rt, sm: sm, st: st,
 		producer: producer, producerData: producerData,
 		in:        nn.NewTensor(producer.chans, producer.rows, producer.cols),
 		out:       nn.NewTensor(st.layer.K, st.layer.OutH(), st.layer.OutW()),
@@ -111,16 +123,28 @@ func (r *layerRun) onCompute(idx dataflow.LoopIdx) bool {
 		// FC consumes the flattened producer volume.
 		in = &nn.Tensor{Chans: l.C, H: 1, W: 1, Data: r.in.Data}
 	}
+	// The arithmetic itself shards like the crypto: sub-ranges own disjoint
+	// output elements and keep the serial per-element accumulation order,
+	// so the int32 results are bit-identical.
 	switch l.Type {
 	case workload.Pool:
-		nn.AccumulatePool(r.out, in, l, k0, k1, y0, y1)
+		cost := (k1 - k0) * (y1 - y0) * l.OutW() * max(1, l.R*l.S)
+		r.rt.forkCompute(k0, k1, y0, y1, cost, func(k0, k1, y0, y1 int) {
+			nn.AccumulatePool(r.out, in, l, k0, k1, y0, y1)
+		})
 	case workload.Upsample:
-		nn.AccumulateUpsample(r.out, in, l, k0, k1, y0, y1)
+		cost := (k1 - k0) * (y1 - y0) * l.OutW()
+		r.rt.forkCompute(k0, k1, y0, y1, cost, func(k0, k1, y0, y1 int) {
+			nn.AccumulateUpsample(r.out, in, l, k0, k1, y0, y1)
+		})
 	default:
 		creduce := l.ReductionChannels()
 		c0 := idx.C * c.CT
 		c1 := min(creduce, c0+c.CT)
-		nn.AccumulateConv(r.out, in, r.w, l, k0, k1, c0, c1, y0, y1)
+		cost := (k1 - k0) * (y1 - y0) * l.OutW() * max(1, l.R*l.S) * max(1, c1-c0)
+		r.rt.forkCompute(k0, k1, y0, y1, cost, func(k0, k1, y0, y1 int) {
+			nn.AccumulateConv(r.out, in, r.w, l, k0, k1, c0, c1, y0, y1)
+		})
 	}
 	return true
 }
@@ -163,41 +187,77 @@ func (r *layerRun) readIfmapTile(e dataflow.Event) {
 		iy0 = max(0, y0*l.Stride-padY)
 		iy1 = min(l.H, (y1-1)*l.Stride+l.R-padY)
 	}
-	for ch := c0; ch < c1; ch++ {
-		for iy := iy0; iy < iy1; iy++ {
+	rows := (c1 - c0) * (iy1 - iy0)
+	if rows <= 0 {
+		return
+	}
+	span := iy1 - iy0
+	r.rt.forkBlocks(rows, r.producer.bpr, func(_ int, sh *protect.SeculatorShard, lo, hi int) {
+		for it := lo; it < hi; it++ {
+			ch := c0 + it/span
+			iy := iy0 + it%span
 			for j := 0; j < r.producer.bpr; j++ {
-				r.readProducerBlock(ch, iy, j)
+				r.readProducerBlock(sh, ch, iy, j)
 			}
 		}
-	}
+	})
 }
 
 // readFlatRange reads the producer blocks containing flattened elements
-// [f0, f1) of an FC input.
+// [f0, f1) of an FC input. Consecutive elements hit the same 16-element
+// block, and the repeat-read MAC folds of those hits are part of the
+// protocol — so the range shards by runs of identical blocks, each run
+// executing its first-touch + repeats serially on one shard exactly like
+// the serial path.
 func (r *layerRun) readFlatRange(f0, f1 int) {
-	perChan := r.producer.rows * r.producer.cols
-	for f := f0; f < f1; f++ {
+	p := r.producer
+	perChan := p.rows * p.cols
+	type blockRun struct{ ch, row, j, n int }
+	runs := make([]blockRun, 0, (f1-f0)/intsPerBlock+2)
+	for f := f0; f < f1; {
 		ch := f / perChan
 		rem := f % perChan
-		row := rem / r.producer.cols
-		col := rem % r.producer.cols
-		r.readProducerBlock(ch, row, col*4/tensor.BlockBytes)
+		row := rem / p.cols
+		j := (rem % p.cols) * 4 / tensor.BlockBytes
+		n := 1
+		for f+n < f1 {
+			fn := f + n
+			remn := fn % perChan
+			if fn/perChan != ch || remn/p.cols != row || (remn%p.cols)*4/tensor.BlockBytes != j {
+				break
+			}
+			n++
+		}
+		runs = append(runs, blockRun{ch: ch, row: row, j: j, n: n})
+		f += n
 	}
+	r.rt.forkBlocks(len(runs), 1, func(_ int, sh *protect.SeculatorShard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := runs[i]
+			for t := 0; t < b.n; t++ {
+				r.readProducerBlock(sh, b.ch, b.row, b.j)
+			}
+		}
+	})
 }
 
 // readProducerBlock performs one decrypted block read from the producer
-// region, folding it into MAC_FR on first touch and MAC_IR on repeats, and
-// assembling the plaintext into the layer's input tensor.
-func (r *layerRun) readProducerBlock(ch, row, j int) {
-	if r.err != nil {
-		return
-	}
+// region through a shard, folding it into the shard's partial MAC_FR on
+// first touch and MAC_IR on repeats, and assembling the plaintext into the
+// layer's input tensor. When the keystream stage has the block's pad ready
+// it is consumed instead of running AES — bit-identical either way.
+func (r *layerRun) readProducerBlock(sh *protect.SeculatorShard, ch, row, j int) {
 	p := r.producer
 	flat := (ch*p.rows+row)*p.bpr + j
 	first := !r.inTouched[flat]
 	r.inTouched[flat] = true
 	blockIdx := uint32(row*p.bpr + j)
-	pt := r.sm.ReadInput(p.addr(ch, row, j), p.ownerID, uint32(ch), p.vn, blockIdx, first)
+	var pt []byte
+	if pad := r.rt.ks.pad(flat); pad != nil {
+		pt = sh.ReadInputPad(p.addr(ch, row, j), p.ownerID, uint32(ch), p.vn, blockIdx, first, pad)
+	} else {
+		pt = sh.ReadInput(p.addr(ch, row, j), p.ownerID, uint32(ch), p.vn, blockIdx, first)
+	}
 	if first {
 		off := (ch*p.rows+row)*p.cols + j*intsPerBlock
 		end := min(len(r.in.Data), (ch*p.rows+row)*p.cols+p.cols)
@@ -207,7 +267,9 @@ func (r *layerRun) readProducerBlock(ch, row, j int) {
 
 // readWeightTile fetches the (k-group x c-group) weight slices of a tile
 // through the static-read path, folding first-touch MACs for the golden
-// comparison and decoding the weights.
+// comparison and decoding the weights. Shards split the k range; each
+// shard accumulates its first-touch folds into a private digest that the
+// orchestrator XORs together after the join.
 func (r *layerRun) readWeightTile(e dataflow.Event) {
 	l := r.st.layer
 	c := r.st.choice
@@ -215,19 +277,26 @@ func (r *layerRun) readWeightTile(e dataflow.Event) {
 	k0 := e.Idx.K * c.KT
 	k1 := min(l.K, k0+c.KT)
 	cg := e.Idx.C
-	for k := k0; k < k1; k++ {
+	rt := r.rt
+	clear(rt.wDigest)
+	rt.forkBlocks(k1-k0, wl.sliceBlocks, func(s int, sh *protect.SeculatorShard, lo, hi int) {
 		ints := make([]int32, wl.sliceInts)
-		for j := 0; j < wl.sliceBlocks; j++ {
-			flat := (k*wl.cGroups+cg)*wl.sliceBlocks + j
-			pt, d := r.sm.ReadStatic(wl.addr(k, cg, j), wl.ownerID, uint32(k), 1,
-				uint32(cg*wl.sliceBlocks+j))
-			if !r.wTouched[flat] {
-				r.wTouched[flat] = true
-				r.wRegister.Fold(d)
+		for k := k0 + lo; k < k0+hi; k++ {
+			for j := 0; j < wl.sliceBlocks; j++ {
+				flat := (k*wl.cGroups+cg)*wl.sliceBlocks + j
+				pt, d := sh.ReadStatic(wl.addr(k, cg, j), wl.ownerID, uint32(k), 1,
+					uint32(cg*wl.sliceBlocks+j))
+				if !r.wTouched[flat] {
+					r.wTouched[flat] = true
+					rt.wDigest[s] = rt.wDigest[s].Xor(d)
+				}
+				decodeBlock(ints, j*intsPerBlock, pt)
 			}
-			decodeBlock(ints, j*intsPerBlock, pt)
+			r.decodeWeightSlice(k, cg, ints)
 		}
-		r.decodeWeightSlice(k, cg, ints)
+	})
+	for _, d := range rt.wDigest {
+		r.wDigest = r.wDigest.Xor(d)
 	}
 }
 
@@ -271,41 +340,55 @@ func (r *layerRun) ofmapRows(e dataflow.Event) (k0, k1, y0, y1 int) {
 }
 
 // readPartialTile decrypts a partial-sum tile back into the output tensor,
-// folding its MACs into MAC_R.
+// folding its MACs into MAC_R. Shards split the (k, y) rows; each row
+// decodes straight into its disjoint slice of the output tensor.
 func (r *layerRun) readPartialTile(e dataflow.Event) {
 	a := r.st.act
 	k0, k1, y0, y1 := r.ofmapRows(e)
-	for k := k0; k < k1; k++ {
-		for y := y0; y < y1; y++ {
-			row := make([]int32, a.cols)
-			for j := 0; j < a.bpr; j++ {
-				pt := r.sm.ReadPartial(a.addr(k, y, j), uint32(k), e.VN, uint32(y*a.bpr+j))
-				decodeBlock(row, j*intsPerBlock, pt)
-			}
-			copy(rowOf(r.out, k, y), row)
-		}
+	rows := (k1 - k0) * (y1 - y0)
+	if rows <= 0 {
+		return
 	}
+	span := y1 - y0
+	r.rt.forkBlocks(rows, a.bpr, func(_ int, sh *protect.SeculatorShard, lo, hi int) {
+		for it := lo; it < hi; it++ {
+			k := k0 + it/span
+			y := y0 + it%span
+			dst := rowOf(r.out, k, y)
+			for j := 0; j < a.bpr; j++ {
+				pt := sh.ReadPartial(a.addr(k, y, j), uint32(k), e.VN, uint32(y*a.bpr+j))
+				decodeBlock(dst, j*intsPerBlock, pt)
+			}
+		}
+	})
 }
 
 // writeOfmapTile encrypts the tile's current accumulation under the event's
-// version number, folding its MACs into MAC_W.
+// version number, folding its MACs into MAC_W. Shards split the (k, y)
+// rows and use the row-batch encrypt path with per-shard staging.
 func (r *layerRun) writeOfmapTile(e dataflow.Event) {
 	a := r.st.act
 	k0, k1, y0, y1 := r.ofmapRows(e)
-	for k := k0; k < k1; k++ {
-		for y := y0; y < y1; y++ {
-			blocks := encodeRow(rowOf(r.out, k, y), a.bpr)
-			for j, blk := range blocks {
-				r.sm.WriteBlock(a.addr(k, y, j), uint32(k), e.VN, uint32(y*a.bpr+j), blk)
-			}
-		}
+	rows := (k1 - k0) * (y1 - y0)
+	if rows <= 0 {
+		return
 	}
+	span := y1 - y0
+	r.rt.forkBlocks(rows, a.bpr, func(s int, sh *protect.SeculatorShard, lo, hi int) {
+		pt, ct := r.rt.rowScratch(s, a.bpr)
+		for it := lo; it < hi; it++ {
+			k := k0 + it/span
+			y := y0 + it%span
+			encodeRowInto(pt, rowOf(r.out, k, y))
+			sh.WriteRow(a.addr(k, y, 0), uint32(k), e.VN, uint32(y*a.bpr), pt, ct)
+		}
+	})
 }
 
 // verifyWeights compares the accumulated first-touch weight MACs (plus
 // host-side folds for never-read padded slices) against the golden digest.
 func (r *layerRun) verifyWeights() error {
-	got := r.wRegister.Value()
+	got := r.wDigest
 	// Fold unread weight blocks host-side (slices of fully padded channel
 	// groups, or resident groups skipped by the mapping's reuse).
 	wl := r.st.wl
@@ -361,44 +444,45 @@ func (r *layerRun) unreadExternal() mac.Digest {
 // readout is the host consuming the final outputs: a fresh layer epoch that
 // first-reads every output block and closes the last layer's verification.
 // restart re-runs the epoch after a failed verification, keeping the last
-// layer's pending bank.
-func (x *Executor) readout(sm *protect.SeculatorMemory, states []layerState,
+// layer's pending bank. Like a layer's reads, the readout shards its rows
+// and draws on a precomputed keystream for the final region.
+func (x *Executor) readout(rt *inferRuntime, states []layerState,
 	final actLayout, restart bool) (*nn.Tensor, error) {
 
+	sm := rt.sm
 	last := states[len(states)-1]
 	if restart {
 		sm.RestartLayer()
 	} else {
 		sm.BeginLayer(uint32(len(states) + 1))
 	}
-	out := nn.NewTensor(final.chans, final.rows, final.cols)
-	for ch := 0; ch < final.chans; ch++ {
-		for row := 0; row < final.rows; row++ {
-			vals := make([]int32, final.cols)
-			for j := 0; j < final.bpr; j++ {
-				pt := sm.ReadInput(final.addr(ch, row, j), final.ownerID, uint32(ch),
-					final.vn, uint32(row*final.bpr+j), true)
-				decodeBlock(vals, j*intsPerBlock, pt)
-			}
-			copy(rowOf(out, ch, row), vals)
-		}
+	if rt.parallelOn() {
+		rt.ks.start(rt.pool, rt.ksEngine, final)
+		defer rt.ks.cancel()
 	}
+	out := nn.NewTensor(final.chans, final.rows, final.cols)
+	n := final.chans * final.rows
+	rt.forkBlocks(n, final.bpr, func(_ int, sh *protect.SeculatorShard, lo, hi int) {
+		for it := lo; it < hi; it++ {
+			ch := it / final.rows
+			row := it % final.rows
+			dst := rowOf(out, ch, row)
+			for j := 0; j < final.bpr; j++ {
+				flat := (ch*final.rows+row)*final.bpr + j
+				var pt []byte
+				if pad := rt.ks.pad(flat); pad != nil {
+					pt = sh.ReadInputPad(final.addr(ch, row, j), final.ownerID, uint32(ch),
+						final.vn, uint32(row*final.bpr+j), true, pad)
+				} else {
+					pt = sh.ReadInput(final.addr(ch, row, j), final.ownerID, uint32(ch),
+						final.vn, uint32(row*final.bpr+j), true)
+				}
+				decodeBlock(dst, j*intsPerBlock, pt)
+			}
+		}
+	})
 	if err := sm.VerifyPreviousLayer(mac.Digest{}); err != nil {
 		return nil, fmt.Errorf("secure: verifying final layer %q: %w", last.layer.Name, err)
 	}
 	return out, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

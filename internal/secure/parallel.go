@@ -1,0 +1,411 @@
+package secure
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"seculator/internal/crypto"
+	"seculator/internal/mac"
+	"seculator/internal/mem"
+	"seculator/internal/nn"
+	"seculator/internal/parallel"
+	"seculator/internal/protect"
+	"seculator/internal/tensor"
+)
+
+// Tuning thresholds of the intra-inference pipeline. Sharding has a
+// fork/join cost, so tiny tiles run inline on the orchestrator.
+const (
+	// minForkBlocks is the smallest number of 64-byte blocks per shard worth
+	// a fork: one block costs ~4 AES + 1 SHA-256 invocation, so below this
+	// the handshake dominates.
+	minForkBlocks = 16
+
+	// minComputeOps is the smallest estimated MAC-free arithmetic volume
+	// (multiply-accumulates) worth forking a compute range for.
+	minComputeOps = 1 << 13
+
+	// ksChunk is how many pads one keystream task generates before
+	// re-submitting itself to the pool, so pad generation interleaves
+	// fairly with forked shard work instead of hogging a worker.
+	ksChunk = 256
+
+	// ksMaxBlocks bounds the precomputed keystream slab (64 B per block).
+	ksMaxBlocks = 1 << 13
+)
+
+// defaultParallel is the process-wide default worker count for Executor
+// runs that leave Parallel at 0. It starts at 1 (serial) and can be raised
+// by SetDefaultParallel or the SECULATOR_INFER_PARALLEL environment
+// variable — the latter lets CI force every existing test through the
+// sharded path without code changes.
+var defaultParallel atomic.Int64
+
+func init() {
+	if v, err := strconv.Atoi(os.Getenv("SECULATOR_INFER_PARALLEL")); err == nil && v > 0 {
+		defaultParallel.Store(int64(v))
+	}
+}
+
+// SetDefaultParallel sets the process default intra-inference worker count
+// (values below 1 mean serial).
+func SetDefaultParallel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultParallel.Store(int64(n))
+}
+
+// DefaultParallel returns the process default intra-inference worker count.
+func DefaultParallel() int {
+	if v := defaultParallel.Load(); v > 1 {
+		return int(v)
+	}
+	return 1
+}
+
+// cryptoPool is the persistent worker pool shared by every parallel
+// inference in the process — workers outlive any single Run, like the
+// serving scheduler's pool. Sized generously relative to GOMAXPROCS: tasks
+// are short and CPU-bound, and the pool also absorbs the keystream and
+// weight-preload stages, which must make progress while forks are waiting.
+var (
+	cryptoPoolOnce sync.Once
+	cryptoPool     *parallel.Pool
+)
+
+func sharedPool() *parallel.Pool {
+	cryptoPoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+		cryptoPool = parallel.NewPool(n)
+	})
+	return cryptoPool
+}
+
+// lockedInjector serializes fault-injector callbacks when DRAM transfers
+// happen from multiple shards: the injectors in package fault keep state
+// (RNG, replay maps) and are single-goroutine by contract.
+type lockedInjector struct {
+	mu sync.Mutex
+	in mem.Injector
+}
+
+func (li *lockedInjector) OnRead(lineAddr uint64, data []byte) {
+	li.mu.Lock()
+	li.in.OnRead(lineAddr, data)
+	li.mu.Unlock()
+}
+
+func (li *lockedInjector) OnWrite(lineAddr uint64, data []byte) {
+	li.mu.Lock()
+	li.in.OnWrite(lineAddr, data)
+	li.mu.Unlock()
+}
+
+// inferRuntime is the per-Run parallel execution state: the worker shards,
+// their scratch, the keystream precompute stage and the weight-preload
+// pipeline. workers == 1 routes everything inline through shard 0, which
+// preserves the exact serial order of every DRAM access and MAC fold.
+type inferRuntime struct {
+	workers int
+	pool    *parallel.Pool // nil when workers == 1
+	sm      *protect.SeculatorMemory
+	dram    *mem.DRAM
+
+	shards []*protect.SeculatorShard
+
+	// Per-shard staging for the row-batch encrypt path (caller-owned
+	// scratch contract of protect's batch APIs). Indexed by shard; grown on
+	// demand, never shared across concurrently running shards.
+	rowPT [][]byte
+	rowCT [][]byte
+
+	// wDigest collects per-shard XOR folds of first-touch weight MACs
+	// during one forked weight-tile read.
+	wDigest []mac.Digest
+
+	ks       keystream
+	ksEngine *crypto.CTREngine
+
+	preload preloadState
+}
+
+func (x *Executor) newRuntime(sm *protect.SeculatorMemory, dram *mem.DRAM) *inferRuntime {
+	w := x.Parallel
+	if w == 0 {
+		w = DefaultParallel()
+	}
+	if w < 1 {
+		w = 1
+	}
+	rt := &inferRuntime{workers: w, sm: sm, dram: dram}
+	rt.shards = make([]*protect.SeculatorShard, w)
+	for i := range rt.shards {
+		rt.shards[i] = sm.Shard()
+	}
+	rt.rowPT = make([][]byte, w)
+	rt.rowCT = make([][]byte, w)
+	rt.wDigest = make([]mac.Digest, w)
+	if w > 1 {
+		rt.pool = sharedPool()
+		rt.ksEngine = sm.PadEngine()
+	}
+	return rt
+}
+
+func (rt *inferRuntime) parallelOn() bool { return rt.workers > 1 }
+
+// rowScratch returns shard s's plaintext and ciphertext staging for a row
+// of nblocks blocks, growing it if needed. Distinct shards own distinct
+// buffers, so concurrent calls with distinct s are safe.
+func (rt *inferRuntime) rowScratch(s, nblocks int) (pt, ct []byte) {
+	need := nblocks * tensor.BlockBytes
+	if cap(rt.rowPT[s]) < need {
+		rt.rowPT[s] = make([]byte, need)
+		rt.rowCT[s] = make([]byte, need)
+	}
+	return rt.rowPT[s][:need], rt.rowCT[s][:need]
+}
+
+// shardCount picks how many shards to fork for n items of `weight` blocks
+// each: enough that every shard gets at least minForkBlocks of crypto work,
+// never more than the worker count or the item count.
+func (rt *inferRuntime) shardCount(n, weight int) int {
+	if rt.workers <= 1 || n <= 0 {
+		return 1
+	}
+	total := n * weight
+	if total < 2*minForkBlocks {
+		return 1
+	}
+	nsh := total / minForkBlocks
+	if nsh > rt.workers {
+		nsh = rt.workers
+	}
+	if nsh > n {
+		nsh = n
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
+	return nsh
+}
+
+// forkBlocks partitions n work items (each covering `weight` blocks of
+// crypto work) into contiguous chunks across the shard set, runs fn on each
+// chunk, and folds every shard's partial MAC state and traffic counts back
+// into the memory once all chunks have joined. Shard 0 runs on the calling
+// goroutine; fn must confine itself to its own shard and to state disjoint
+// from every other chunk. With one worker the chunk is the whole range and
+// runs inline — the serial path is literally the parallel path at n=1, so
+// serial and parallel runs execute identical per-block operations.
+func (rt *inferRuntime) forkBlocks(n, weight int, fn func(shard int, sh *protect.SeculatorShard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nsh := rt.shardCount(n, weight)
+	if nsh <= 1 {
+		fn(0, rt.shards[0], 0, n)
+		rt.sm.Merge(rt.shards[0])
+		return
+	}
+	rt.pool.Fork(nsh, func(s int) {
+		lo, hi := n*s/nsh, n*(s+1)/nsh
+		if lo < hi {
+			fn(s, rt.shards[s], lo, hi)
+		}
+	})
+	rt.sm.Merge(rt.shards[:nsh]...)
+}
+
+// forkCompute splits a (k-range × row-range) of MAC-free arithmetic across
+// the pool. Each sub-range owns a disjoint set of output elements and
+// performs its per-element accumulations in the same order as the serial
+// nest, so results are bit-identical. cost is the estimated op count.
+func (rt *inferRuntime) forkCompute(k0, k1, y0, y1, cost int, fn func(k0, k1, y0, y1 int)) {
+	splitK := (k1 - k0) >= (y1 - y0)
+	n := y1 - y0
+	if splitK {
+		n = k1 - k0
+	}
+	nsh := min(rt.workers, n)
+	if rt.workers <= 1 || cost < minComputeOps || nsh <= 1 {
+		fn(k0, k1, y0, y1)
+		return
+	}
+	rt.pool.Fork(nsh, func(s int) {
+		lo, hi := n*s/nsh, n*(s+1)/nsh
+		if lo >= hi {
+			return
+		}
+		if splitK {
+			fn(k0+lo, k0+hi, y0, y1)
+		} else {
+			fn(k0, k1, y0+lo, y0+hi)
+		}
+	})
+}
+
+// keystream is the bounded pad-precompute stage. AES-CTR pads are
+// data-independent and every counter of a layer is deterministic before the
+// layer runs — the producer's identity and final version number come from
+// the VN FSM ⟨η, κ, ρ⟩ — so pads for the producer region are generated on
+// the pool ahead of the reads that consume them. Generation runs in flat
+// block order behind an atomic watermark; consumers past the watermark
+// simply fall back to their shard engine, which produces the identical pad.
+type keystream struct {
+	pads   []byte // slab: one 64-byte pad per covered block, reused across layers
+	limit  int    // blocks covered: min(region blocks, ksMaxBlocks)
+	layout actLayout
+	ready  atomic.Int64 // pads [0, ready) are generated (release/acquire)
+	stop   atomic.Bool
+	wg     sync.WaitGroup
+	engine *crypto.CTREngine
+	pool   *parallel.Pool
+	active bool
+}
+
+// start cancels any previous generation and begins precomputing pads for
+// the producer region p. Must run on the orchestrating goroutine.
+func (ks *keystream) start(pool *parallel.Pool, engine *crypto.CTREngine, p actLayout) {
+	ks.cancel()
+	n := min(p.blocks(), ksMaxBlocks)
+	if n <= 0 || pool == nil || engine == nil {
+		return
+	}
+	need := n * tensor.BlockBytes
+	if cap(ks.pads) < need {
+		ks.pads = make([]byte, need)
+	}
+	ks.pads = ks.pads[:need]
+	ks.limit = n
+	ks.layout = p
+	ks.ready.Store(0)
+	ks.stop.Store(false)
+	ks.engine = engine
+	ks.pool = pool
+	ks.wg.Add(1)
+	if pool.Submit(func() { ks.step(0) }) != nil {
+		ks.wg.Done()
+		return
+	}
+	ks.active = true
+}
+
+// step generates one chunk of pads and re-submits itself for the next.
+func (ks *keystream) step(from int) {
+	to := min(from+ksChunk, ks.limit)
+	p := ks.layout
+	for b := from; b < to && !ks.stop.Load(); b++ {
+		ch := b / (p.rows * p.bpr)
+		blockIdx := b % (p.rows * p.bpr)
+		ks.engine.Keystream(ks.pads[b*tensor.BlockBytes:(b+1)*tensor.BlockBytes], crypto.Counter{
+			Fmap: uint32(ch), Layer: p.ownerID, VN: uint32(p.vn), Block: uint32(blockIdx),
+		})
+		ks.ready.Store(int64(b + 1))
+	}
+	if to < ks.limit && !ks.stop.Load() {
+		if ks.pool.Submit(func() { ks.step(to) }) == nil {
+			return
+		}
+	}
+	ks.wg.Done()
+}
+
+// pad returns the precomputed pad for the producer block at flat index
+// `flat`, or nil if it is outside the slab or not generated yet. Safe from
+// shard goroutines while generation is running: the atomic watermark
+// publishes each pad before it becomes visible.
+func (ks *keystream) pad(flat int) []byte {
+	if !ks.active || flat >= ks.limit || int64(flat) >= ks.ready.Load() {
+		return nil
+	}
+	return ks.pads[flat*tensor.BlockBytes : (flat+1)*tensor.BlockBytes]
+}
+
+// cancel stops generation and waits for the in-flight chunk to finish.
+func (ks *keystream) cancel() {
+	if !ks.active {
+		return
+	}
+	ks.stop.Store(true)
+	ks.wg.Wait()
+	ks.active = false
+}
+
+// preloadState tracks the layer-overlap pipeline: while layer k executes,
+// a dedicated loader shard host-writes layer k+1's weights and accumulates
+// their golden XOR-MAC on the pool.
+type preloadState struct {
+	pending  bool
+	done     chan struct{}
+	golden   mac.Digest
+	panicVal any
+	sh       *protect.SeculatorShard
+}
+
+// startPreload kicks off layer st's weight load on the pool. Only legal in
+// overlap mode (no attacker hook, no injector): the load mutates DRAM while
+// the previous layer is still executing, which is invisible to the
+// architecture (disjoint, pre-reserved lines) but not to a hook that
+// expects "all loads precede phase -1" ordering.
+func (rt *inferRuntime) startPreload(x *Executor, st *layerState, w *nn.Weights) {
+	if !rt.parallelOn() || w == nil {
+		return
+	}
+	if rt.preload.sh == nil {
+		rt.preload.sh = rt.sm.Shard()
+	}
+	done := make(chan struct{})
+	rt.preload.done = done
+	rt.preload.panicVal = nil
+	task := func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				rt.preload.panicVal = r
+			}
+		}()
+		rt.preload.golden = x.loadLayerWeights(rt.preload.sh, st, w)
+	}
+	if rt.pool.Submit(task) != nil {
+		return
+	}
+	rt.preload.pending = true
+}
+
+// waitPreload joins the in-flight weight preload, merges the loader shard's
+// traffic, re-raises any captured panic on the orchestrator, and returns
+// the golden weight digest. ok is false when no preload was pending (the
+// caller then loads inline).
+func (rt *inferRuntime) waitPreload() (golden mac.Digest, ok bool) {
+	if !rt.preload.pending {
+		return mac.Digest{}, false
+	}
+	<-rt.preload.done
+	rt.preload.pending = false
+	rt.sm.Merge(rt.preload.sh)
+	if r := rt.preload.panicVal; r != nil {
+		rt.preload.panicVal = nil
+		panic(r)
+	}
+	return rt.preload.golden, true
+}
+
+// drain quiesces every background stage — called on any exit from Run so
+// no pool task touches the run's DRAM after Run returns.
+func (rt *inferRuntime) drain() {
+	rt.ks.cancel()
+	if rt.preload.pending {
+		<-rt.preload.done
+		rt.preload.pending = false
+		rt.sm.Merge(rt.preload.sh)
+		rt.preload.panicVal = nil
+	}
+}

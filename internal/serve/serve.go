@@ -63,6 +63,15 @@ type Options struct {
 	// MaxInputLen caps the explicit input override length (default 1<<20).
 	MaxInputLen int
 
+	// InferWorkers is the intra-inference crypto worker count applied to
+	// every inference this server runs: 0 uses the process default
+	// (secure.SetDefaultParallel / SECULATOR_INFER_PARALLEL), 1 forces
+	// serial, >1 shards each request's block MACs and keystreams across
+	// that many workers. Outputs are bit-identical at any setting; the
+	// knob trades per-request latency against cross-request throughput
+	// on the shared worker pool.
+	InferWorkers int
+
 	// Intercept and Hook are attack instrumentation applied to every
 	// session-bound inference: the command-channel man in the middle and
 	// the DRAM phase hook. Tests and demos use them to mount replay and
@@ -431,6 +440,7 @@ func (s *Server) runInference(ctx context.Context, net workload.Network, req *In
 			Input: in, Weights: ws,
 			Intercept: s.opts.Intercept,
 			Hook:      s.opts.Hook,
+			Parallel:  s.opts.InferWorkers,
 		})
 		oc.recovery = res.Recovery
 		if err != nil {
@@ -443,6 +453,7 @@ func (s *Server) runInference(ctx context.Context, net workload.Network, req *In
 		x := secure.NewExecutor()
 		x.NPU, x.DRAM = s.cfg.NPU, s.cfg.DRAM
 		x.AfterPhase = s.opts.Hook
+		x.Parallel = s.opts.InferWorkers
 		fr, err := x.Run(ctx, net, in, ws)
 		oc.recovery = fr.Recovery
 		if err != nil {

@@ -4,11 +4,17 @@
 # show up as a diff. Standard library + awk only; no external dependencies.
 #
 # Schema: top-level keys are the historical microbenchmark entries
-# (unchanged), and the serving figures nest under one "serve" key:
+# (unchanged), the serving figures nest under one "serve" key, and the
+# end-to-end secure-inference figures (serial vs parallel worker counts)
+# nest under one "infer" key:
 #
 #   {
 #     "BenchmarkEncryptBlock": {"ns_per_op": ..., ...},
 #     ...
+#     "infer": {
+#       "BenchmarkSecureInference/deep/serial": {"ns_per_op": ..., ...},
+#       ...
+#     },
 #     "serve": {
 #       "BenchmarkServeInfer": {"ns_per_op": ..., ...},
 #       ...
@@ -47,6 +53,11 @@ entries() {
 micro=$(go test -run='^$' -bench='Block|Fold|ParallelSpeedup' -benchtime=100x -benchmem \
 	. ./internal/crypto/ ./internal/mac/ | entries '  ')
 
+# End-to-end secure inference: small + deep CNNs, serial vs 8-way sharded
+# crypto. Few iterations — each op is a full encrypted, MAC-verified run.
+infer=$(go test -run='^$' -bench='SecureInference' -benchtime=5x -benchmem \
+	. | entries '    ')
+
 # Serving path: full HTTP round-trips through scheduler + secure executor.
 # Fewer iterations — each op is an entire inference.
 serve=$(go test -run='^$' -bench='Serve' -benchtime=20x -benchmem \
@@ -55,6 +66,9 @@ serve=$(go test -run='^$' -bench='Serve' -benchtime=20x -benchmem \
 {
 	echo "{"
 	printf '%s,\n' "$micro"
+	echo '  "infer": {'
+	printf '%s\n' "$infer"
+	echo "  },"
 	echo '  "serve": {'
 	printf '%s\n' "$serve"
 	echo "  }"
