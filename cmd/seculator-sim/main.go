@@ -6,9 +6,12 @@
 //
 //	seculator-sim -network ResNet18 -design Seculator
 //	seculator-sim -network VGG16 -all -layers
+//	seculator-sim -conformance 200 -seed 1
+//	seculator-sim -replay 'seed=7 oracle=vn config={...}'
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -16,6 +19,7 @@ import (
 	"strings"
 
 	"seculator"
+	"seculator/internal/conformance"
 	"seculator/internal/sim"
 )
 
@@ -27,8 +31,20 @@ func main() {
 		layers      = flag.Bool("layers", false, "print the per-layer breakdown")
 		showTrace   = flag.Bool("trace", false, "capture and summarize the memory-address trace")
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
+		confN       = flag.Int("conformance", 0, "run N seeded conformance trials through all four oracles and exit")
+		confSeed    = flag.Int64("seed", 1, "base seed for -conformance (trial i uses seed+i)")
+		replayLine  = flag.String("replay", "", "replay one conformance repro line ('seed=… oracle=… config=…', or '-' to read from stdin)")
 	)
 	flag.Parse()
+
+	if *replayLine != "" {
+		replayRepro(*replayLine)
+		return
+	}
+	if *confN > 0 {
+		runConformance(*confSeed, *confN)
+		return
+	}
 
 	net, err := seculator.NetworkByName(*networkName)
 	if err != nil {
@@ -137,6 +153,51 @@ func printResult(r, base seculator.Result, cfg seculator.Config, layers bool) {
 				l.Utilization*100, bound)
 		}
 	}
+}
+
+// runConformance drives n seeded trials through the four-oracle battery.
+// Any failure prints its minimized one-line repro and the process exits 1.
+func runConformance(base int64, n int) {
+	fmt.Printf("conformance: %d trials, seeds %d..%d, oracles: %s %s %s %s\n",
+		n, base, base+int64(n)-1, conformance.OracleVN, conformance.OracleCrossScheme,
+		conformance.OracleSerialParallel, conformance.OracleAttack)
+	fails := conformance.Run(base, n, func(done int, f *conformance.Failure) {
+		if f != nil {
+			fmt.Printf("FAIL %s\n", f.ReproLine())
+			fmt.Printf("     %v\n", f.Err)
+		}
+		if done%50 == 0 {
+			fmt.Printf("  %d/%d trials done\n", done, n)
+		}
+	})
+	if len(fails) > 0 {
+		fatalf("conformance: %d/%d trials failed (repro lines above replay with -replay)", len(fails), n)
+	}
+	fmt.Printf("conformance: all %d trials passed\n", n)
+}
+
+// replayRepro re-executes one repro line deterministically.
+func replayRepro(line string) {
+	if line == "-" {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		if !sc.Scan() {
+			fatalf("replay: no repro line on stdin")
+		}
+		line = sc.Text()
+	}
+	cfg, oracle, err := conformance.ParseRepro(line)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := conformance.Replay(cfg, oracle); err != nil {
+		fatalf("replay: failure reproduces: %v", err)
+	}
+	which := oracle
+	if which == "" {
+		which = "all oracles"
+	}
+	fmt.Printf("replay: seed=%d passes %s\n", cfg.Seed, which)
 }
 
 func designByName(name string) (seculator.Design, error) {

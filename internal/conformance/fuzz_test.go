@@ -1,0 +1,106 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"seculator/internal/attack"
+)
+
+// orderPerms are the six permutations of the three tile loops.
+var orderPerms = []string{"SCK", "SKC", "CSK", "CKS", "KSC", "KCS"}
+
+// mapSpecFromFuzz decodes raw fuzz bytes into a bounded MapSpec. Every
+// input maps to some spec (possibly structurally invalid — CheckVN skips
+// those), and the bounds are clamped small enough that one enumeration
+// stays trivially cheap.
+func mapSpecFromFuzz(reuse, orderSel, aHW, aC, aK, ifb, ofb, wb, flags uint8) MapSpec {
+	s := MapSpec{
+		Reuse:    int(reuse % 3),
+		AlphaHW:  1 + int(aHW%6),
+		AlphaC:   1 + int(aC%6),
+		AlphaK:   1 + int(aK%6),
+		IfBlocks: int(ifb % 4),
+		OfBlocks: 1 + int(ofb%4),
+		WBlocks:  int(wb % 4),
+	}
+	s.Resident = flags&1 != 0 && s.WBlocks > 0
+	s.PerChannel = flags&2 != 0
+	perm := orderPerms[int(orderSel)%len(orderPerms)]
+	bounds := map[byte]int{'S': s.AlphaHW, 'C': s.AlphaC, 'K': s.AlphaK}
+	var b strings.Builder
+	for i := 0; i < len(perm); i++ {
+		// flags bits 2–4 drop bound-1 loops from the order; loops with
+		// bound > 1 must stay or the mapping is invalid and gets skipped.
+		if bounds[perm[i]] > 1 || flags&(4<<i) == 0 {
+			b.WriteByte(perm[i])
+		}
+	}
+	s.Order = b.String()
+	return s
+}
+
+// FuzzVNMasterEquation fuzzes the VN oracle: for every reachable mapping
+// the ⟨η,κ,ρ⟩ FSM replay, the first-read predicates, the triplet round
+// trip, and the analytic traffic estimate must agree with the enumerated
+// event stream.
+func FuzzVNMasterEquation(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(1), uint8(0), uint8(1), uint8(0))
+	f.Add(uint8(2), uint8(5), uint8(2), uint8(1), uint8(1), uint8(0), uint8(1), uint8(2), uint8(3))
+	f.Add(uint8(1), uint8(3), uint8(4), uint8(1), uint8(3), uint8(2), uint8(2), uint8(0), uint8(2))
+	f.Add(uint8(0), uint8(2), uint8(0), uint8(1), uint8(0), uint8(1), uint8(3), uint8(1), uint8(28))
+	f.Fuzz(func(t *testing.T, reuse, orderSel, aHW, aC, aK, ifb, ofb, wb, flags uint8) {
+		ms := mapSpecFromFuzz(reuse, orderSel, aHW, aC, aK, ifb, ofb, wb, flags)
+		if err := CheckVN(ms); err != nil {
+			cfg := Generate(0)
+			cfg.Mapping = ms
+			t.Fatalf("%v\nrepro: %s", err, (&Failure{Seed: 0, Oracle: OracleVN, Config: cfg}).ReproLine())
+		}
+	})
+}
+
+// FuzzSchemeEquivalence fuzzes one detection-matrix row at a random
+// scenario shape: all five schemes must agree on honest plaintexts and
+// split exactly into silently-corrupting Baseline vs. detecting designs.
+func FuzzSchemeEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(4), uint8(1))
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(0))
+	f.Add(uint8(7), uint8(5), uint8(3), uint8(4))
+	f.Fuzz(func(t *testing.T, tiles, versions, bpt, atkSel uint8) {
+		scn := attack.Scenario{
+			Tiles:         2 + int(tiles%7),
+			Versions:      2 + int(versions%5),
+			BlocksPerTile: 1 + int(bpt%4),
+			Secret:        0x5ec0_1a70,
+			BootRandom:    uint64(tiles)<<8 | uint64(versions) + 1,
+		}
+		atks := attack.MatrixAttacks()
+		atk := atks[int(atkSel)%len(atks)]
+		if err := CheckMatrixRow(scn, atk); err != nil {
+			t.Fatalf("scenario %+v: %v", scn, err)
+		}
+	})
+}
+
+// FuzzAttackDetection fuzzes the attack oracle end to end: a randomized
+// mutation (tamper / swap / splice / stale replay) against both the
+// functional scenario and the full secure executor must always be detected,
+// and the honest runs must always pass.
+func FuzzAttackDetection(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(1), uint8(9), uint8(5))
+	f.Add(int64(17), uint8(1), uint8(3), uint8(7), uint8(0), uint8(0))
+	f.Add(int64(123), uint8(4), uint8(200), uint8(14), uint8(63), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, kind, blockSel, block2Sel, byteSel, bitSel uint8) {
+		cfg := Generate(seed)
+		cfg.Attack = AttackSpec{
+			Kind:   int(kind % atkKinds),
+			Block:  int(blockSel),
+			Block2: int(block2Sel),
+			Byte:   int(byteSel % 64),
+			Bit:    int(bitSel % 8),
+		}
+		if err := CheckAttackDetection(cfg); err != nil {
+			t.Fatalf("%v\nrepro: %s", err, (&Failure{Seed: seed, Oracle: OracleAttack, Config: cfg}).ReproLine())
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package conformance
+
+import "strings"
+
+// Shrink minimizes a failing config: it repeatedly applies the first
+// structure-reducing mutation that keeps the check failing, until no
+// mutation helps (greedy fixpoint, deterministic, bounded). The result is
+// the config embedded in the repro line, so smaller is directly better for
+// whoever has to debug it.
+func Shrink(cfg Config, check func(Config) error) Config {
+	cur := cfg
+	for round := 0; round < 64; round++ {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			if equalConfig(cand, cur) || !smaller(cand, cur) {
+				continue
+			}
+			if check(cand) != nil {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+	return cur
+}
+
+func equalConfig(a, b Config) bool { return a.ReproJSONEqual(b) }
+
+// ReproJSONEqual compares two configs by their repro payloads.
+func (c Config) ReproJSONEqual(o Config) bool {
+	return (&Failure{Config: c}).ReproLine() == (&Failure{Config: o}).ReproLine()
+}
+
+// weight scores a config's size so the shrinker only ever moves downhill
+// (guaranteeing termination even with compound mutations).
+func weight(c Config) int {
+	w := c.Mapping.AlphaHW + c.Mapping.AlphaC + c.Mapping.AlphaK +
+		c.Mapping.IfBlocks + c.Mapping.OfBlocks + c.Mapping.WBlocks +
+		len(c.Mapping.Order) + c.Scenario.Tiles + c.Scenario.Versions +
+		c.Scenario.BlocksPerTile + c.Attack.Block + c.Attack.Block2 +
+		c.Attack.Byte + c.Attack.Bit
+	if c.Mapping.Resident {
+		w++
+	}
+	if c.Mapping.PerChannel {
+		w++
+	}
+	for _, l := range c.Net.Layers {
+		w += 8 + l.C + l.H + l.W + l.K + l.R + l.S + l.Stride
+		if l.Valid {
+			w++
+		}
+	}
+	return w
+}
+
+func smaller(a, b Config) bool { return weight(a) < weight(b) }
+
+// halve steps an integer toward a floor without jumping past intermediate
+// values that may be load-bearing (v, v/2, …, floor).
+func halve(v, floor int) int {
+	if v <= floor {
+		return v
+	}
+	h := v / 2
+	if h < floor {
+		h = floor
+	}
+	return h
+}
+
+// shrinkCandidates proposes one-step reductions, cheapest-to-check first.
+func shrinkCandidates(c Config) []Config {
+	var out []Config
+	add := func(m Config) { out = append(out, m) }
+
+	// Attack coordinates toward zero.
+	if c.Attack.Block != 0 || c.Attack.Block2 != 0 || c.Attack.Byte != 0 || c.Attack.Bit != 0 {
+		m := c
+		m.Attack.Block = halve(c.Attack.Block, 0)
+		m.Attack.Block2 = halve(c.Attack.Block2, 0)
+		m.Attack.Byte = halve(c.Attack.Byte, 0)
+		m.Attack.Bit = 0
+		add(m)
+	}
+
+	// Scenario toward the minimal legal shape.
+	if c.Scenario.Tiles > 2 || c.Scenario.Versions > 2 || c.Scenario.BlocksPerTile > 1 {
+		m := c
+		m.Scenario.Tiles = halve(c.Scenario.Tiles, 2)
+		m.Scenario.Versions = halve(c.Scenario.Versions, 2)
+		m.Scenario.BlocksPerTile = halve(c.Scenario.BlocksPerTile, 1)
+		add(m)
+	}
+
+	// Mapping: flags off, tile blocks down, each loop bound down (removing
+	// the loop from the order once its bound hits 1).
+	if c.Mapping.Resident {
+		m := c
+		m.Mapping.Resident = false
+		add(m)
+	}
+	if c.Mapping.PerChannel {
+		m := c
+		m.Mapping.PerChannel = false
+		add(m)
+	}
+	if c.Mapping.IfBlocks > 0 {
+		m := c
+		m.Mapping.IfBlocks = halve(c.Mapping.IfBlocks, 0)
+		add(m)
+	}
+	if c.Mapping.WBlocks > 0 {
+		m := c
+		m.Mapping.WBlocks = halve(c.Mapping.WBlocks, 0)
+		if m.Mapping.WBlocks == 0 {
+			m.Mapping.Resident = false
+		}
+		add(m)
+	}
+	if c.Mapping.OfBlocks > 1 {
+		m := c
+		m.Mapping.OfBlocks = halve(c.Mapping.OfBlocks, 1)
+		add(m)
+	}
+	for _, v := range []struct {
+		get func(*MapSpec) *int
+		ch  byte
+	}{
+		{func(s *MapSpec) *int { return &s.AlphaHW }, 'S'},
+		{func(s *MapSpec) *int { return &s.AlphaC }, 'C'},
+		{func(s *MapSpec) *int { return &s.AlphaK }, 'K'},
+	} {
+		if *v.get(&c.Mapping) > 1 {
+			m := c
+			p := v.get(&m.Mapping)
+			*p = halve(*p, 1)
+			if *p == 1 {
+				// Two variants: drop the now-bound-1 loop, or keep it
+				// listed (legal, and sometimes the failure needs it).
+				drop := m
+				drop.Mapping.Order = strings.ReplaceAll(m.Mapping.Order, string(v.ch), "")
+				add(drop)
+			}
+			add(m)
+		} else if strings.ContainsRune(c.Mapping.Order, rune(v.ch)) {
+			// Bound-1 loop listed in the order: try dropping it.
+			m := c
+			m.Mapping.Order = strings.ReplaceAll(c.Mapping.Order, string(v.ch), "")
+			add(m)
+		}
+	}
+
+	// Network: drop trailing layers, then shrink the first layer's dims.
+	// (Dropping from the tail keeps the chain valid; dim shrinks may break
+	// chaining, which Validate catches — the oracle then skips, the check
+	// passes, and the shrinker discards the candidate.)
+	if len(c.Net.Layers) > 1 {
+		m := c
+		m.Net.Layers = append([]LayerSpec(nil), c.Net.Layers[:len(c.Net.Layers)-1]...)
+		add(m)
+	}
+	if len(c.Net.Layers) > 0 {
+		l := c.Net.Layers[0]
+		for _, mut := range []func(*LayerSpec){
+			func(l *LayerSpec) { l.H = halve(l.H, 1); l.W = halve(l.W, 1) },
+			func(l *LayerSpec) { l.C = halve(l.C, 1) },
+			func(l *LayerSpec) { l.K = halve(l.K, 1) },
+			func(l *LayerSpec) { l.R = halve(l.R, 1); l.S = halve(l.S, 1) },
+			func(l *LayerSpec) { l.Stride = 1 },
+			func(l *LayerSpec) { l.Valid = false },
+		} {
+			m := c
+			m.Net.Layers = append([]LayerSpec(nil), c.Net.Layers...)
+			nl := l
+			mut(&nl)
+			if nl == l {
+				continue
+			}
+			m.Net.Layers[0] = nl
+			add(m)
+		}
+	}
+	return out
+}

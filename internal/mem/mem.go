@@ -21,6 +21,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"seculator/internal/sim"
 	"seculator/internal/tensor"
@@ -302,6 +303,25 @@ func (d *DRAM) Restore(lineAddr uint64, payload []byte) bool {
 	}
 	copy(buf, payload)
 	return true
+}
+
+// ForEachLine visits every written line in ascending address order with its
+// stored payload (reserved-but-never-written lines are skipped, matching
+// Peek's attacker view). The payload slice aliases the store, like Peek's;
+// callers that only hash or compare must not retain it. The deterministic
+// order makes whole-memory digests comparable across runs — the conformance
+// harness uses it to assert ciphertext bit-identity across worker counts.
+func (d *DRAM) ForEachLine(fn func(lineAddr uint64, data []byte)) {
+	addrs := make([]uint64, 0, len(d.store))
+	for a := range d.store {
+		if d.lineExists(a) {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fn(a, d.store[a])
+	}
 }
 
 // Lines returns the number of distinct lines ever written (reserved but

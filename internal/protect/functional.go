@@ -169,6 +169,26 @@ func (m *SeculatorMemory) VerifyRereads(sweeps int) error {
 // layer's outputs when it consumes them directly.
 func (m *SeculatorMemory) FinalOutputMAC() mac.Digest { return m.checker.FinalW() }
 
+// RegisterState is a read-only snapshot of the four XOR-MAC registers of the
+// bank accumulating the current layer, with their fold counts — the
+// observable architectural state of the MAC unit at a layer boundary. The
+// commutative XOR fold makes every field bit-identical across worker counts;
+// the conformance harness asserts exactly that.
+type RegisterState struct {
+	W, R, FR, IR                     mac.Digest
+	WFolds, RFolds, FRFolds, IRFolds uint64
+}
+
+// RegisterSnapshot captures the current bank's four XOR-MAC registers with
+// their fold counts (Registers returns the values alone).
+func (m *SeculatorMemory) RegisterSnapshot() RegisterState {
+	b := m.checker.Current()
+	return RegisterState{
+		W: b.W.Value(), R: b.R.Value(), FR: b.FR.Value(), IR: b.IR.Value(),
+		WFolds: b.W.Folds(), RFolds: b.R.Folds(), FRFolds: b.FR.Folds(), IRFolds: b.IR.Folds(),
+	}
+}
+
 // GoldenInputMAC computes the XOR-MAC a host would supply for data it wrote
 // itself: the fold of the block MACs of `blocks` plaintext blocks written
 // under (layer, fmapID) with the given vn, at consecutive block indices.

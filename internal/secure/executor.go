@@ -47,6 +47,38 @@ const intsPerBlock = tensor.BlockBytes / 4
 // (before the next layer, or before host readout for the last).
 type Hook func(phase int, d *mem.DRAM)
 
+// Region is one contiguous block range of the executor's DRAM layout.
+type Region struct {
+	Base   uint64
+	Blocks int
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+uint64(r.Blocks)
+}
+
+// PlanInfo describes the run's address-space layout: the layer-0 input
+// region followed by each layer's output-activation and weight regions,
+// all contiguous from line 0. Attack harnesses use it to aim mutations at
+// blocks the protection protocol is guaranteed to consume (every weight
+// block is read by its layer, every final-output block by the host
+// readout), so detection claims carry no false negatives.
+type PlanInfo struct {
+	Input   Region
+	Acts    []Region // per layer: its output activation region
+	Weights []Region // per layer: its weight region (Blocks == 0 for pools)
+}
+
+// Final returns the last layer's output region — the blocks the host
+// readout first-reads in full.
+func (p PlanInfo) Final() Region {
+	if len(p.Acts) == 0 {
+		return Region{}
+	}
+	return p.Acts[len(p.Acts)-1]
+}
+
 // Executor drives the functional execution.
 type Executor struct {
 	NPU    npu.Config
@@ -56,6 +88,18 @@ type Executor struct {
 
 	// AfterPhase, when non-nil, is the attacker hook.
 	AfterPhase Hook
+
+	// OnPlan, when non-nil, receives the address-space layout right after
+	// planning, before anything is written — the targeting information an
+	// in-position attacker (or the conformance attack fuzzer) works from.
+	OnPlan func(PlanInfo)
+
+	// OnLayerMACs, when non-nil, observes the four XOR-MAC registers of the
+	// bank accumulating layer `phase` right after that layer's event stream
+	// and verification close (phase i >= 0), and of the readout epoch's bank
+	// with phase == Layers. The serial/parallel equivalence oracle compares
+	// these snapshots across worker counts bit for bit.
+	OnLayerMACs func(phase int, regs protect.RegisterState)
 
 	// Injector, when non-nil, is installed on the DRAM read/write paths —
 	// the fault-injection attachment point (package fault).
@@ -205,6 +249,9 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 	if err != nil {
 		return Result{}, err
 	}
+	if x.OnPlan != nil {
+		x.OnPlan(planInfo(states, inputLayout))
+	}
 	if rt.parallelOn() {
 		// Pre-allocate every line the run will touch so the store map is
 		// read-only during sharded execution (mem.DRAM.Reserve).
@@ -274,6 +321,9 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 		}
 		producer = st.act
 		producerData = st.out
+		if x.OnLayerMACs != nil {
+			x.OnLayerMACs(i, sm.RegisterSnapshot())
+		}
 		x.hook(i, dram)
 	}
 
@@ -294,6 +344,9 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 	}
 	if err := x.recoverLoop(ctx, readAttempt, &stats); err != nil {
 		return Result{Recovery: stats}, err
+	}
+	if x.OnLayerMACs != nil {
+		x.OnLayerMACs(len(states), sm.RegisterSnapshot())
 	}
 	return Result{Output: out, OutputMAC: outputMAC, Layers: len(states),
 		Blocks: dram.Lines(), Recovery: stats}, nil
@@ -404,6 +457,21 @@ func (x *Executor) plan(net workload.Network, weights []*nn.Weights) ([]layerSta
 		states[i] = st
 	}
 	return states, inputLayout, next, nil
+}
+
+// planInfo flattens the planned layout into the public PlanInfo view.
+func planInfo(states []layerState, input actLayout) PlanInfo {
+	p := PlanInfo{Input: Region{Base: input.base, Blocks: input.blocks()}}
+	for i := range states {
+		st := &states[i]
+		p.Acts = append(p.Acts, Region{Base: st.act.base, Blocks: st.act.blocks()})
+		var w Region
+		if st.wl.sliceBlocks > 0 {
+			w = Region{Base: st.wl.base, Blocks: st.wl.k * st.wl.cGroups * st.wl.sliceBlocks}
+		}
+		p.Weights = append(p.Weights, w)
+	}
+	return p
 }
 
 // loadInput host-writes the encrypted layer-0 input, sharded across the

@@ -1,0 +1,174 @@
+package secure_test
+
+import (
+	"context"
+	"testing"
+
+	"seculator/internal/mem"
+	"seculator/internal/secure"
+)
+
+// anchorFlip injects one transient bit flip per layer attempt, for a
+// bounded number of attempts: the first read after Arm() names the anchor
+// address, and because a restarted layer re-fetches its working set in the
+// same deterministic order, every subsequent attempt re-reads the anchor.
+// Each anchor read within budget gets (after skipping `delay` further
+// reads) a single-bit corruption — delay 0 faults the fetch itself, a
+// positive delay lands the fault in the middle of the recovery re-fetch.
+type anchorFlip struct {
+	armed      bool
+	haveAnchor bool
+	anchor     uint64
+	budget     int // flips remaining
+	delay      int // reads to skip after an anchor read before flipping
+	pending    int // countdown when a flip is scheduled
+	scheduled  bool
+	fires      int
+	attempts   int       // anchor reads seen (== layer attempts reached)
+	onFire     func(int) // optional: observe each fire (receives new count)
+}
+
+func (f *anchorFlip) Arm(budget, delay int) {
+	f.armed = true
+	f.budget = budget
+	f.delay = delay
+}
+
+func (f *anchorFlip) OnRead(addr uint64, data []byte) {
+	if !f.armed {
+		return
+	}
+	if !f.haveAnchor {
+		f.haveAnchor = true
+		f.anchor = addr
+	}
+	if addr == f.anchor {
+		f.attempts++
+		if f.budget > 0 && !f.scheduled {
+			f.scheduled = true
+			f.pending = f.delay
+			f.budget--
+		}
+	}
+	if f.scheduled {
+		if f.pending > 0 {
+			f.pending--
+			return
+		}
+		data[0] ^= 0x01
+		f.scheduled = false
+		f.fires++
+		if f.onFire != nil {
+			f.onFire(f.fires)
+		}
+	}
+}
+
+func (f *anchorFlip) OnWrite(uint64, []byte) {}
+
+var _ mem.Injector = (*anchorFlip)(nil)
+
+// TestDoubleFaultSameLayerRecovered: two independent transient faults hit
+// the same layer on successive attempts — the first mid-execution, the
+// second during the recovery re-execution. Both must be detected, cost one
+// retry each, and the third attempt must complete bit-identical to the
+// reference with no breach latched.
+func TestDoubleFaultSameLayerRecovered(t *testing.T) {
+	net := twoConvNet()
+	in, ws, golden := modelAndGolden(t, net, 3)
+
+	inj := &anchorFlip{}
+	x := secure.NewExecutor()
+	x.Injector = inj
+	x.AfterPhase = func(phase int, _ *mem.DRAM) {
+		if phase == 0 {
+			inj.Arm(2, 0) // two faults, each on the attempt's anchor fetch
+		}
+	}
+	res, err := x.Run(context.Background(), net, in, ws)
+	if err != nil {
+		t.Fatalf("double transient aborted the run: %v", err)
+	}
+	if inj.fires != 2 {
+		t.Fatalf("injector fired %d times, want 2", inj.fires)
+	}
+	if inj.attempts < 3 {
+		t.Fatalf("layer reached %d attempts, want at least 3 (two faulted + one clean)", inj.attempts)
+	}
+	if res.Recovery.Retries != 2 {
+		t.Fatalf("recovery spent %d retries, want 2 (one per fault): %+v", res.Recovery.Retries, res.Recovery)
+	}
+	if res.Recovery.Recovered != 1 {
+		t.Fatalf("recovered %d layers, want exactly the one twice-hit layer: %+v", res.Recovery.Recovered, res.Recovery)
+	}
+	if res.Recovery.Breached || res.Recovery.Persistent != 0 {
+		t.Fatalf("transient double fault latched a breach: %+v", res.Recovery)
+	}
+	if !res.Output.Equal(golden) {
+		t.Fatal("recovered output differs from the reference")
+	}
+}
+
+// TestFaultDuringRecoveryRecovered: the first fault triggers a layer
+// restart; the second lands deep inside the recovery re-fetch itself (many
+// reads after the retry's anchor fetch). Recovery must stack: detect again,
+// restart again, and still converge to the reference output.
+func TestFaultDuringRecoveryRecovered(t *testing.T) {
+	net := twoConvNet()
+	in, ws, golden := modelAndGolden(t, net, 7)
+
+	inj := &anchorFlip{}
+	first := true
+	x := secure.NewExecutor()
+	x.Injector = inj
+	x.AfterPhase = func(phase int, _ *mem.DRAM) {
+		if phase == 0 && first {
+			first = false
+			inj.Arm(1, 0) // fault 1: corrupt the next layer's first fetch
+		}
+	}
+	res, err := x.Run(context.Background(), net, in, ws)
+	if err != nil {
+		t.Fatalf("priming fault aborted the run: %v", err)
+	}
+	if inj.fires != 1 || res.Recovery.Retries != 1 {
+		t.Fatalf("priming run: fires=%d stats=%+v", inj.fires, res.Recovery)
+	}
+
+	// Now the real scenario: same workload, but after the first detection
+	// the retry is hit again mid-re-fetch (25 reads past its anchor).
+	inj2 := &anchorFlip{}
+	armedRecovery := false
+	x2 := secure.NewExecutor()
+	x2.Injector = inj2
+	x2.AfterPhase = func(phase int, _ *mem.DRAM) {
+		if phase == 0 && !armedRecovery {
+			armedRecovery = true
+			inj2.Arm(2, 0)
+			inj2.delay = 0 // fault 1 on the anchor fetch of attempt 1
+		}
+	}
+	// Switch the delay after the first fire so the second fault lands deep
+	// in the recovery attempt rather than on its first fetch.
+	inj2.onFire = func(fires int) {
+		if fires == 1 {
+			inj2.delay = 25
+		}
+	}
+	res2, err := x2.Run(context.Background(), net, in, ws)
+	if err != nil {
+		t.Fatalf("fault during recovery aborted the run: %v", err)
+	}
+	if inj2.fires != 2 {
+		t.Fatalf("injector fired %d times, want 2", inj2.fires)
+	}
+	if res2.Recovery.Retries != 2 || res2.Recovery.Recovered != 1 {
+		t.Fatalf("recovery stats %+v, want 2 retries on the one layer", res2.Recovery)
+	}
+	if res2.Recovery.Breached || res2.Recovery.Persistent != 0 {
+		t.Fatalf("stacked transients latched a breach: %+v", res2.Recovery)
+	}
+	if !res2.Output.Equal(golden) {
+		t.Fatal("output after fault-during-recovery differs from the reference")
+	}
+}

@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"seculator/internal/serve"
+)
+
+// metricValue extracts one sample from a /metrics scrape. Labeled families
+// are summed across label sets when name has no label selector.
+func metricValue(t *testing.T, scrape, name string) float64 {
+	t.Helper()
+	v, ok := metricLookup(t, scrape, name)
+	if !ok {
+		t.Fatalf("metric %s missing from scrape:\n%s", name, scrape)
+	}
+	return v
+}
+
+func metricLookup(t *testing.T, scrape, name string) (float64, bool) {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // prefix of a longer metric name
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	return sum, found
+}
+
+// TestMetricsConcurrentScrapeConsistency hammers /v1/infer and /metrics
+// concurrently (the interesting schedule under -race: renders interleaving
+// with counter updates mid-batch), asserts every monotone counter only ever
+// moves forward across each scraper's observations, and finally checks the
+// quiesced counters line up exactly with the work performed.
+func TestMetricsConcurrentScrapeConsistency(t *testing.T) {
+	_, c := newTestServer(t, serve.Options{})
+	ctx := ctxT(t)
+
+	const inferWorkers = 4
+	const infersPerWorker = 8
+	const scrapeWorkers = 3
+
+	monotone := []string{
+		"seculator_serve_requests_total",
+		"seculator_serve_infer_ok_total",
+		"seculator_serve_infer_latency_ms_total",
+		"seculator_serve_batches_total",
+		"seculator_serve_batch_items_total",
+	}
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for w := 0; w < scrapeWorkers; w++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			last := make(map[string]float64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scrape, err := c.Metrics(ctx)
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				for _, name := range monotone {
+					// A family with no samples yet (e.g. requests_total
+					// before the first response) reads as zero.
+					v, _ := metricLookup(t, scrape, name)
+					if v < last[name] {
+						t.Errorf("%s went backwards: %v -> %v", name, last[name], v)
+					}
+					last[name] = v
+				}
+			}
+		}()
+	}
+
+	var infers sync.WaitGroup
+	errc := make(chan error, inferWorkers)
+	for w := 0; w < inferWorkers; w++ {
+		infers.Add(1)
+		go func(w int) {
+			defer infers.Done()
+			for i := 0; i < infersPerWorker; i++ {
+				if _, err := c.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(w*1000 + i)}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	infers.Wait()
+	close(stop)
+	scrapers.Wait()
+	select {
+	case err := <-errc:
+		t.Fatalf("infer: %v", err)
+	default:
+	}
+
+	// Quiesced consistency: everything submitted succeeded, so the counters
+	// must line up exactly with the load.
+	scrape, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(inferWorkers * infersPerWorker)
+	if ok := metricValue(t, scrape, "seculator_serve_infer_ok_total"); ok != total {
+		t.Errorf("infer_ok_total = %v, want %v", ok, total)
+	}
+	if items := metricValue(t, scrape, "seculator_serve_batch_items_total"); items != total {
+		t.Errorf("batch_items_total = %v, want %v", items, total)
+	}
+	if ok200 := metricValue(t, scrape, `seculator_serve_requests_total{code="200"}`); ok200 != total {
+		t.Errorf(`requests_total{code="200"} = %v, want %v`, ok200, total)
+	}
+	batches := metricValue(t, scrape, "seculator_serve_batches_total")
+	if batches < 1 || batches > total {
+		t.Errorf("batches_total = %v, want within [1, %v]", batches, total)
+	}
+	maxBatch := metricValue(t, scrape, "seculator_serve_batch_max_size")
+	if maxBatch < 1 || maxBatch > total {
+		t.Errorf("batch_max_size = %v out of range", maxBatch)
+	}
+	// items = Σ batch sizes ⇒ the average size cannot exceed the max seen.
+	if avg := total / batches; avg > maxBatch {
+		t.Errorf("average batch size %v exceeds batch_max_size %v", avg, maxBatch)
+	}
+	if lat := metricValue(t, scrape, "seculator_serve_infer_latency_ms_total"); lat < 0 {
+		t.Errorf("negative latency sum %v", lat)
+	}
+	if q := metricValue(t, scrape, "seculator_serve_infer_queue_ms_total"); q < 0 {
+		t.Errorf("negative queue sum %v", q)
+	}
+}

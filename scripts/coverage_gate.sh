@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Coverage gate for the crypto/verification core. Fails if `go test -cover`
+# for any gated package drops below the floor recorded when the gate was
+# introduced (measured values at the time: secure 87.8%, mac 68.7%,
+# vngen 97.5% — floors sit a hair below to absorb formatting-level drift,
+# not real coverage loss).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A floor=(
+  [seculator/internal/secure]=87.0
+  [seculator/internal/mac]=68.0
+  [seculator/internal/vngen]=97.0
+)
+
+fail=0
+for pkg in "${!floor[@]}"; do
+  out=$(go test -cover "$pkg")
+  echo "$out"
+  pct=$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
+  if [ -z "$pct" ]; then
+    echo "coverage_gate: no coverage figure for $pkg" >&2
+    fail=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="${floor[$pkg]}" 'BEGIN { exit !(p < f) }'; then
+    echo "coverage_gate: $pkg at ${pct}% is below the ${floor[$pkg]}% floor" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "coverage_gate: FAILED — raise the tests, not the floor" >&2
+  exit 1
+fi
+echo "coverage_gate: all floors held"
