@@ -11,16 +11,26 @@
 //	seculator-serve -infer-parallel 8           # shard each request's crypto
 //	seculator-serve -loadgen -rps 200 -duration 5s -network Mini
 //	seculator-serve -loadgen -target http://host:8080 -rps 100
+//	seculator-serve -tenants tenants.json       # multi-tenant front
+//	seculator-serve -snapshot-key $KEY          # stable session-snapshot sealing
+//	seculator-serve -chaos -seed 1 -duration 1s # seeded fault campaign, exit 0/1
 //	seculator-serve -smoke                   # start, one round-trip, drain
 //
 // -loadgen without -target starts an in-process server, drives it at the
 // requested rate, prints p50/p95/p99 latency and sustained RPS, and exits.
+// -tenants takes a path to (or an inline) JSON array of tenant configs
+// ({"key","name","weight","rate_rps","burst","max_pending"}); without it
+// the server runs single-tenant and unauthenticated as before.
+// -chaos runs the three-phase isolation campaign from the chaos package
+// (honest + slow + adversarial tenants, mid-attack restart) and exits
+// non-zero if any isolation invariant is violated.
 // -smoke is the CI mode: start, one session round-trip verified against
 // the reference computation, graceful shutdown.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,11 +38,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"seculator"
 	"seculator/internal/serve"
+	"seculator/internal/serve/chaos"
 	"seculator/internal/serve/client"
 	"seculator/internal/serve/loadgen"
 )
@@ -48,12 +60,20 @@ func main() {
 		idle    = flag.Duration("session-idle", 5*time.Minute, "session idle expiry")
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 
+		tenants = flag.String("tenants", "", "tenant registry: path to, or inline, JSON array of tenant configs (empty = single anonymous tenant)")
+		snapKey = flag.String("snapshot-key", "", "session-snapshot sealing key (empty = random per process; set it so snapshots survive restarts)")
+
+		doChaos = flag.Bool("chaos", false, "run the seeded isolation campaign instead of serving; exit 1 on violations")
+		seed    = flag.Int64("seed", 1, "chaos: campaign seed")
+		restart = flag.Bool("restart", true, "chaos: kill and restore the server mid-attack")
+
 		doLoad   = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadgen target base URL (empty = in-process server)")
 		rps      = flag.Float64("rps", 100, "loadgen target arrival rate")
 		duration = flag.Duration("duration", 3*time.Second, "loadgen run length")
 		network  = flag.String("network", "Mini", "loadgen network")
 		sessions = flag.Bool("sessions", false, "loadgen: bind requests to a secure session")
+		apiKey   = flag.String("api-key", "", "loadgen: API key sent with every request (for tenant-gated targets)")
 
 		smoke = flag.Bool("smoke", false, "start, one verified round-trip, graceful drain, exit")
 	)
@@ -70,14 +90,28 @@ func main() {
 		DefaultTimeout: *timeout,
 		InferWorkers:   *inferP,
 	}
+	if *tenants != "" {
+		tcs, err := loadTenants(*tenants)
+		if err != nil {
+			fail(err)
+		}
+		opts.Tenants = tcs
+	}
+	if *snapKey != "" {
+		opts.SnapshotKey = []byte(*snapKey)
+	}
 
 	switch {
 	case *smoke:
 		if err := runSmoke(opts); err != nil {
 			fail(err)
 		}
+	case *doChaos:
+		if err := runChaos(opts, *seed, *duration, *restart); err != nil {
+			fail(err)
+		}
 	case *doLoad:
-		if err := runLoadgen(opts, *target, loadgen.Options{
+		if err := runLoadgen(opts, *target, *apiKey, loadgen.Options{
 			RPS: *rps, Duration: *duration, Network: *network, Sessions: *sessions,
 		}); err != nil {
 			fail(err)
@@ -92,6 +126,77 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "seculator-serve: %v\n", err)
 	os.Exit(1)
+}
+
+// loadTenants parses the -tenants argument: a path to a JSON file, or the
+// JSON array itself.
+func loadTenants(arg string) ([]serve.TenantConfig, error) {
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "[") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("tenants: %w", err)
+		}
+		data = b
+	}
+	var tcs []serve.TenantConfig
+	if err := json.Unmarshal(data, &tcs); err != nil {
+		return nil, fmt.Errorf("tenants: %w", err)
+	}
+	for i, tc := range tcs {
+		if tc.Key == "" {
+			return nil, fmt.Errorf("tenants: entry %d has no key", i)
+		}
+	}
+	return tcs, nil
+}
+
+// runChaos drives the three-phase isolation campaign against an
+// in-process server and exits non-zero on any invariant violation. The
+// scheduler shape comes from the serving flags; the tenant cast is fixed
+// (honest on sessions, slow, adversarial at 2x its rate limit) so the
+// campaign always exercises every fault class.
+func runChaos(opts serve.Options, seed int64, phase time.Duration, restart bool) error {
+	res, err := chaos.Run(context.Background(), chaos.Options{
+		Seed: seed,
+		Plans: []chaos.TenantPlan{
+			{
+				Tenant:   serve.TenantConfig{Key: "k-good", Name: "good", Weight: 2, RateRPS: 200, Burst: 50, MaxPending: 64},
+				RPS:      30,
+				Sessions: true,
+			},
+			{
+				Tenant:           serve.TenantConfig{Key: "k-slow", Name: "slow", Weight: 1, RateRPS: 200, Burst: 50, MaxPending: 64},
+				RPS:              10,
+				SlowEveryLayerMs: 2,
+			},
+			{
+				Tenant:      serve.TenantConfig{Key: "k-evil", Name: "evil", Weight: 1, RateRPS: 40, Burst: 10, MaxPending: 64},
+				RPS:         20,
+				Adversarial: true,
+			},
+		},
+		Scheduler: opts.Scheduler,
+		Quarantine: serve.QuarantineConfig{
+			ThrottleAfter: 1, OpenAfter: 3, Window: time.Minute,
+			OpenFor: 50 * time.Millisecond, MaxOpenFor: 300 * time.Millisecond,
+			ThrottleRPS: 1000, ThrottleBurst: 1000, ProbeSuccesses: 2,
+		},
+		SnapshotKey: opts.SnapshotKey,
+		PhaseFor:    phase,
+		Restart:     restart,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	if !res.Ok() {
+		return fmt.Errorf("chaos: %d isolation violations", len(res.Violations))
+	}
+	return nil
 }
 
 // runServer serves until SIGTERM/SIGINT, then drains: the listener closes,
@@ -157,7 +262,7 @@ func startInProcess(opts serve.Options) (string, func() error, error) {
 	return "http://" + ln.Addr().String(), drain, nil
 }
 
-func runLoadgen(opts serve.Options, target string, lopts loadgen.Options) error {
+func runLoadgen(opts serve.Options, target, apiKey string, lopts loadgen.Options) error {
 	base := target
 	drain := func() error { return nil }
 	if base == "" {
@@ -169,6 +274,9 @@ func runLoadgen(opts serve.Options, target string, lopts loadgen.Options) error 
 		fmt.Printf("seculator-serve: in-process server at %s\n", base)
 	}
 	c := client.New(base, nil)
+	if apiKey != "" {
+		c.SetAPIKey(apiKey)
+	}
 	rep, err := loadgen.Run(context.Background(), c, lopts)
 	if err != nil {
 		return err

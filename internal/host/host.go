@@ -131,10 +131,23 @@ type Controller struct {
 
 // NewController creates a host controller for a session key.
 func NewController(sessionKey []byte) *Controller {
+	return NewControllerAt(sessionKey, 0)
+}
+
+// NewControllerAt creates a host controller whose next issued command gets
+// sequence number lastSeq+1 — the restore path for a session whose channel
+// state survived a snapshot: sequence numbers keep rising monotonically
+// across the restart, so replay protection spans the session's whole life,
+// not one process incarnation.
+func NewControllerAt(sessionKey []byte, lastSeq uint64) *Controller {
 	k := make([]byte, len(sessionKey))
 	copy(k, sessionKey)
-	return &Controller{key: k}
+	return &Controller{key: k, seq: lastSeq}
 }
+
+// LastSeq returns the sequence number of the most recently issued command
+// (the snapshot point for session export).
+func (h *Controller) LastSeq() uint64 { return h.seq }
 
 // Issue builds the authenticated packet for the next command. The sequence
 // number is assigned here; the caller's Seq field is overwritten.
@@ -155,9 +168,17 @@ type Endpoint struct {
 
 // NewEndpoint creates the NPU receiver for a session key.
 func NewEndpoint(sessionKey []byte) *Endpoint {
+	return NewEndpointAt(sessionKey, 0)
+}
+
+// NewEndpointAt creates the NPU receiver with its replay window already
+// advanced past lastSeq — the counterpart of NewControllerAt on restore: a
+// replayed pre-snapshot command is rejected by the restored endpoint exactly
+// as the original would have rejected it.
+func NewEndpointAt(sessionKey []byte, lastSeq uint64) *Endpoint {
 	k := make([]byte, len(sessionKey))
 	copy(k, sessionKey)
-	return &Endpoint{key: k}
+	return &Endpoint{key: k, lastSeq: lastSeq}
 }
 
 // Receive authenticates and decodes a packet. Any failure latches the

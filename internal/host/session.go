@@ -22,6 +22,10 @@ import (
 type SessionResult struct {
 	runner.Result
 	Commands int // authenticated layer commands delivered
+	// LastSeq is the channel sequence number of the final command issued —
+	// the continuation point a stateful session persists so replay
+	// protection spans inferences (and snapshot/restore cycles).
+	LastSeq uint64
 
 	// Output is the functional inference result when Options.Input was
 	// provided; nil for timing-only sessions.
@@ -65,6 +69,19 @@ type SessionOptions struct {
 	// >1 shards block MACs and keystreams (bit-identical output either
 	// way). Ignored for timing-only sessions.
 	Parallel int
+
+	// BaseSeq seeds the command channel's sequence window: the controller
+	// issues BaseSeq+1 first and the endpoint rejects anything at or below
+	// BaseSeq. A stateful session passes its last persisted sequence here so
+	// the strictly-increasing guarantee holds across inferences and across
+	// snapshot/restore, not just within one RunSession call.
+	BaseSeq uint64
+
+	// OnLayerMACs, when non-nil, observes the functional execution's XOR-MAC
+	// registers at every layer boundary (see secure.Executor.OnLayerMACs) —
+	// the final observation is the MAC-register state a session snapshot
+	// carries.
+	OnLayerMACs func(phase int, regs protect.RegisterState)
 }
 
 // RunSession drives the complete Figure 6 flow for one inference on the
@@ -94,8 +111,8 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 	if err != nil {
 		return SessionResult{}, err
 	}
-	ctrl := NewController(sessionKey)
-	npu := NewEndpoint(sessionKey)
+	ctrl := NewControllerAt(sessionKey, opts.BaseSeq)
+	npu := NewEndpointAt(sessionKey, opts.BaseSeq)
 
 	for i, c := range choices {
 		if err := ctx.Err(); err != nil {
@@ -139,13 +156,14 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 	if err != nil {
 		return SessionResult{}, err
 	}
-	res = SessionResult{Result: r, Commands: len(choices)}
+	res = SessionResult{Result: r, Commands: len(choices), LastSeq: ctrl.LastSeq()}
 
 	if opts.Input != nil {
 		x := secure.NewExecutor()
 		x.NPU, x.DRAM = cfg.NPU, cfg.DRAM
 		x.Injector = opts.Injector
 		x.AfterPhase = opts.Hook
+		x.OnLayerMACs = opts.OnLayerMACs
 		x.Parallel = opts.Parallel
 		if opts.Retry != (resilience.Policy{}) {
 			x.Retry = opts.Retry

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 )
 
 // TensorClass names the data class an integrity violation hit.
@@ -115,6 +116,46 @@ func (e *ConfigError) Error() string { return fmt.Sprintf("invalid configuration
 // Unwrap exposes the underlying validation failure.
 func (e *ConfigError) Unwrap() error { return e.Err }
 
+// QuarantineError reports that a tenant's work was refused by the serving
+// layer's breach quarantine: the tenant accumulated security breaches and
+// its per-tenant circuit breaker is throttled or open. It is the
+// service-level escalation of the per-session breach latch — the session
+// died with its breach, the tenant is contained here. Never retryable
+// before RetryAfter elapses.
+type QuarantineError struct {
+	Tenant     string        // tenant the breaker contains
+	State      string        // breaker state ("throttled", "open", "half-open")
+	Breaches   int           // breach events inside the observation window
+	RetryAfter time.Duration // when the breaker will consider work again
+}
+
+// Error implements error.
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("tenant %s quarantined (breaker %s after %d breaches), retry after %v",
+		e.Tenant, e.State, e.Breaches, e.RetryAfter)
+}
+
+// SnapshotIntegrityError reports that an imported session snapshot failed
+// its integrity check: the envelope MAC did not verify, the version is
+// unknown, or the payload does not decode. A snapshot is host-golden data
+// crossing a trust boundary; a failed check means tampering or corruption
+// and the import must not create any session state. Never retryable.
+type SnapshotIntegrityError struct {
+	Reason string // what failed ("mac", "version", "payload")
+	Err    error  // underlying failure, when one exists
+}
+
+// Error implements error.
+func (e *SnapshotIntegrityError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("session snapshot integrity violation (%s): %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("session snapshot integrity violation (%s)", e.Reason)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *SnapshotIntegrityError) Unwrap() error { return e.Err }
+
 // InternalError is a panic captured at a public API boundary.
 type InternalError struct {
 	Value any    // the recovered panic value
@@ -136,7 +177,10 @@ func Retryable(err error) bool {
 	var ce *ChannelError
 	var cfg *ConfigError
 	var internal *InternalError
-	if errors.As(err, &fe) || errors.As(err, &ce) || errors.As(err, &cfg) || errors.As(err, &internal) {
+	var quar *QuarantineError
+	var snap *SnapshotIntegrityError
+	if errors.As(err, &fe) || errors.As(err, &ce) || errors.As(err, &cfg) ||
+		errors.As(err, &internal) || errors.As(err, &quar) || errors.As(err, &snap) {
 		return false
 	}
 	var ie *IntegrityError

@@ -59,10 +59,24 @@ func IsBreach(err error) bool {
 // IsUnknownSession reports a 404 session lookup failure.
 func IsUnknownSession(err error) bool { return classIs(err, serve.ClassUnknownSession) }
 
+// IsUnauthorized reports a 401 API-key rejection.
+func IsUnauthorized(err error) bool { return classIs(err, serve.ClassUnauthorized) }
+
+// IsRateLimited reports a 429 tenant rate-limit rejection.
+func IsRateLimited(err error) bool { return classIs(err, serve.ClassRateLimited) }
+
+// IsQuarantined reports a 429/451 tenant-quarantine refusal.
+func IsQuarantined(err error) bool { return classIs(err, serve.ClassQuarantined) }
+
+// IsSnapshotRejected reports a 422 snapshot integrity rejection.
+func IsSnapshotRejected(err error) bool { return classIs(err, serve.ClassSnapshot) }
+
 // Client talks to one serving daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	apiKey string
+	retry  retrier
 }
 
 // New creates a client for a base URL ("http://127.0.0.1:8080"). A nil
@@ -74,8 +88,41 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
 }
 
-// do issues a request and decodes the response into out (when non-nil).
+// SetAPIKey attaches a tenant API key to every request (X-API-Key header).
+// Call before issuing requests; not safe to change concurrently with them.
+func (c *Client) SetAPIKey(key string) { c.apiKey = key }
+
+// SetRetryPolicy enables automatic retries of backpressure rejections; see
+// RetryPolicy. Call before issuing requests.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = newRetrier(p) }
+
+// do issues a request through the retry policy and decodes the final
+// response into out (when non-nil).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.retry.policy.MaxAttempts <= 1 {
+		return c.doOnce(ctx, method, path, in, out)
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		wait, ok := c.retry.next(attempt, err)
+		if !ok {
+			return last
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return last
+		}
+	}
+}
+
+// doOnce issues a single request attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -90,6 +137,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -146,6 +196,20 @@ func (c *Client) CloseSession(ctx context.Context, id string) error {
 func (c *Client) Infer(ctx context.Context, req serve.InferRequest) (serve.InferResponse, error) {
 	var out serve.InferResponse
 	err := c.do(ctx, http.MethodPost, "/v1/infer", req, &out)
+	return out, err
+}
+
+// SnapshotSession exports a session as a sealed snapshot envelope.
+func (c *Client) SnapshotSession(ctx context.Context, id string) (serve.SnapshotResponse, error) {
+	var out serve.SnapshotResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/snapshot", nil, &out)
+	return out, err
+}
+
+// RestoreSession imports a previously exported snapshot envelope.
+func (c *Client) RestoreSession(ctx context.Context, env serve.SnapshotEnvelope) (serve.SessionCreateResponse, error) {
+	var out serve.SessionCreateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/restore", serve.RestoreRequest{Snapshot: env}, &out)
 	return out, err
 }
 

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// fair.go — weighted fair-share admission in front of the micro-batching
+// scheduler. PR 3's single global queue let one hot tenant fill every slot
+// and starve the rest; here each tenant owns a bounded FIFO sub-queue and a
+// single dispatcher drains them by deficit round-robin (DRR): on every
+// visit a tenant's deficit grows by its weight and it releases that many
+// requests into the execution scheduler, so under contention tenants share
+// admitted capacity in weight proportion regardless of who floods.
+//
+// The released window (maxInFlight) is deliberately small — just enough to
+// keep the worker pool busy and micro-batches forming. Releasing everything
+// at once would decide execution order at enqueue time and reduce DRR to
+// FIFO; holding requests in the sub-queues keeps the ordering decision with
+// the fair scheduler until the last moment.
+
+// fqItem states (atomic): exactly one owner ever transitions an item out of
+// fqQueued — the canceling submitter or the granting dispatcher, never both.
+const (
+	fqQueued int32 = iota
+	fqCanceled
+	fqGranted
+)
+
+// fqItem is one request waiting in a tenant sub-queue for its DRR grant.
+type fqItem struct {
+	state   atomic.Int32
+	granted chan struct{}
+}
+
+// fqTenant is one tenant's sub-queue with its DRR bookkeeping.
+type fqTenant struct {
+	id         string
+	weight     int
+	maxPending int // 0 = no per-tenant bound
+	items      []*fqItem
+	deficit    int
+}
+
+// FairQueue is the tenant-fair admission stage. Submit enqueues under the
+// caller's tenant and blocks until the dispatcher grants the request a slot
+// (DRR order), then runs it through the inner micro-batching scheduler.
+type FairQueue struct {
+	inner *Scheduler
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	tenants     map[string]*fqTenant
+	order       []*fqTenant // DRR visiting order (first-seen)
+	queued      int         // items in sub-queues (canceled-but-unreaped included)
+	inFlight    int         // granted, not yet finished
+	maxQueue    int         // bound on queued+inFlight
+	maxInFlight int
+	next        int // rotating DRR start index
+	closed      bool
+	done        chan struct{} // dispatcher exited and inner scheduler drained
+}
+
+// NewFairQueue builds the admission stage over an execution scheduler
+// configured by cfg. The global bound is cfg.MaxQueue; the release window
+// is min(Workers*MaxBatch, MaxQueue) so the pool stays busy, batches can
+// fill, and the inner scheduler never rejects what the fair stage admitted.
+func NewFairQueue(cfg SchedulerConfig) *FairQueue {
+	cfg.setDefaults()
+	maxInFlight := cfg.Workers * cfg.MaxBatch
+	if maxInFlight > cfg.MaxQueue {
+		maxInFlight = cfg.MaxQueue
+	}
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	inner := cfg
+	inner.MaxQueue = maxInFlight
+	fq := &FairQueue{
+		inner:       NewScheduler(inner),
+		tenants:     make(map[string]*fqTenant),
+		maxQueue:    cfg.MaxQueue,
+		maxInFlight: maxInFlight,
+		done:        make(chan struct{}),
+	}
+	fq.cond = sync.NewCond(&fq.mu)
+	go fq.dispatch()
+	return fq
+}
+
+// Scheduler exposes the inner micro-batching scheduler (metrics hooks).
+func (fq *FairQueue) Scheduler() *Scheduler { return fq.inner }
+
+// Depth returns admitted-but-unfinished requests (queued + in flight).
+func (fq *FairQueue) Depth() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.queued + fq.inFlight
+}
+
+// Submit admits a request under a tenant and blocks until its micro-batch
+// executed it or its context expired. Admission failures return
+// immediately: ErrShuttingDown on drain, ErrQueueFull when the global bound
+// is hit, ErrTenantQueueFull when the tenant's own sub-queue is full.
+func (fq *FairQueue) Submit(ctx context.Context, t *Tenant, key string, task Task) (any, BatchInfo, error) {
+	it := &fqItem{granted: make(chan struct{})}
+
+	fq.mu.Lock()
+	if fq.closed {
+		fq.mu.Unlock()
+		return nil, BatchInfo{}, ErrShuttingDown
+	}
+	if fq.queued+fq.inFlight >= fq.maxQueue {
+		fq.mu.Unlock()
+		return nil, BatchInfo{}, ErrQueueFull
+	}
+	q := fq.tenants[t.Name()]
+	if q == nil {
+		q = &fqTenant{id: t.Name(), weight: t.Weight(), maxPending: t.MaxPending()}
+		fq.tenants[q.id] = q
+		fq.order = append(fq.order, q)
+	}
+	if q.maxPending > 0 && len(q.items) >= q.maxPending {
+		fq.mu.Unlock()
+		return nil, BatchInfo{}, ErrTenantQueueFull
+	}
+	q.items = append(q.items, it)
+	fq.queued++
+	fq.cond.Signal()
+	fq.mu.Unlock()
+
+	select {
+	case <-it.granted:
+	case <-ctx.Done():
+		if it.state.CompareAndSwap(fqQueued, fqCanceled) {
+			// The slot stays counted until the dispatcher reaps it — same
+			// one-owner accounting as the execution scheduler.
+			return nil, BatchInfo{}, ctx.Err()
+		}
+		// The dispatcher granted concurrently; proceed (the inner scheduler
+		// delivers the context error promptly).
+		<-it.granted
+	}
+	res, info, err := fq.inner.Submit(ctx, key, task)
+	fq.mu.Lock()
+	fq.inFlight--
+	fq.cond.Signal()
+	fq.mu.Unlock()
+	return res, info, err
+}
+
+// dispatch is the DRR loop: wait for pending work, then run rounds that
+// grant in weight proportion across tenant sub-queues.
+func (fq *FairQueue) dispatch() {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	for {
+		for fq.queued == 0 {
+			if fq.closed && fq.inFlight == 0 {
+				fq.mu.Unlock()
+				fq.inner.Close()
+				close(fq.done)
+				fq.mu.Lock()
+				return
+			}
+			fq.cond.Wait()
+		}
+		fq.round()
+	}
+}
+
+// round is one DRR pass over every tenant with pending work. Caller holds
+// fq.mu. Canceled items are reaped without consuming deficit or slots.
+//
+// When release slots run out mid-visit, the visit WAITS for a slot rather
+// than moving on: the release window is the serialized output link of
+// classic DRR, and a tenant must spend its whole quantum per visit for the
+// weight proportion to hold. (Banking unspent deficit and moving on would
+// let slot scarcity erode the ratio toward 1:1 — every visit would grant
+// "whatever slots are free" regardless of weight.) The visiting order still
+// rotates across rounds so no tenant permanently owns the first claim on a
+// freed slot.
+func (fq *FairQueue) round() {
+	n := len(fq.order)
+	if n == 0 {
+		return
+	}
+	start := fq.next % n
+	for k := 0; k < n; k++ {
+		q := fq.order[(start+k)%n]
+		if len(q.items) == 0 {
+			q.deficit = 0
+			continue
+		}
+		q.deficit += q.weight
+		for q.deficit > 0 && len(q.items) > 0 {
+			for fq.inFlight >= fq.maxInFlight {
+				fq.cond.Wait()
+			}
+			it := q.items[0]
+			q.items = q.items[1:]
+			fq.queued--
+			if it.state.CompareAndSwap(fqQueued, fqGranted) {
+				q.deficit--
+				fq.inFlight++
+				close(it.granted)
+			}
+		}
+		if len(q.items) == 0 {
+			q.deficit = 0
+		}
+	}
+	fq.next = (start + 1) % n
+}
+
+// Close drains the admission stage: new submissions fail with
+// ErrShuttingDown, queued requests are still granted and executed, and
+// Close returns once everything admitted has been delivered and the inner
+// scheduler has shut down.
+func (fq *FairQueue) Close() {
+	fq.mu.Lock()
+	if !fq.closed {
+		fq.closed = true
+		fq.cond.Broadcast()
+	}
+	fq.mu.Unlock()
+	<-fq.done
+}

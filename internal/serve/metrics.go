@@ -25,11 +25,31 @@ type Metrics struct {
 	inferOK    uint64
 	latencySum time.Duration // successful inferences, admission to response
 	queueSum   time.Duration
+
+	tenantAdmitted map[string]uint64            // tenant -> admitted infers
+	tenantShed     map[string]map[string]uint64 // tenant -> shed reason -> count
+	tenantBreaches map[string]uint64            // tenant -> breach-class errors
+
+	snapshotExports uint64
+	restoreOK       uint64
+	restoreRejected uint64
 }
+
+// Shed reasons of the tenant admission path, as rendered on /metrics.
+const (
+	ShedRate       = "rate"       // token bucket empty
+	ShedQueue      = "queue"      // global or per-tenant queue full
+	ShedQuarantine = "quarantine" // breaker refused (throttled/open/half-open)
+)
 
 // NewMetrics returns an empty counter set.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[int]uint64)}
+	return &Metrics{
+		requests:       make(map[int]uint64),
+		tenantAdmitted: make(map[string]uint64),
+		tenantShed:     make(map[string]map[string]uint64),
+		tenantBreaches: make(map[string]uint64),
+	}
 }
 
 // Request records one inference request's final status.
@@ -59,9 +79,62 @@ func (m *Metrics) Inference(total, queued time.Duration) {
 	m.mu.Unlock()
 }
 
+// TenantAdmitted records one request admitted past every tenant gate.
+func (m *Metrics) TenantAdmitted(tenant string) {
+	m.mu.Lock()
+	m.tenantAdmitted[tenant]++
+	m.mu.Unlock()
+}
+
+// TenantShed records one request refused at a tenant gate.
+func (m *Metrics) TenantShed(tenant, reason string) {
+	m.mu.Lock()
+	byReason := m.tenantShed[tenant]
+	if byReason == nil {
+		byReason = make(map[string]uint64)
+		m.tenantShed[tenant] = byReason
+	}
+	byReason[reason]++
+	m.mu.Unlock()
+}
+
+// TenantBreach records one breach-class inference error attributed to a
+// tenant.
+func (m *Metrics) TenantBreach(tenant string) {
+	m.mu.Lock()
+	m.tenantBreaches[tenant]++
+	m.mu.Unlock()
+}
+
+// SnapshotExport records one sealed session export.
+func (m *Metrics) SnapshotExport() {
+	m.mu.Lock()
+	m.snapshotExports++
+	m.mu.Unlock()
+}
+
+// SnapshotRestore records one import attempt's outcome.
+func (m *Metrics) SnapshotRestore(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.restoreOK++
+	} else {
+		m.restoreRejected++
+	}
+	m.mu.Unlock()
+}
+
+// TenantStatus is the scrape-time breaker view of one tenant, sampled by
+// the server (the metrics type stays free of tenant dependencies).
+type TenantStatus struct {
+	Name  string
+	State BreakerState
+	Opens uint64
+}
+
 // Render writes the scrape text. The gauges are passed in by the server so
 // the metrics type stays free of scheduler/session dependencies.
-func (m *Metrics) Render(queueDepth, sessionsActive int, sessionsCreated uint64, evicted map[string]uint64) string {
+func (m *Metrics) Render(queueDepth, sessionsActive int, sessionsCreated, sessionsRestored uint64, evicted map[string]uint64, tenants []TenantStatus) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var b strings.Builder
@@ -82,6 +155,7 @@ func (m *Metrics) Render(queueDepth, sessionsActive int, sessionsCreated uint64,
 	fmt.Fprintf(&b, "seculator_serve_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(&b, "seculator_serve_sessions_active %d\n", sessionsActive)
 	fmt.Fprintf(&b, "seculator_serve_sessions_created_total %d\n", sessionsCreated)
+	fmt.Fprintf(&b, "seculator_serve_sessions_restored_total %d\n", sessionsRestored)
 	reasons := make([]string, 0, len(evicted))
 	for r := range evicted {
 		reasons = append(reasons, r)
@@ -89,6 +163,46 @@ func (m *Metrics) Render(queueDepth, sessionsActive int, sessionsCreated uint64,
 	sort.Strings(reasons)
 	for _, r := range reasons {
 		fmt.Fprintf(&b, "seculator_serve_sessions_evicted_total{reason=%q} %d\n", r, evicted[r])
+	}
+	fmt.Fprintf(&b, "seculator_serve_snapshot_exports_total %d\n", m.snapshotExports)
+	fmt.Fprintf(&b, "seculator_serve_snapshot_restored_total %d\n", m.restoreOK)
+	fmt.Fprintf(&b, "seculator_serve_snapshot_rejected_total %d\n", m.restoreRejected)
+
+	tnames := make([]string, 0, len(m.tenantAdmitted))
+	for t := range m.tenantAdmitted {
+		tnames = append(tnames, t)
+	}
+	sort.Strings(tnames)
+	for _, t := range tnames {
+		fmt.Fprintf(&b, "seculator_serve_tenant_admitted_total{tenant=%q} %d\n", t, m.tenantAdmitted[t])
+	}
+	tnames = tnames[:0]
+	for t := range m.tenantShed {
+		tnames = append(tnames, t)
+	}
+	sort.Strings(tnames)
+	for _, t := range tnames {
+		byReason := m.tenantShed[t]
+		rs := make([]string, 0, len(byReason))
+		for r := range byReason {
+			rs = append(rs, r)
+		}
+		sort.Strings(rs)
+		for _, r := range rs {
+			fmt.Fprintf(&b, "seculator_serve_tenant_shed_total{tenant=%q,reason=%q} %d\n", t, r, byReason[r])
+		}
+	}
+	tnames = tnames[:0]
+	for t := range m.tenantBreaches {
+		tnames = append(tnames, t)
+	}
+	sort.Strings(tnames)
+	for _, t := range tnames {
+		fmt.Fprintf(&b, "seculator_serve_tenant_breaches_total{tenant=%q} %d\n", t, m.tenantBreaches[t])
+	}
+	for _, ts := range tenants {
+		fmt.Fprintf(&b, "seculator_serve_tenant_breaker_state{tenant=%q} %d\n", ts.Name, int(ts.State))
+		fmt.Fprintf(&b, "seculator_serve_tenant_breaker_opens_total{tenant=%q} %d\n", ts.Name, ts.Opens)
 	}
 	cs := runner.CacheStats()
 	fmt.Fprintf(&b, "seculator_serve_sim_cache_hits %d\n", cs.Hits)

@@ -62,6 +62,14 @@ func TestMetricsConcurrentScrapeConsistency(t *testing.T) {
 		"seculator_serve_infer_latency_ms_total",
 		"seculator_serve_batches_total",
 		"seculator_serve_batch_items_total",
+		"seculator_serve_tenant_admitted_total",
+		"seculator_serve_tenant_shed_total",
+		"seculator_serve_tenant_breaches_total",
+		"seculator_serve_tenant_breaker_opens_total",
+		"seculator_serve_sessions_restored_total",
+		"seculator_serve_snapshot_exports_total",
+		"seculator_serve_snapshot_restored_total",
+		"seculator_serve_snapshot_rejected_total",
 	}
 
 	stop := make(chan struct{})
@@ -152,5 +160,12 @@ func TestMetricsConcurrentScrapeConsistency(t *testing.T) {
 	}
 	if q := metricValue(t, scrape, "seculator_serve_infer_queue_ms_total"); q < 0 {
 		t.Errorf("negative queue sum %v", q)
+	}
+	// Every request rode the anonymous tenant's fair-share queue.
+	if adm := metricValue(t, scrape, `seculator_serve_tenant_admitted_total{tenant="default"}`); adm != total {
+		t.Errorf(`tenant_admitted_total{tenant="default"} = %v, want %v`, adm, total)
+	}
+	if shed, ok := metricLookup(t, scrape, "seculator_serve_tenant_shed_total"); ok && shed != 0 {
+		t.Errorf("tenant_shed_total = %v on an uncontended run", shed)
 	}
 }

@@ -6,26 +6,34 @@
 //
 // The HTTP/JSON surface:
 //
-//	POST /v1/sessions       issue a secure session (key stays server-side)
-//	DELETE /v1/sessions/{id} close a session
-//	POST /v1/infer          run one secure inference (optionally in-session)
-//	GET  /v1/designs        the design/network registry
-//	GET  /healthz           liveness + drain state
-//	GET  /metrics           Prometheus-style counters
+//	POST /v1/sessions                   issue a secure session (key stays server-side)
+//	DELETE /v1/sessions/{id}            close a session
+//	GET  /v1/sessions/{id}/snapshot     export a sealed session snapshot
+//	POST /v1/sessions/restore           import a sealed session snapshot
+//	POST /v1/infer                      run one secure inference (optionally in-session)
+//	GET  /v1/designs                    the design/network registry
+//	GET  /healthz                       liveness + drain state
+//	GET  /metrics                       Prometheus-style counters
 //
-// Requests flow through a micro-batching scheduler (scheduler.go): requests
-// for the same network admitted within a linger window execute as one batch
-// on a persistent worker pool, admission control bounds the queue with
-// 429/503 backpressure, and per-request deadlines come from context. An
-// inference that latches a security breach (replay, splice, channel
-// tampering) maps to 409 with the typed class and layer index, and evicts
-// its session — the serving-layer "security breach → reboot" of Figure 6.
+// Requests authenticate to a tenant (tenant.go: API-key registry, token
+// buckets) and flow through weighted fair-share admission (fair.go: deficit
+// round-robin over per-tenant bounded sub-queues) into the micro-batching
+// scheduler (scheduler.go): requests for the same network admitted within a
+// linger window execute as one batch on a persistent worker pool, admission
+// control bounds every queue with 429/503 backpressure, and per-request
+// deadlines come from context. An inference that latches a security breach
+// (replay, splice, channel tampering) maps to 409 with the typed class and
+// layer index, evicts its session — the serving-layer "security breach →
+// reboot" of Figure 6 — and feeds the tenant's quarantine circuit breaker
+// (breaker.go), which escalates repeat offenders from throttled probation
+// to a full 451 quarantine with timed half-open probes.
 package serve
 
 import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -79,6 +87,26 @@ type Options struct {
 	// them nil.
 	Intercept host.Intercept
 	Hook      secure.Hook
+
+	// InterceptFor and HookFor are the per-tenant variants, used by the
+	// chaos harness to lace one tenant's traffic with attacks while the
+	// others run clean. When set they take precedence over Intercept/Hook
+	// for that tenant (a nil return means clean).
+	InterceptFor func(tenant string) host.Intercept
+	HookFor      func(tenant string) secure.Hook
+
+	// Tenants registers API keys with their fair-share weights, rate
+	// limits, and queue bounds. Empty means single-tenant mode: no auth,
+	// no rate limit, no quarantine — the PR 3 behaviour.
+	Tenants []TenantConfig
+	// Quarantine shapes the per-tenant breach circuit breakers (zero value
+	// = defaults). Only configured tenants get breakers.
+	Quarantine QuarantineConfig
+
+	// SnapshotKey seals session snapshot envelopes (HMAC-SHA256). Empty
+	// means a fresh random key: snapshots then verify only within this
+	// process; set it to restore across restarts.
+	SnapshotKey []byte
 }
 
 func (o *Options) setDefaults() {
@@ -96,14 +124,17 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Server is the serving daemon: scheduler + session store + registry.
+// Server is the serving daemon: tenant registry + fair-share admission +
+// scheduler + session store.
 type Server struct {
-	opts     Options
-	cfg      runner.Config
-	sched    *Scheduler
-	sessions *SessionManager
-	metrics  *Metrics
-	mux      *http.ServeMux
+	opts        Options
+	cfg         runner.Config
+	fair        *FairQueue
+	tenants     *TenantRegistry
+	sessions    *SessionManager
+	metrics     *Metrics
+	snapshotKey []byte
+	mux         *http.ServeMux
 
 	networks map[string]workload.Network
 	netNames []string // registry order
@@ -127,16 +158,21 @@ func New(opts Options) (*Server, error) {
 		return nil, &resilience.ConfigError{Err: err}
 	}
 	s := &Server{
-		opts:     opts,
-		cfg:      cfg,
-		sessions: NewSessionManager(opts.SessionIdle),
-		metrics:  NewMetrics(),
-		networks: make(map[string]workload.Network),
-		closed:   make(chan struct{}),
-		janitor:  make(chan struct{}),
+		opts:        opts,
+		cfg:         cfg,
+		tenants:     NewTenantRegistry(opts.Tenants, opts.Quarantine, nil),
+		sessions:    NewSessionManager(opts.SessionIdle),
+		metrics:     NewMetrics(),
+		snapshotKey: opts.SnapshotKey,
+		networks:    make(map[string]workload.Network),
+		closed:      make(chan struct{}),
+		janitor:     make(chan struct{}),
 	}
-	s.sched = NewScheduler(opts.Scheduler)
-	s.sched.onBatch = s.metrics.Batch
+	if len(s.snapshotKey) == 0 {
+		s.snapshotKey = newSnapshotKey()
+	}
+	s.fair = NewFairQueue(opts.Scheduler)
+	s.fair.Scheduler().onBatch = s.metrics.Batch
 
 	s.register(MiniNet())
 	for _, n := range workload.All() {
@@ -147,6 +183,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/sessions/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -210,7 +248,7 @@ func (s *Server) Close(ctx context.Context) error {
 		s.draining.Store(true)
 		close(s.janitor)
 		go func() {
-			s.sched.Close()
+			s.fair.Close()
 			s.janitorWG.Wait()
 			close(s.closed)
 		}()
@@ -261,6 +299,12 @@ func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenants.Resolve(r)
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
 	var req SessionCreateRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
@@ -272,7 +316,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrShuttingDown.Error(), Class: ClassShutdown, RetryAfterMs: retryAfter.Milliseconds()})
 		return
 	}
-	resp, err := s.sessions.Create(time.Duration(req.IdleTimeoutMs) * time.Millisecond)
+	resp, err := s.sessions.Create(t.Name(), time.Duration(req.IdleTimeoutMs)*time.Millisecond)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: err.Error(), Class: ClassInternal})
 		return
@@ -281,11 +325,59 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	if s.sessions.Evict(r.PathValue("id"), EvictClose) {
+	t, err := s.tenants.Resolve(r)
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	if s.sessions.Evict(r.PathValue("id"), t.Name(), EvictClose) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	writeJSON(w, http.StatusNotFound, ErrorBody{Error: ErrSessionUnknown.Error(), Class: ClassUnknownSession})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenants.Resolve(r)
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	id := r.PathValue("id")
+	env, err := s.SnapshotSession(id, t.Name())
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{SessionID: id, Snapshot: env})
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenants.Resolve(r)
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrShuttingDown.Error(), Class: ClassShutdown, RetryAfterMs: retryAfter.Milliseconds()})
+		return
+	}
+	var req RestoreRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
+		return
+	}
+	resp, err := s.RestoreSession(req.Snapshot, t.Name())
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
@@ -310,7 +402,7 @@ func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	resp := HealthResponse{Status: "ok", Sessions: s.sessions.Active(), Queue: s.sched.Depth()}
+	resp := HealthResponse{Status: "ok", Sessions: s.sessions.Active(), Queue: s.fair.Depth()}
 	if s.draining.Load() {
 		resp.Status = "draining"
 	}
@@ -318,9 +410,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	created, evicted := s.sessions.Counters()
+	created, restored, evicted := s.sessions.Counters()
+	var statuses []TenantStatus
+	for _, t := range s.tenants.All() {
+		if br := t.Breaker(); br != nil {
+			statuses = append(statuses, TenantStatus{Name: t.Name(), State: br.State(), Opens: br.Opens()})
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = io.WriteString(w, s.metrics.Render(s.sched.Depth(), s.sessions.Active(), created, evicted))
+	_, _ = io.WriteString(w, s.metrics.Render(s.fair.Depth(), s.sessions.Active(), created, restored, evicted, statuses))
 }
 
 // inferOutcome is what an executed inference task returns through the
@@ -331,10 +429,20 @@ type inferOutcome struct {
 	commands int
 	recovery resilience.Stats
 	runMs    float64
+
+	lastSeq  uint64 // command-channel sequence the session finished at
+	haveRegs bool
+	regs     protect.RegisterState // final MAC registers (session runs)
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	admitted := time.Now()
+	tenant, err := s.tenants.Resolve(r)
+	if err != nil {
+		status, body := statusFor(err)
+		s.writeError(w, status, body)
+		return
+	}
 	var req InferRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
@@ -345,33 +453,79 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, body)
 		return
 	}
+
+	// Tenant gates, in trust order: quarantine first (a quarantined tenant
+	// gets no rate tokens back), then the rate bucket.
+	probe := false
+	if br := tenant.Breaker(); br != nil {
+		var qerr error
+		probe, qerr = br.Allow(tenant.Name(), s.tenants.Now())
+		if qerr != nil {
+			s.metrics.TenantShed(tenant.Name(), ShedQuarantine)
+			status, body := statusFor(qerr)
+			s.writeError(w, status, body)
+			return
+		}
+	}
+	if ok, wait := tenant.TakeToken(s.tenants.Now()); !ok {
+		s.metrics.TenantShed(tenant.Name(), ShedRate)
+		status, body := statusFor(ErrRateLimited)
+		if ms := wait.Milliseconds(); ms > 0 {
+			body.RetryAfterMs = ms
+		}
+		s.writeError(w, status, body)
+		return
+	}
+
+	// release frees an unused half-open probe slot on paths where the
+	// request never executes; outcome feeds an executed request's result
+	// back to the quarantine breaker.
+	release := func() {
+		if br := tenant.Breaker(); br != nil {
+			br.Release(probe)
+		}
+	}
+	outcome := func(breach bool) {
+		if br := tenant.Breaker(); br != nil {
+			br.Record(breach, probe, s.tenants.Now())
+		}
+		if breach {
+			s.metrics.TenantBreach(tenant.Name())
+		}
+	}
+
 	net, err := s.resolveNetwork(req.Network)
 	if err != nil {
+		release()
 		s.writeError(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Class: ClassBadRequest})
 		return
 	}
 	first := net.Layers[0]
 	if len(req.Input) > 0 {
 		if len(req.Input) > s.opts.MaxInputLen {
+			release()
 			s.writeError(w, http.StatusBadRequest, ErrorBody{
 				Error: fmt.Sprintf("serve: input too large (%d > %d)", len(req.Input), s.opts.MaxInputLen), Class: ClassBadRequest})
 			return
 		}
 		if want := first.C * first.H * first.W; len(req.Input) != want {
+			release()
 			s.writeError(w, http.StatusBadRequest, ErrorBody{
 				Error: fmt.Sprintf("serve: input length %d, network %s wants %d", len(req.Input), net.Name, want), Class: ClassBadRequest})
 			return
 		}
 	}
 
-	var sessionKey []byte
+	var grant *SessionGrant
 	if req.Session != "" {
-		sessionKey, err = s.sessions.Acquire(req.Session)
+		g, err := s.sessions.Acquire(req.Session, tenant.Name())
 		if err != nil {
+			release()
 			status, body := statusFor(err)
 			s.writeError(w, status, body)
 			return
 		}
+		grant = &g
 	}
 
 	timeout := s.opts.DefaultTimeout
@@ -385,19 +539,32 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	key := "net=" + net.Name
-	res, info, err := s.sched.Submit(ctx, key, func(ctx context.Context, b BatchInfo) (any, error) {
-		return s.runInference(ctx, net, &req, sessionKey)
+	res, info, err := s.fair.Submit(ctx, tenant, key, func(ctx context.Context, b BatchInfo) (any, error) {
+		return s.runInference(ctx, net, &req, grant, tenant.Name())
 	})
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQueueFull) || errors.Is(err, ErrShuttingDown) {
+			// Shed at admission: the request never executed.
+			s.metrics.TenantShed(tenant.Name(), ShedQueue)
+			release()
+		} else {
+			s.metrics.TenantAdmitted(tenant.Name())
+			outcome(breachError(err))
+		}
 		status, body := statusFor(err)
 		if req.Session != "" && breachError(err) {
-			body.SessionEvicted = s.sessions.Evict(req.Session, EvictBreach)
+			body.SessionEvicted = s.sessions.Evict(req.Session, tenant.Name(), EvictBreach)
 		}
 		s.writeError(w, status, body)
 		return
 	}
+	s.metrics.TenantAdmitted(tenant.Name())
+	outcome(false)
 
 	oc := res.(*inferOutcome)
+	if req.Session != "" {
+		s.sessions.Commit(req.Session, oc.lastSeq, oc.regs, oc.haveRegs, OutputSum(oc.out))
+	}
 	resp := InferResponse{
 		Network:   net.Name,
 		Layers:    len(net.Layers),
@@ -423,11 +590,34 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// interceptFor resolves the command-channel attack instrumentation for a
+// tenant's inference: the per-tenant hook wins, then the global one.
+func (s *Server) interceptFor(tenant string) host.Intercept {
+	if s.opts.InterceptFor != nil {
+		if ic := s.opts.InterceptFor(tenant); ic != nil {
+			return ic
+		}
+	}
+	return s.opts.Intercept
+}
+
+// hookFor resolves the DRAM phase hook for a tenant's inference.
+func (s *Server) hookFor(tenant string) secure.Hook {
+	if s.opts.HookFor != nil {
+		if h := s.opts.HookFor(tenant); h != nil {
+			return h
+		}
+	}
+	return s.opts.Hook
+}
+
 // runInference executes one request on a pool worker: build the
 // deterministic model, then either the full secure session (command
 // channel + functional execution) or the sessionless secure inference
-// with the memoized timing simulation alongside.
-func (s *Server) runInference(ctx context.Context, net workload.Network, req *InferRequest, sessionKey []byte) (*inferOutcome, error) {
+// with the memoized timing simulation alongside. Session runs continue the
+// session's command-channel sequence window (grant.BaseSeq) and capture the
+// final MAC registers for the session's durable state.
+func (s *Server) runInference(ctx context.Context, net workload.Network, req *InferRequest, grant *SessionGrant, tenant string) (*inferOutcome, error) {
 	start := time.Now()
 	in, ws := nn.RandomModel(net, req.Seed)
 	if len(req.Input) > 0 {
@@ -435,12 +625,17 @@ func (s *Server) runInference(ctx context.Context, net workload.Network, req *In
 	}
 
 	oc := &inferOutcome{}
-	if sessionKey != nil {
-		res, err := host.RunSession(ctx, net, s.cfg, sessionKey, host.SessionOptions{
+	if grant != nil {
+		res, err := host.RunSession(ctx, net, s.cfg, grant.Key, host.SessionOptions{
 			Input: in, Weights: ws,
-			Intercept: s.opts.Intercept,
-			Hook:      s.opts.Hook,
+			Intercept: s.interceptFor(tenant),
+			Hook:      s.hookFor(tenant),
 			Parallel:  s.opts.InferWorkers,
+			BaseSeq:   grant.BaseSeq,
+			OnLayerMACs: func(phase int, regs protect.RegisterState) {
+				oc.regs = regs
+				oc.haveRegs = true
+			},
 		})
 		oc.recovery = res.Recovery
 		if err != nil {
@@ -449,10 +644,11 @@ func (s *Server) runInference(ctx context.Context, net workload.Network, req *In
 		oc.out = res.Output
 		oc.cycles = uint64(res.Cycles)
 		oc.commands = res.Commands
+		oc.lastSeq = res.LastSeq
 	} else {
 		x := secure.NewExecutor()
 		x.NPU, x.DRAM = s.cfg.NPU, s.cfg.DRAM
-		x.AfterPhase = s.opts.Hook
+		x.AfterPhase = s.hookFor(tenant)
 		x.Parallel = s.opts.InferWorkers
 		fr, err := x.Run(ctx, net, in, ws)
 		oc.recovery = fr.Recovery

@@ -23,6 +23,11 @@ const (
 	ClassFreshness      = "freshness"
 	ClassChannel        = "channel"
 	ClassInternal       = "internal"
+	ClassUnauthorized   = "unauthorized"
+	ClassRateLimited    = "rate_limited"
+	ClassQuarantined    = "quarantined"
+	ClassSnapshot       = "snapshot_integrity"
+	ClassSessionExists  = "session_exists"
 )
 
 // retryAfter is the hint sent with 429/503 backpressure responses.
@@ -37,6 +42,12 @@ const retryAfter = 1 * time.Second
 //	ChannelError              → 409 (command-channel breach; session evicted)
 //	IntegrityError            → 409 (persistent tampering on golden data)
 //	ErrQueueFull              → 429 + Retry-After (admission control)
+//	ErrTenantQueueFull        → 429 + Retry-After (tenant sub-queue full)
+//	ErrRateLimited            → 429 + Retry-After (tenant token bucket empty)
+//	ErrUnauthorized           → 401 (unknown or missing API key)
+//	ErrSessionExists          → 409 (snapshot import collides with live ID)
+//	QuarantineError           → 429 throttled / 451 open + Retry-After
+//	SnapshotIntegrityError    → 422 (tampered or malformed snapshot)
 //	deadline/cancel           → 503 + Retry-After (the request ran out of time)
 //	ErrShuttingDown           → 503 + Retry-After (drain in progress)
 //	InternalError, everything else → 500
@@ -53,6 +64,20 @@ func statusFor(err error) (int, ErrorBody) {
 		body.Class = ClassQueueFull
 		body.RetryAfterMs = retryAfter.Milliseconds()
 		return http.StatusTooManyRequests, body
+	case errors.Is(err, ErrTenantQueueFull):
+		body.Class = ClassQueueFull
+		body.RetryAfterMs = retryAfter.Milliseconds()
+		return http.StatusTooManyRequests, body
+	case errors.Is(err, ErrRateLimited):
+		body.Class = ClassRateLimited
+		body.RetryAfterMs = retryAfter.Milliseconds()
+		return http.StatusTooManyRequests, body
+	case errors.Is(err, ErrUnauthorized):
+		body.Class = ClassUnauthorized
+		return http.StatusUnauthorized, body
+	case errors.Is(err, ErrSessionExists):
+		body.Class = ClassSessionExists
+		return http.StatusConflict, body
 	case errors.Is(err, ErrShuttingDown):
 		body.Class = ClassShutdown
 		body.RetryAfterMs = retryAfter.Milliseconds()
@@ -66,6 +91,27 @@ func statusFor(err error) (int, ErrorBody) {
 		return http.StatusServiceUnavailable, body
 	}
 
+	var qe *resilience.QuarantineError
+	if errors.As(err, &qe) {
+		body.Class = ClassQuarantined
+		body.RetryAfterMs = qe.RetryAfter.Milliseconds()
+		if body.RetryAfterMs < 1 {
+			body.RetryAfterMs = 1
+		}
+		if qe.State == BreakerThrottled.String() {
+			// Throttled is ordinary backpressure: retry slower.
+			return http.StatusTooManyRequests, body
+		}
+		// Open/half-open refusal: the tenant is quarantined for what its own
+		// traffic did, not for load — 451 keeps it distinguishable from 429
+		// so clients don't treat a security quarantine as a congestion hint.
+		return http.StatusUnavailableForLegalReasons, body
+	}
+	var se *resilience.SnapshotIntegrityError
+	if errors.As(err, &se) {
+		body.Class = ClassSnapshot
+		return http.StatusUnprocessableEntity, body
+	}
 	var fe *resilience.FreshnessError
 	if errors.As(err, &fe) {
 		body.Class = ClassFreshness

@@ -83,7 +83,8 @@ type ErrorBody struct {
 	// Class is the machine-readable error class; see the error→status
 	// table in DESIGN.md §9: bad_request, config, unknown_session,
 	// queue_full, deadline, shutdown, integrity, freshness, channel,
-	// internal.
+	// internal, unauthorized, rate_limited, quarantined,
+	// snapshot_integrity, session_exists.
 	Class string `json:"class"`
 	// Layer carries the layer index of a security violation when the
 	// typed error localized one.
@@ -93,6 +94,30 @@ type ErrorBody struct {
 	// SessionEvicted reports that the offending session was evicted
 	// (breach latched server-side); the client must open a new session.
 	SessionEvicted bool `json:"session_evicted,omitempty"`
+}
+
+// SnapshotEnvelope is an integrity-sealed session snapshot
+// (GET /v1/sessions/{id}/snapshot response, POST /v1/sessions/restore
+// request body). Payload is the serialized session state; MAC is
+// hex(HMAC-SHA256) over the domain-separated version and payload under the
+// server's snapshot key. Clients treat the envelope as opaque: any
+// modification makes the import fail with class snapshot_integrity.
+type SnapshotEnvelope struct {
+	Version int    `json:"version"`
+	Payload []byte `json:"payload"` // base64 on the wire (encoding/json default)
+	MAC     string `json:"mac"`
+}
+
+// SnapshotResponse wraps the exported envelope with its session identity.
+type SnapshotResponse struct {
+	SessionID string           `json:"session_id"`
+	Snapshot  SnapshotEnvelope `json:"snapshot"`
+}
+
+// RestoreRequest imports a previously exported snapshot
+// (POST /v1/sessions/restore).
+type RestoreRequest struct {
+	Snapshot SnapshotEnvelope `json:"snapshot"`
 }
 
 // DesignInfo is one protection design of the registry (the Table 5 row).

@@ -59,8 +59,10 @@ infer=$(go test -run='^$' -bench='SecureInference' -benchtime=5x -benchmem \
 	. | entries '    ')
 
 # Serving path: full HTTP round-trips through scheduler + secure executor.
-# Fewer iterations — each op is an entire inference.
-serve=$(go test -run='^$' -bench='Serve' -benchtime=20x -benchmem \
+# 50 iterations — each op is an entire inference, but the admission-path
+# guard (scripts/bench_guard.sh) compares against these figures, so they
+# need to be stable, not just cheap.
+serve=$(go test -run='^$' -bench='Serve' -benchtime=50x -benchmem \
 	./internal/serve/ | entries '    ')
 
 {

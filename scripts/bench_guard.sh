@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench_guard.sh — regression guard for the serving-path benchmarks.
+#
+# Re-runs the serve benchmarks and compares each ns/op figure against the
+# committed BENCH_baseline.json "serve" section. Fails when the serial
+# path (BenchmarkServeInfer) regresses beyond the tolerance factor, so
+# admission-layer changes (tenant gates, fair queue) cannot silently tax
+# the per-request hot path. Other serve entries are reported but only the
+# serial path gates — the parallel/session figures wobble more on shared
+# runners.
+#
+# Usage: scripts/bench_guard.sh [tolerance]
+#   tolerance — allowed ns/op growth factor for BenchmarkServeInfer
+#               (default 2.0: generous for CI noise, tight enough to catch
+#               an accidental O(n) admission scan or lock convoy).
+set -eu
+
+tol="${1:-2.0}"
+cd "$(dirname "$0")/.."
+
+baseline_ns() {
+	# Pull "Benchmark<name>": {"ns_per_op": N, ...} out of the serve
+	# section of BENCH_baseline.json.
+	awk -v name="$1" '
+	/"serve": \{/ { inserve = 1 }
+	inserve && $0 ~ "\"" name "\":" {
+		if (match($0, /"ns_per_op": [0-9.]+/)) {
+			s = substr($0, RSTART, RLENGTH)
+			sub(/.*: /, "", s)
+			print s
+			exit
+		}
+	}
+	' BENCH_baseline.json
+}
+
+echo "bench_guard: running serve benchmarks (20 iterations each)..."
+out=$(go test -run='^$' -bench='Serve' -benchtime=20x ./internal/serve/)
+echo "$out" | grep '^Benchmark' || { echo "bench_guard: no benchmark output"; exit 1; }
+
+fail=0
+for name in BenchmarkServeInfer BenchmarkServeInferParallel BenchmarkServeSessionInfer; do
+	old=$(baseline_ns "$name")
+	new=$(echo "$out" | awk -v name="$name" '$1 ~ "^" name "(-[0-9]+)?$" { print $3; exit }')
+	if [ -z "$old" ] || [ -z "$new" ]; then
+		echo "bench_guard: $name missing (baseline='$old' run='$new')"
+		fail=1
+		continue
+	fi
+	verdict=$(awk -v o="$old" -v n="$new" -v t="$tol" 'BEGIN {
+		ratio = n / o
+		printf "%.2fx", ratio
+		exit (ratio > t) ? 1 : 0
+	}') && ok=1 || ok=0
+	echo "bench_guard: $name ${new} ns/op vs baseline ${old} ns/op (${verdict}, tolerance ${tol}x)"
+	if [ "$ok" = 0 ] && [ "$name" = "BenchmarkServeInfer" ]; then
+		echo "bench_guard: FAIL — serial serving path regressed beyond ${tol}x"
+		fail=1
+	fi
+done
+exit "$fail"
