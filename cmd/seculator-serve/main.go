@@ -74,6 +74,9 @@ func main() {
 		network  = flag.String("network", "Mini", "loadgen network")
 		sessions = flag.Bool("sessions", false, "loadgen: bind requests to a secure session")
 		apiKey   = flag.String("api-key", "", "loadgen: API key sent with every request (for tenant-gated targets)")
+		fixed    = flag.Bool("fixed-model", false, "loadgen: pin one model and vary inputs (residency-cache serving shape)")
+		mseed    = flag.Int64("model-seed", 1, "loadgen: pinned model seed under -fixed-model")
+		noRes    = flag.Bool("no-residency", false, "disable the verified-weight residency cache (per-request provisioning)")
 
 		smoke = flag.Bool("smoke", false, "start, one verified round-trip, graceful drain, exit")
 	)
@@ -89,6 +92,7 @@ func main() {
 		SessionIdle:    *idle,
 		DefaultTimeout: *timeout,
 		InferWorkers:   *inferP,
+		Residency:      serve.ResidencyConfig{Disabled: *noRes},
 	}
 	if *tenants != "" {
 		tcs, err := loadTenants(*tenants)
@@ -113,6 +117,7 @@ func main() {
 	case *doLoad:
 		if err := runLoadgen(opts, *target, *apiKey, loadgen.Options{
 			RPS: *rps, Duration: *duration, Network: *network, Sessions: *sessions,
+			FixedModel: *fixed, ModelSeed: *mseed,
 		}); err != nil {
 			fail(err)
 		}

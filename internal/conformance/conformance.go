@@ -1,7 +1,7 @@
 // Package conformance is the differential-testing harness behind the
 // paper's equivalence claims: it generates random-but-valid layer
 // configurations — shapes, tilings, dataflows, degenerate and partial-tile
-// cases — and drives each through four oracles:
+// cases — and drives each through five oracles:
 //
 //  1. cross-scheme equivalence: every protection design computes identical
 //     outputs and self-consistent traffic/metadata accounting;
@@ -12,7 +12,10 @@
 //     sequence the dataflow simulator enumerates, for every mapping;
 //  4. attack detection: randomized tamper/replay/swap/splice mutations are
 //     detected with zero false negatives, honest runs with zero false
-//     positives.
+//     positives;
+//  5. pipelined-batch equivalence: a serving micro-batch riding one shared
+//     verified-weight residency through the layer-stage pipeline is
+//     bit-identical, request by request, to serial non-resident runs.
 //
 // Every trial derives deterministically from one int64 seed; a failing
 // trial shrinks to a minimal config and prints a one-line repro
@@ -136,7 +139,7 @@ type AttackSpec struct {
 	Bit    int `json:"bit"`
 }
 
-// Config is one self-contained trial: everything the four oracles consume,
+// Config is one self-contained trial: everything the five oracles consume,
 // serializable as the repro payload.
 type Config struct {
 	Seed     int64      `json:"seed"`
@@ -343,6 +346,7 @@ const (
 	OracleVN             = "vn"
 	OracleCrossScheme    = "cross-scheme"
 	OracleSerialParallel = "serial-parallel"
+	OraclePipeline       = "pipeline"
 	OracleAttack         = "attack"
 )
 
@@ -354,6 +358,7 @@ var oracles = []struct {
 	{OracleVN, func(c Config) error { return CheckVN(c.Mapping) }},
 	{OracleCrossScheme, CheckCrossScheme},
 	{OracleSerialParallel, CheckSerialParallel},
+	{OraclePipeline, CheckPipelinedBatch},
 	{OracleAttack, CheckAttackDetection},
 }
 

@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"seculator/internal/nn"
+	"seculator/internal/protect"
+	"seculator/internal/runner"
+	"seculator/internal/secure"
+	"seculator/internal/serve"
+)
+
+// ---------------------------------------------------------------------------
+// Oracle 5: pipelined-batch equivalence.
+// ---------------------------------------------------------------------------
+
+// pipelineBatch is how many requests the pipelined-batch oracle rides
+// through one micro-batch.
+const pipelineBatch = 3
+
+// CheckPipelinedBatch replays a micro-batch through the serving tier's
+// layer-stage pipeline — every request attached to one shared verified-
+// weight residency, chained by StageGates so request j runs layer k while
+// request j-1 runs layer k+1 — and demands each request be bit-identical
+// to its own serial, non-resident baseline: same decrypted output, same
+// OutputMAC, same per-layer register snapshots, same DRAM block count.
+// This is the serial/parallel oracle extended across requests: stage
+// interleaving and residency must both be unobservable.
+func CheckPipelinedBatch(cfg Config) error {
+	net := cfg.Net.Network()
+	if err := net.Validate(); err != nil {
+		return nil
+	}
+	rcfg := runner.DefaultConfig()
+	ctx := context.Background()
+
+	// One model (weights from cfg.Seed), per-request inputs — the serving
+	// shape: requests share resident weights, activations differ.
+	_, ws := nn.RandomModel(net, cfg.Seed)
+	first := net.Layers[0]
+	inputs := make([]*nn.Tensor, pipelineBatch)
+	for i := range inputs {
+		inputs[i] = nn.NewTensor(first.C, first.H, first.W)
+		inputs[i].Randomize(cfg.Seed*31 + int64(i))
+	}
+
+	run := func(in *nn.Tensor, res *secure.WeightResidency, gate *serve.StageGate) (runSnapshot, error) {
+		x := secure.NewExecutor()
+		x.NPU, x.DRAM = rcfg.NPU, rcfg.DRAM
+		x.Residency = res
+		var snap runSnapshot
+		stages := len(net.Layers)
+		x.OnLayerMACs = func(phase int, regs protect.RegisterState) {
+			snap.regs = append(snap.regs, regs)
+			gate.Done(phase + 1)
+			if phase < stages {
+				_ = gate.Wait(ctx, phase+2)
+			}
+		}
+		if err := gate.Wait(ctx, 1); err != nil {
+			return snap, err
+		}
+		r, err := x.Run(ctx, net, in, ws)
+		if err != nil {
+			return snap, err
+		}
+		snap.out = r.Output.Data
+		snap.outputMAC = r.OutputMAC
+		snap.blocks = r.Blocks
+		return snap, nil
+	}
+
+	// Serial, non-resident baselines.
+	base := make([]runSnapshot, pipelineBatch)
+	for i, in := range inputs {
+		snap, err := run(in, nil, nil)
+		if err != nil {
+			return fmt.Errorf("serial baseline %d: %w", i, err)
+		}
+		base[i] = snap
+	}
+
+	res, err := secure.BuildWeightResidency(ctx, net, rcfg.NPU, rcfg.DRAM,
+		secure.DefaultSecret, secure.DefaultRandom, ws)
+	if err != nil {
+		return fmt.Errorf("residency build: %w", err)
+	}
+	if err := res.Verify(); err != nil {
+		return fmt.Errorf("fresh residency failed its own epoch check: %w", err)
+	}
+
+	// The pipelined replay: one scheduler micro-batch, every item resident.
+	sched := serve.NewScheduler(serve.SchedulerConfig{
+		Workers: pipelineBatch, MaxQueue: 2 * pipelineBatch,
+		MaxBatch: pipelineBatch, Linger: 20 * time.Millisecond,
+	})
+	defer sched.Close()
+
+	snaps := make([]runSnapshot, pipelineBatch)
+	errs := make([]error, pipelineBatch)
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := sched.Submit(ctx, "pipeline-oracle", func(ctx context.Context, b serve.BatchInfo) (any, error) {
+				snap, err := run(inputs[i], res, b.Stage)
+				snaps[i] = snap
+				return nil, err
+			})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range snaps {
+		if errs[i] != nil {
+			return fmt.Errorf("pipelined item %d: %w", i, errs[i])
+		}
+		if err := snaps[i].diff(base[i], pipelineBatch, 1); err != nil {
+			return fmt.Errorf("pipelined item %d vs serial baseline: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -82,6 +82,13 @@ type SessionOptions struct {
 	// the final observation is the MAC-register state a session snapshot
 	// carries.
 	OnLayerMACs func(phase int, regs protect.RegisterState)
+
+	// Residency, when non-nil, attaches the functional execution to a
+	// pinned verify-once-then-resident weight cache
+	// (secure.Executor.Residency); it is ignored — the full provisioning
+	// path runs — unless it matches the session's config and weights and
+	// no Hook/Injector is installed.
+	Residency *secure.WeightResidency
 }
 
 // RunSession drives the complete Figure 6 flow for one inference on the
@@ -107,7 +114,7 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 	if err := net.Validate(); err != nil {
 		return SessionResult{}, &resilience.ConfigError{Err: err}
 	}
-	choices, err := sched.MapNetwork(net, cfg.NPU, cfg.DRAM)
+	choices, err := sched.MapNetworkCached(net, cfg.NPU, cfg.DRAM)
 	if err != nil {
 		return SessionResult{}, err
 	}
@@ -136,7 +143,7 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 		// The NPU sanity-checks the commanded triplet against its own
 		// derivation for the commanded layer — a forged-but-authenticated
 		// command from a compromised host library would diverge here.
-		m, err := sched.Map(rcvd.Layer, cfg.NPU, cfg.DRAM)
+		m, err := sched.MapCached(rcvd.Layer, cfg.NPU, cfg.DRAM)
 		if err != nil {
 			return SessionResult{}, fmt.Errorf("host: layer %d: commanded layer unmappable: %w", i, err)
 		}
@@ -165,6 +172,7 @@ func RunSession(ctx context.Context, net workload.Network, cfg runner.Config, se
 		x.AfterPhase = opts.Hook
 		x.OnLayerMACs = opts.OnLayerMACs
 		x.Parallel = opts.Parallel
+		x.Residency = opts.Residency
 		if opts.Retry != (resilience.Policy{}) {
 			x.Retry = opts.Retry
 		}

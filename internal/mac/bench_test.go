@@ -48,6 +48,61 @@ func TestBlockMACAllocFree(t *testing.T) {
 	}
 }
 
+// BenchmarkFoldRow measures the batched row-MAC path used by host weight
+// loads and residency builds: header built once per row, index patched per
+// block, caller-owned scratch — zero allocations per row.
+func BenchmarkFoldRow(b *testing.B) {
+	const blocks = 64
+	data := make([]byte, blocks*tensor.BlockBytes)
+	var h RowHasher
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = h.FoldRow(BlockRef{Layer: 1, Fmap: uint32(i)}, data)
+	}
+}
+
+// TestFoldRowAllocFree pins the batched path's zero-allocation property:
+// the scratch lives in the caller-owned RowHasher, so an entire model load
+// reuses one buffer.
+func TestFoldRowAllocFree(t *testing.T) {
+	data := make([]byte, 32*tensor.BlockBytes)
+	var h RowHasher
+	var p PartialBank
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = p.OnWriteRow(BlockRef{Layer: 5, Index: 2}, data, &h)
+	})
+	if allocs > 0 {
+		t.Errorf("FoldRow via OnWriteRow: %.0f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFoldRowMatchesPerBlock: the row fold must be bit-equal to folding
+// each block's MAC individually, so callers can swap loops for FoldRow
+// without changing any golden digest.
+func TestFoldRowMatchesPerBlock(t *testing.T) {
+	const blocks = 7
+	data := make([]byte, blocks*tensor.BlockBytes)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	ref := BlockRef{Secret: 0xabc, Layer: 4, Fmap: 2, VN: 9, Index: 100}
+	got, n := new(RowHasher).FoldRow(ref, data)
+	if n != blocks {
+		t.Fatalf("FoldRow count = %d, want %d", n, blocks)
+	}
+	var want Digest
+	for b := 0; b < blocks; b++ {
+		r := ref
+		r.Index += uint32(b)
+		want = want.Xor(BlockMAC(r, data[b*tensor.BlockBytes:(b+1)*tensor.BlockBytes]))
+	}
+	if got != want {
+		t.Errorf("FoldRow %v != per-block fold %v", got, want)
+	}
+}
+
 // TestBlockMACFastSlowAgree: the inline fast path and the streaming
 // fallback must produce identical digests at the boundary.
 func TestBlockMACFastSlowAgree(t *testing.T) {

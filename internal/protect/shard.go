@@ -28,8 +28,9 @@ type SeculatorShard struct {
 	reads  int // blocks fetched, merged into the DRAM traffic counters
 	writes int // blocks stored, merged into the DRAM traffic counters
 
-	ct [tensor.BlockBytes]byte
-	pt [tensor.BlockBytes]byte
+	ct   [tensor.BlockBytes]byte
+	pt   [tensor.BlockBytes]byte
+	rowh mac.RowHasher
 }
 
 // Shard creates a worker view of the memory. Shards are cheap; the secure
@@ -175,12 +176,11 @@ func (s *SeculatorShard) HostWriteRow(addr uint64, ownerLayer, fmapID uint32, vn
 	m := s.parent
 	n := len(plaintext) / tensor.BlockBytes
 	s.engine.EncryptBlocks(ctScratch, plaintext, m.counter(ownerLayer, fmapID, vn, blockIdx), n)
-	var g mac.Digest
 	for b := 0; b < n; b++ {
 		o := b * tensor.BlockBytes
 		m.dram.WriteBlockQuiet(addr+uint64(b), ctScratch[o:o+tensor.BlockBytes])
-		g = g.Xor(mac.BlockMAC(m.ref(ownerLayer, fmapID, vn, blockIdx+uint32(b)), plaintext[o:o+tensor.BlockBytes]))
 	}
+	g, _ := s.rowh.FoldRow(m.ref(ownerLayer, fmapID, vn, blockIdx), plaintext[:n*tensor.BlockBytes])
 	s.writes += n
 	return g
 }

@@ -119,7 +119,29 @@ type Executor struct {
 	// 0 means the process default (DefaultParallel, settable via
 	// SetDefaultParallel or SECULATOR_INFER_PARALLEL); 1 runs serial.
 	Parallel int
+
+	// Residency, when non-nil, attaches the run to a pinned
+	// verify-once-then-resident weight cache (see residency.go): the
+	// pinned ciphertext is installed by memcpy, the per-request host
+	// encrypt + golden-MAC pass and the per-tile weight fetch/decrypt are
+	// skipped, and compute reads the residency's verified plaintext. The
+	// attach is refused — the run silently takes the full path — unless
+	// the residency matches this executor's config exactly, the caller's
+	// weights ARE the residency's verified tensors, and no attacker hook
+	// or fault injector is installed.
+	Residency *WeightResidency
 }
+
+// DefaultSecret and DefaultRandom are the process's DRAM crypto identity:
+// the accelerator secret ID (P in every block MAC) and the boot-time
+// randomness of the CTR engine. They are deliberately process constants —
+// ciphertext and golden MACs are then a pure function of (network, model
+// seed, design), which is what lets the serving tier pin verified weights
+// across requests (residency.go).
+const (
+	DefaultSecret uint64 = 0x5ec1_a70f_ee1d_c0de
+	DefaultRandom uint64 = 0xb007_5eed
+)
 
 // NewExecutor returns an executor with the default system configuration
 // and the default recovery policy.
@@ -127,8 +149,8 @@ func NewExecutor() *Executor {
 	return &Executor{
 		NPU:    npu.DefaultConfig(),
 		DRAM:   mem.DefaultConfig(),
-		Secret: 0x5ec1_a70f_ee1d_c0de,
-		Random: 0xb007_5eed,
+		Secret: DefaultSecret,
+		Random: DefaultRandom,
 		Retry:  resilience.DefaultPolicy(),
 	}
 }
@@ -164,6 +186,8 @@ type weightLayout struct {
 	ownerID     uint32
 }
 
+func (w weightLayout) blocks() int { return w.k * w.cGroups * w.sliceBlocks }
+
 func (w weightLayout) addr(k, cg, blk int) uint64 {
 	return w.base + uint64((k*w.cGroups+cg)*w.sliceBlocks+blk)
 }
@@ -177,6 +201,7 @@ type layerState struct {
 	wl  weightLayout // this layer's weight region (zero for pools)
 
 	goldenWeights mac.Digest // XOR of all weight-block MACs
+	resident      bool       // weights pre-verified by an attached residency
 	out           *nn.Tensor
 }
 
@@ -259,17 +284,28 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 	}
 	goldenInput := x.loadInput(rt, input, inputLayout)
 
+	// Residency attach: install the pinned, pre-verified ciphertext by
+	// memcpy and mark every layer trusted — no host encrypt, no golden
+	// re-MAC, no per-tile weight fetch. Otherwise provision normally.
+	resident := x.residentFor(net, weights)
 	// Layer-overlap pipeline: while layer k executes, a loader shard
 	// host-writes layer k+1's weights and computes their golden XOR-MAC on
 	// the pool. Only without an attacker hook or injector — both observe
 	// load/execute ordering that overlapping would change.
-	overlap := rt.parallelOn() && x.AfterPhase == nil && x.Injector == nil
-	if overlap {
+	overlap := !resident && rt.parallelOn() && x.AfterPhase == nil && x.Injector == nil
+	switch {
+	case resident:
+		x.Residency.install(dram)
+		for i := range states {
+			states[i].resident = true
+			states[i].goldenWeights = x.Residency.layers[i].golden
+		}
+	case overlap:
 		if weights[0] != nil {
 			states[0].goldenWeights = x.loadLayerWeights(rt.shards[0], &states[0], weights[0])
 			sm.Merge(rt.shards[0])
 		}
-	} else {
+	default:
 		x.loadAllWeights(rt, states, weights)
 	}
 	x.hook(-1, dram)
@@ -352,6 +388,15 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 		Blocks: dram.Lines(), Recovery: stats}, nil
 }
 
+// residentFor reports whether this run may attach to x.Residency: the
+// pinned state must match the executor's config and the caller's weight
+// tensors exactly, and no hook or injector may be installed — per-request
+// weight verification is precisely the check those harnesses exercise.
+func (x *Executor) residentFor(net workload.Network, weights []*nn.Weights) bool {
+	return x.Residency != nil && x.AfterPhase == nil && x.Injector == nil &&
+		x.Residency.matches(net, x.NPU, x.DRAM, x.Secret, x.Random, weights)
+}
+
 // classify wraps an integrity failure in the typed taxonomy; other errors
 // (mapping, protocol, context) pass through untouched.
 func classify(err error, layer int, class resilience.TensorClass) error {
@@ -406,12 +451,30 @@ func (x *Executor) hook(phase int, d *mem.DRAM) {
 // plan maps every layer and lays out the address space without writing
 // anything: the input region, then per layer its activation and weight
 // regions, all contiguous from line 0. It returns the total line count so
-// parallel runs can pre-reserve the DRAM store before sharding.
+// parallel runs can pre-reserve the DRAM store before sharding. The
+// mapping search is memoized (sched.MapCached) — the serving tier plans
+// the same layers on every request — and a residency attach reuses its
+// pinned choices outright.
 func (x *Executor) plan(net workload.Network, weights []*nn.Weights) ([]layerState, actLayout, uint64, error) {
-	choices, err := sched.MapNetwork(net, x.NPU, x.DRAM)
-	if err != nil {
-		return nil, actLayout{}, 0, err
+	var choices []sched.Choice
+	if x.residentFor(net, weights) {
+		choices = x.Residency.choices
+	} else {
+		var err error
+		choices, err = sched.MapNetworkCached(net, x.NPU, x.DRAM)
+		if err != nil {
+			return nil, actLayout{}, 0, err
+		}
 	}
+	states, inputLayout, next := planLayout(net, weights, choices)
+	return states, inputLayout, next, nil
+}
+
+// planLayout lays out the address space for a fixed set of mapping
+// choices: the deterministic half of plan, shared with the residency
+// build so pinned weight regions land at exactly the addresses any
+// attaching run will plan.
+func planLayout(net workload.Network, weights []*nn.Weights, choices []sched.Choice) ([]layerState, actLayout, uint64) {
 	var next uint64
 
 	// Layer-0 input region, owned by host "layer" 0 at version 1.
@@ -456,7 +519,7 @@ func (x *Executor) plan(net workload.Network, weights []*nn.Weights) ([]layerSta
 		}
 		states[i] = st
 	}
-	return states, inputLayout, next, nil
+	return states, inputLayout, next
 }
 
 // planInfo flattens the planned layout into the public PlanInfo view.

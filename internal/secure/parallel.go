@@ -35,6 +35,15 @@ const (
 
 	// ksMaxBlocks bounds the precomputed keystream slab (64 B per block).
 	ksMaxBlocks = 1 << 13
+
+	// minStageBytes auto-tunes the serial-vs-parallel cutover by layer byte
+	// size: a background pipeline stage (keystream precompute, weight
+	// preload) only engages for regions at least this large. Below it the
+	// pool handshake plus the per-layer cancel/join latency cost more than
+	// the crypto the stage hides, so small layers run the serial path even
+	// at high worker counts — the forked-shard paths have their own
+	// per-call cutover in shardCount.
+	minStageBytes = 32 << 10
 )
 
 // defaultParallel is the process-wide default worker count for Executor
@@ -160,6 +169,12 @@ func (x *Executor) newRuntime(sm *protect.SeculatorMemory, dram *mem.DRAM) *infe
 }
 
 func (rt *inferRuntime) parallelOn() bool { return rt.workers > 1 }
+
+// stageWorth reports whether a region of the given block count is large
+// enough to engage a background stage for (see minStageBytes).
+func (rt *inferRuntime) stageWorth(blocks int) bool {
+	return rt.parallelOn() && blocks*tensor.BlockBytes >= minStageBytes
+}
 
 // rowScratch returns shard s's plaintext and ciphertext staging for a row
 // of nblocks blocks, growing it if needed. Distinct shards own distinct
@@ -356,7 +371,7 @@ type preloadState struct {
 // architecture (disjoint, pre-reserved lines) but not to a hook that
 // expects "all loads precede phase -1" ordering.
 func (rt *inferRuntime) startPreload(x *Executor, st *layerState, w *nn.Weights) {
-	if !rt.parallelOn() || w == nil {
+	if w == nil || !rt.stageWorth(st.wl.blocks()) {
 		return
 	}
 	if rt.preload.sh == nil {

@@ -47,8 +47,15 @@ type Options struct {
 	// TimeoutMs is the per-request deadline sent to the server (0 uses
 	// the server default).
 	TimeoutMs int64
-	// Seeds vary per request (seed = request index) so the generated
-	// models exercise distinct inputs while staying deterministic.
+	// FixedModel pins every request to one model (ModelSeed) and varies
+	// the activation input instead — the production serving shape, where
+	// the server's residency cache verifies and pins the weights once and
+	// every later request attaches. Without it, seeds vary per request
+	// (seed = request index): a distinct model per request, the
+	// residency-hostile worst case.
+	FixedModel bool
+	// ModelSeed is the pinned model under FixedModel.
+	ModelSeed int64
 }
 
 func (o *Options) setDefaults() {
@@ -78,6 +85,7 @@ type Report struct {
 	P50, P95, P99  time.Duration
 	Max            time.Duration
 	MeanBatch      float64 // mean server-reported batch size over OK requests
+	ResidencyHits  int     // OK requests that rode the server's pinned weights
 }
 
 // String renders the report for humans.
@@ -90,6 +98,9 @@ func (r Report) String() string {
 		r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
 		r.P99.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
 	fmt.Fprintf(&b, "  batching: mean batch size %.2f\n", r.MeanBatch)
+	if r.ResidencyHits > 0 {
+		fmt.Fprintf(&b, "  residency: %d/%d hits\n", r.ResidencyHits, r.OK)
+	}
 	if len(r.Errors) > 0 {
 		classes := make([]string, 0, len(r.Errors))
 		for c := range r.Errors {
@@ -122,8 +133,18 @@ func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
 		wg        sync.WaitGroup
 		slots     = make(chan struct{}, opts.Concurrency)
 		sessionID string
+		inputLen  int
 	)
 	rep.Errors = make(map[string]int)
+
+	if opts.FixedModel {
+		net, err := serve.ResolveNetwork(opts.Network)
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: FixedModel: %w", err)
+		}
+		first := net.Layers[0]
+		inputLen = first.C * first.H * first.W
+	}
 
 	if opts.Sessions {
 		c, ok := target.(*client.Client)
@@ -168,6 +189,10 @@ arrivals:
 				Session:   sessionID,
 				TimeoutMs: opts.TimeoutMs,
 			}
+			if opts.FixedModel {
+				req.Seed = opts.ModelSeed
+				req.Input = varyInput(inputLen, seed)
+			}
 			t0 := time.Now()
 			resp, err := target.Infer(ctx, req)
 			lat := time.Since(t0)
@@ -188,6 +213,9 @@ arrivals:
 			rep.OK++
 			lats = append(lats, lat)
 			batchSum += resp.BatchSize
+			if resp.ResidencyHit {
+				rep.ResidencyHits++
+			}
 		}(seed)
 	}
 	wg.Wait()
@@ -205,6 +233,19 @@ arrivals:
 		rep.MeanBatch = float64(batchSum) / float64(rep.OK)
 	}
 	return rep, nil
+}
+
+// varyInput derives a deterministic per-request activation input: under
+// FixedModel the model stays pinned while every request still computes on
+// distinct data.
+func varyInput(n int, seed int64) []int32 {
+	in := make([]int32, n)
+	x := uint64(seed)*2654435761 + 12345
+	for i := range in {
+		x = x*6364136223846793005 + 1442695040888963407
+		in[i] = int32(x>>33)%257 - 128
+	}
+	return in
 }
 
 // percentile returns the p-quantile of sorted latencies (nearest-rank).

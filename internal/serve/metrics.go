@@ -33,6 +33,13 @@ type Metrics struct {
 	snapshotExports uint64
 	restoreOK       uint64
 	restoreRejected uint64
+
+	residencyHits        uint64
+	residencyMisses      uint64
+	residencyReverifies  uint64
+	residencyVerifyFails uint64
+	residencyEvictions   uint64
+	residentBytes        int64 // gauge: pinned ciphertext + pad bank footprint
 }
 
 // Shed reasons of the tenant admission path, as rendered on /metrics.
@@ -124,6 +131,49 @@ func (m *Metrics) SnapshotRestore(ok bool) {
 	m.mu.Unlock()
 }
 
+// ResidencyHit records one inference attached to an already-resident,
+// in-epoch weight cache entry.
+func (m *Metrics) ResidencyHit() {
+	m.mu.Lock()
+	m.residencyHits++
+	m.mu.Unlock()
+}
+
+// ResidencyMiss records one first-touch residency build (including a
+// rebuild after a failed epoch check).
+func (m *Metrics) ResidencyMiss() {
+	m.mu.Lock()
+	m.residencyMisses++
+	m.mu.Unlock()
+}
+
+// ResidencyReverify records one epoch re-verification of a resident entry
+// (expiry or tenant invalidation); ok is false when the check detected
+// corruption of the pinned state.
+func (m *Metrics) ResidencyReverify(ok bool) {
+	m.mu.Lock()
+	m.residencyReverifies++
+	if !ok {
+		m.residencyVerifyFails++
+	}
+	m.mu.Unlock()
+}
+
+// ResidencyEviction records one entry evicted from the residency cache
+// (capacity or corruption).
+func (m *Metrics) ResidencyEviction() {
+	m.mu.Lock()
+	m.residencyEvictions++
+	m.mu.Unlock()
+}
+
+// ResidencyBytes adjusts the resident-footprint gauge by delta.
+func (m *Metrics) ResidencyBytes(delta int64) {
+	m.mu.Lock()
+	m.residentBytes += delta
+	m.mu.Unlock()
+}
+
 // TenantStatus is the scrape-time breaker view of one tenant, sampled by
 // the server (the metrics type stays free of tenant dependencies).
 type TenantStatus struct {
@@ -204,6 +254,12 @@ func (m *Metrics) Render(queueDepth, sessionsActive int, sessionsCreated, sessio
 		fmt.Fprintf(&b, "seculator_serve_tenant_breaker_state{tenant=%q} %d\n", ts.Name, int(ts.State))
 		fmt.Fprintf(&b, "seculator_serve_tenant_breaker_opens_total{tenant=%q} %d\n", ts.Name, ts.Opens)
 	}
+	fmt.Fprintf(&b, "seculator_serve_residency_hits_total %d\n", m.residencyHits)
+	fmt.Fprintf(&b, "seculator_serve_residency_misses_total %d\n", m.residencyMisses)
+	fmt.Fprintf(&b, "seculator_serve_residency_reverifies_total %d\n", m.residencyReverifies)
+	fmt.Fprintf(&b, "seculator_serve_residency_verify_failures_total %d\n", m.residencyVerifyFails)
+	fmt.Fprintf(&b, "seculator_serve_residency_evictions_total %d\n", m.residencyEvictions)
+	fmt.Fprintf(&b, "seculator_serve_residency_resident_bytes %d\n", m.residentBytes)
 	cs := runner.CacheStats()
 	fmt.Fprintf(&b, "seculator_serve_sim_cache_hits %d\n", cs.Hits)
 	fmt.Fprintf(&b, "seculator_serve_sim_cache_misses %d\n", cs.Misses)

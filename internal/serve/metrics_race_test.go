@@ -70,6 +70,11 @@ func TestMetricsConcurrentScrapeConsistency(t *testing.T) {
 		"seculator_serve_snapshot_exports_total",
 		"seculator_serve_snapshot_restored_total",
 		"seculator_serve_snapshot_rejected_total",
+		"seculator_serve_residency_hits_total",
+		"seculator_serve_residency_misses_total",
+		"seculator_serve_residency_reverifies_total",
+		"seculator_serve_residency_verify_failures_total",
+		"seculator_serve_residency_evictions_total",
 	}
 
 	stop := make(chan struct{})
@@ -167,5 +172,15 @@ func TestMetricsConcurrentScrapeConsistency(t *testing.T) {
 	}
 	if shed, ok := metricLookup(t, scrape, "seculator_serve_tenant_shed_total"); ok && shed != 0 {
 		t.Errorf("tenant_shed_total = %v on an uncontended run", shed)
+	}
+	// Every clean inference attaches to the residency cache exactly once:
+	// one hit or one miss per request.
+	hits := metricValue(t, scrape, "seculator_serve_residency_hits_total")
+	misses := metricValue(t, scrape, "seculator_serve_residency_misses_total")
+	if hits+misses != total {
+		t.Errorf("residency hits %v + misses %v != %v requests", hits, misses, total)
+	}
+	if rb := metricValue(t, scrape, "seculator_serve_residency_resident_bytes"); rb <= 0 {
+		t.Errorf("resident_bytes = %v after %v resident inferences", rb, total)
 	}
 }

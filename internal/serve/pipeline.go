@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+)
+
+// pipeline.go — cross-request layer-stage pipelining inside a micro-batch.
+//
+// The pre-pipeline scheduler ran a batch's requests back to back on one
+// pool worker: request B waited for every layer of request A. But the
+// secure executor's layers are naturally staged — provisioning, layer 0,
+// layer 1, …, readout — and the XOR-MAC protocol makes each request's
+// state private (its own DRAM image, its own register banks), so request B
+// can run layer k while request A runs layer k+1 with zero shared mutable
+// state. The scheduler therefore submits each batch item as its own pool
+// task, chained by StageGates: item j may enter layer k only after item
+// j-1 has left it. Stage handoff reuses the executor's OnLayerMACs layer
+// boundary, so the per-request execution is bit-identical to the serial
+// batch — same event streams, same folds, same outputs — only the
+// interleaving across requests changes.
+//
+// Deadlock freedom: the pool starts tasks in FIFO order and each gate
+// waits only on the item submitted immediately before it. Any blocked item
+// therefore waits on an item that already started, and the chain bottoms
+// out at an item with no predecessor — which always progresses. With one
+// worker the pipeline degrades to exactly the old sequential batch.
+
+// stageProgress is a monotone stage counter with channel broadcast: Done
+// re-makes the channel so any number of waiters wake per advance, and
+// waiters can select against their request context.
+type stageProgress struct {
+	mu sync.Mutex
+	n  int
+	ch chan struct{}
+}
+
+func newStageProgress() *stageProgress {
+	return &stageProgress{ch: make(chan struct{})}
+}
+
+func (p *stageProgress) advance(n int) {
+	p.mu.Lock()
+	if n > p.n {
+		p.n = n
+		close(p.ch)
+		p.ch = make(chan struct{})
+	}
+	p.mu.Unlock()
+}
+
+func (p *stageProgress) wait(ctx context.Context, n int) error {
+	for {
+		p.mu.Lock()
+		if p.n >= n {
+			p.mu.Unlock()
+			return nil
+		}
+		ch := p.ch
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// StageGate is one batch item's handle on the pipeline: it waits on the
+// predecessor item's progress and publishes its own. The zero stage count
+// convention is "stages completed": after a request finishes layer i it
+// calls Done(i+1); Finish (always called by the scheduler when the item's
+// task returns, on every path) releases all successors unconditionally.
+type StageGate struct {
+	prev *stageProgress // nil for the batch head
+	self *stageProgress
+}
+
+// Wait blocks until the predecessor has completed n stages (returns
+// immediately for the batch head), or ctx expires.
+func (g *StageGate) Wait(ctx context.Context, n int) error {
+	if g == nil || g.prev == nil {
+		return nil
+	}
+	return g.prev.wait(ctx, n)
+}
+
+// Done publishes that this item has completed n stages.
+func (g *StageGate) Done(n int) {
+	if g == nil {
+		return
+	}
+	g.self.advance(n)
+}
+
+// Finish publishes unconditional completion: successors blocked on any
+// stage are released. Idempotent; safe on error and cancellation paths.
+func (g *StageGate) Finish() {
+	if g == nil {
+		return
+	}
+	g.self.advance(math.MaxInt)
+}

@@ -71,6 +71,13 @@ type Options struct {
 	// MaxInputLen caps the explicit input override length (default 1<<20).
 	MaxInputLen int
 
+	// Residency shapes the verified-weight residency cache (residency.go):
+	// first use of a (network, model seed) pays encryption + golden-MAC
+	// verification once, pins the result, and later requests attach to the
+	// pinned state. The zero value enables it with defaults; set Disabled
+	// to restore per-request provisioning.
+	Residency ResidencyConfig
+
 	// InferWorkers is the intra-inference crypto worker count applied to
 	// every inference this server runs: 0 uses the process default
 	// (secure.SetDefaultParallel / SECULATOR_INFER_PARALLEL), 1 forces
@@ -133,6 +140,7 @@ type Server struct {
 	tenants     *TenantRegistry
 	sessions    *SessionManager
 	metrics     *Metrics
+	residency   *residencyManager // nil when disabled
 	snapshotKey []byte
 	mux         *http.ServeMux
 
@@ -170,6 +178,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if len(s.snapshotKey) == 0 {
 		s.snapshotKey = newSnapshotKey()
+	}
+	if !opts.Residency.Disabled {
+		s.residency = newResidencyManager(opts.Residency, s.metrics)
 	}
 	s.fair = NewFairQueue(opts.Scheduler)
 	s.fair.Scheduler().onBatch = s.metrics.Batch
@@ -234,6 +245,20 @@ func (s *Server) resolveNetwork(name string) (workload.Network, error) {
 		}
 	}
 	return workload.Network{}, fmt.Errorf("serve: unknown network %q", name)
+}
+
+// ResolveNetwork resolves a network name against the default registry
+// (MiniNet plus workload.All, including the "Name/div" shrink form) — the
+// same set every server registers. Clients that need model geometry
+// without a round trip (the load generator building input overrides) use
+// this.
+func ResolveNetwork(name string) (workload.Network, error) {
+	s := &Server{networks: make(map[string]workload.Network)}
+	s.register(MiniNet())
+	for _, n := range workload.All() {
+		s.register(n)
+	}
+	return s.resolveNetwork(name)
 }
 
 // Handler returns the HTTP handler.
@@ -433,6 +458,8 @@ type inferOutcome struct {
 	lastSeq  uint64 // command-channel sequence the session finished at
 	haveRegs bool
 	regs     protect.RegisterState // final MAC registers (session runs)
+
+	residencyHit bool // rode an already-resident weight cache entry
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -491,6 +518,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 		if breach {
 			s.metrics.TenantBreach(tenant.Name())
+			// A breached tenant never rides a stale trust decision: its
+			// pinned residency epochs re-verify before the next attach.
+			s.residency.InvalidateTenant(tenant.Name())
 		}
 	}
 
@@ -540,7 +570,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 	key := "net=" + net.Name
 	res, info, err := s.fair.Submit(ctx, tenant, key, func(ctx context.Context, b BatchInfo) (any, error) {
-		return s.runInference(ctx, net, &req, grant, tenant.Name())
+		return s.runInference(ctx, net, &req, grant, tenant.Name(), b.Stage)
 	})
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQueueFull) || errors.Is(err, ErrShuttingDown) {
@@ -566,14 +596,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		s.sessions.Commit(req.Session, oc.lastSeq, oc.regs, oc.haveRegs, OutputSum(oc.out))
 	}
 	resp := InferResponse{
-		Network:   net.Name,
-		Layers:    len(net.Layers),
-		OutputSum: OutputSum(oc.out),
-		Cycles:    oc.cycles,
-		Commands:  oc.commands,
-		BatchSize: info.Size,
-		QueueMs:   float64(info.Queued) / float64(time.Millisecond),
-		RunMs:     oc.runMs,
+		Network:      net.Name,
+		Layers:       len(net.Layers),
+		OutputSum:    OutputSum(oc.out),
+		Cycles:       oc.cycles,
+		Commands:     oc.commands,
+		BatchSize:    info.Size,
+		QueueMs:      float64(info.Queued) / float64(time.Millisecond),
+		RunMs:        oc.runMs,
+		ResidencyHit: oc.residencyHit,
 		Recovery: RecoveryInfo{
 			Retries:    oc.recovery.Retries,
 			Recovered:  oc.recovery.Recovered,
@@ -611,31 +642,77 @@ func (s *Server) hookFor(tenant string) secure.Hook {
 	return s.opts.Hook
 }
 
-// runInference executes one request on a pool worker: build the
-// deterministic model, then either the full secure session (command
+// runInference executes one request on a pool worker: build (or attach to)
+// the deterministic model, then either the full secure session (command
 // channel + functional execution) or the sessionless secure inference
 // with the memoized timing simulation alongside. Session runs continue the
 // session's command-channel sequence window (grant.BaseSeq) and capture the
 // final MAC registers for the session's durable state.
-func (s *Server) runInference(ctx context.Context, net workload.Network, req *InferRequest, grant *SessionGrant, tenant string) (*inferOutcome, error) {
+//
+// When the batch is pipelined, gate is the request's layer-stage handle:
+// the request enters layer k only once its batch predecessor has left it
+// (pipeline.go). The gate's Done/Wait calls ride the executor's
+// OnLayerMACs layer boundary, so per-request execution is untouched.
+func (s *Server) runInference(ctx context.Context, net workload.Network, req *InferRequest, grant *SessionGrant, tenant string, gate *StageGate) (*inferOutcome, error) {
 	start := time.Now()
-	in, ws := nn.RandomModel(net, req.Seed)
+	oc := &inferOutcome{}
+
+	// Weight residency: attach to (or build) the pinned verified weights
+	// for (network, seed). Attack-instrumented tenants keep the
+	// per-request provisioning path — the residency cache never hides a
+	// hook's attack surface — and any attach error falls back silently.
+	var in *nn.Tensor
+	var ws []*nn.Weights
+	var resident *secure.WeightResidency
+	if s.residency != nil && s.hookFor(tenant) == nil {
+		r, hit, err := s.residency.attach(tenant, req.Network, req.Seed, func() (*secure.WeightResidency, error) {
+			_, bws := nn.RandomModel(net, req.Seed)
+			return secure.BuildWeightResidency(ctx, net, s.cfg.NPU, s.cfg.DRAM, secure.DefaultSecret, secure.DefaultRandom, bws)
+		})
+		if err == nil {
+			resident, oc.residencyHit = r, hit
+			ws = resident.Weights()
+			first := net.Layers[0]
+			in = nn.NewTensor(first.C, first.H, first.W)
+			in.Randomize(req.Seed)
+		}
+	}
+	if in == nil {
+		in, ws = nn.RandomModel(net, req.Seed)
+	}
 	if len(req.Input) > 0 {
 		copy(in.Data, req.Input)
 	}
 
-	oc := &inferOutcome{}
+	// Layer-stage gate protocol: entering layer k needs the predecessor to
+	// have completed k+1 stages (provisioning counts as part of layer 0).
+	// OnLayerMACs(p) fires when layer p closes (p == len(layers) for the
+	// readout epoch): publish p+1 stages done, then wait to enter p+1. A
+	// context expiry inside the wait just returns — the executor aborts at
+	// its own next context check — and the scheduler finishes the gate on
+	// every task exit, so successors are never stranded.
+	stages := len(net.Layers)
+	onMACs := func(phase int, regs protect.RegisterState) {
+		oc.regs = regs
+		oc.haveRegs = true
+		gate.Done(phase + 1)
+		if phase < stages {
+			_ = gate.Wait(ctx, phase+2)
+		}
+	}
+	if err := gate.Wait(ctx, 1); err != nil {
+		return nil, err
+	}
+
 	if grant != nil {
 		res, err := host.RunSession(ctx, net, s.cfg, grant.Key, host.SessionOptions{
 			Input: in, Weights: ws,
-			Intercept: s.interceptFor(tenant),
-			Hook:      s.hookFor(tenant),
-			Parallel:  s.opts.InferWorkers,
-			BaseSeq:   grant.BaseSeq,
-			OnLayerMACs: func(phase int, regs protect.RegisterState) {
-				oc.regs = regs
-				oc.haveRegs = true
-			},
+			Intercept:   s.interceptFor(tenant),
+			Hook:        s.hookFor(tenant),
+			Parallel:    s.opts.InferWorkers,
+			BaseSeq:     grant.BaseSeq,
+			Residency:   resident,
+			OnLayerMACs: onMACs,
 		})
 		oc.recovery = res.Recovery
 		if err != nil {
@@ -650,6 +727,8 @@ func (s *Server) runInference(ctx context.Context, net workload.Network, req *In
 		x.NPU, x.DRAM = s.cfg.NPU, s.cfg.DRAM
 		x.AfterPhase = s.hookFor(tenant)
 		x.Parallel = s.opts.InferWorkers
+		x.Residency = resident
+		x.OnLayerMACs = onMACs
 		fr, err := x.Run(ctx, net, in, ws)
 		oc.recovery = fr.Recovery
 		if err != nil {

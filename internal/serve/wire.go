@@ -74,6 +74,11 @@ type InferResponse struct {
 	QueueMs   float64 `json:"queue_ms"` // admission to execution start
 	RunMs     float64 `json:"run_ms"`   // execution wall time
 
+	// ResidencyHit reports that this inference attached to an
+	// already-resident verified weight cache entry instead of
+	// re-provisioning its weights.
+	ResidencyHit bool `json:"residency_hit,omitempty"`
+
 	Recovery RecoveryInfo `json:"recovery"`
 }
 
