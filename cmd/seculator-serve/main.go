@@ -11,6 +11,8 @@
 //	seculator-serve -infer-parallel 8           # shard each request's crypto
 //	seculator-serve -loadgen -rps 200 -duration 5s -network Mini
 //	seculator-serve -loadgen -target http://host:8080 -rps 100
+//	seculator-serve -loadgen -gateway http://gw:8080 -rps 100   # per-replica attribution
+//	seculator-serve -loadgen -replicas 2 -rps 100    # in-process cluster + gateway
 //	seculator-serve -tenants tenants.json       # multi-tenant front
 //	seculator-serve -snapshot-key $KEY          # stable session-snapshot sealing
 //	seculator-serve -chaos -seed 1 -duration 1s # seeded fault campaign, exit 0/1
@@ -18,6 +20,9 @@
 //
 // -loadgen without -target starts an in-process server, drives it at the
 // requested rate, prints p50/p95/p99 latency and sustained RPS, and exits.
+// -gateway points the generator at a replica-sharding gateway (the report
+// then attributes completions per replica); -replicas N instead starts an
+// in-process N-replica cluster fronted by a gateway and drives that.
 // -tenants takes a path to (or an inline) JSON array of tenant configs
 // ({"key","name","weight","rate_rps","burst","max_pending"}); without it
 // the server runs single-tenant and unauthenticated as before.
@@ -43,6 +48,7 @@ import (
 	"time"
 
 	"seculator"
+	"seculator/internal/gateway"
 	"seculator/internal/serve"
 	"seculator/internal/serve/chaos"
 	"seculator/internal/serve/client"
@@ -69,6 +75,8 @@ func main() {
 
 		doLoad   = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target   = flag.String("target", "", "loadgen target base URL (empty = in-process server)")
+		gwURL    = flag.String("gateway", "", "loadgen: gateway base URL to drive (reports per-replica attribution)")
+		replicas = flag.Int("replicas", 0, "loadgen: start an in-process N-replica cluster behind a gateway and drive that")
 		rps      = flag.Float64("rps", 100, "loadgen target arrival rate")
 		duration = flag.Duration("duration", 3*time.Second, "loadgen run length")
 		network  = flag.String("network", "Mini", "loadgen network")
@@ -115,7 +123,7 @@ func main() {
 			fail(err)
 		}
 	case *doLoad:
-		if err := runLoadgen(opts, *target, *apiKey, loadgen.Options{
+		if err := runLoadgen(opts, loadTarget(*target, *gwURL), *replicas, *apiKey, loadgen.Options{
 			RPS: *rps, Duration: *duration, Network: *network, Sessions: *sessions,
 			FixedModel: *fixed, ModelSeed: *mseed,
 		}); err != nil {
@@ -267,10 +275,33 @@ func startInProcess(opts serve.Options) (string, func() error, error) {
 	return "http://" + ln.Addr().String(), drain, nil
 }
 
-func runLoadgen(opts serve.Options, target, apiKey string, lopts loadgen.Options) error {
+// loadTarget resolves the loadgen base URL: -gateway wins over -target so
+// a gateway run gets per-replica attribution without repurposing -target.
+func loadTarget(target, gatewayURL string) string {
+	if gatewayURL != "" {
+		return gatewayURL
+	}
+	return target
+}
+
+func runLoadgen(opts serve.Options, target string, replicas int, apiKey string, lopts loadgen.Options) error {
 	base := target
 	drain := func() error { return nil }
-	if base == "" {
+	switch {
+	case base != "":
+		// remote target; nothing to start or drain
+	case replicas > 0:
+		lc, err := gateway.StartLocal(gateway.LocalOptions{
+			Replicas:     replicas,
+			ServeOptions: func(int) serve.Options { return opts },
+		})
+		if err != nil {
+			return err
+		}
+		base = lc.GatewayURL
+		drain = func() error { lc.Stop(); return nil }
+		fmt.Printf("seculator-serve: in-process %d-replica cluster behind gateway at %s\n", replicas, base)
+	default:
 		var err error
 		base, drain, err = startInProcess(opts)
 		if err != nil {

@@ -31,7 +31,7 @@ func main() {
 		layers      = flag.Bool("layers", false, "print the per-layer breakdown")
 		showTrace   = flag.Bool("trace", false, "capture and summarize the memory-address trace")
 		asJSON      = flag.Bool("json", false, "emit the result as JSON")
-		confN       = flag.Int("conformance", 0, "run N seeded conformance trials through all five oracles and exit")
+		confN       = flag.Int("conformance", 0, "run N seeded conformance trials through all six oracles and exit")
 		confSeed    = flag.Int64("seed", 1, "base seed for -conformance (trial i uses seed+i)")
 		replayLine  = flag.String("replay", "", "replay one conformance repro line ('seed=… oracle=… config=…', or '-' to read from stdin)")
 	)
@@ -155,12 +155,13 @@ func printResult(r, base seculator.Result, cfg seculator.Config, layers bool) {
 	}
 }
 
-// runConformance drives n seeded trials through the five-oracle battery.
+// runConformance drives n seeded trials through the six-oracle battery.
 // Any failure prints its minimized one-line repro and the process exits 1.
 func runConformance(base int64, n int) {
-	fmt.Printf("conformance: %d trials, seeds %d..%d, oracles: %s %s %s %s %s\n",
+	fmt.Printf("conformance: %d trials, seeds %d..%d, oracles: %s %s %s %s %s %s\n",
 		n, base, base+int64(n)-1, conformance.OracleVN, conformance.OracleCrossScheme,
-		conformance.OracleSerialParallel, conformance.OracleAttack, conformance.OraclePipeline)
+		conformance.OracleSerialParallel, conformance.OracleAttack, conformance.OraclePipeline,
+		conformance.OracleGateway)
 	fails := conformance.Run(base, n, func(done int, f *conformance.Failure) {
 		if f != nil {
 			fmt.Printf("FAIL %s\n", f.ReproLine())

@@ -1,7 +1,7 @@
 // Package conformance is the differential-testing harness behind the
 // paper's equivalence claims: it generates random-but-valid layer
 // configurations — shapes, tilings, dataflows, degenerate and partial-tile
-// cases — and drives each through five oracles:
+// cases — and drives each through six oracles:
 //
 //  1. cross-scheme equivalence: every protection design computes identical
 //     outputs and self-consistent traffic/metadata accounting;
@@ -15,7 +15,11 @@
 //     positives;
 //  5. pipelined-batch equivalence: a serving micro-batch riding one shared
 //     verified-weight residency through the layer-stage pipeline is
-//     bit-identical, request by request, to serial non-resident runs.
+//     bit-identical, request by request, to serial non-resident runs;
+//  6. gateway attack replay: the command-channel MITM mounted through a
+//     2-replica gateway fleet is detected with zero false negatives and
+//     zero false positives, including against a session live-migrated
+//     mid-attack — the breach latches on the new replica.
 //
 // Every trial derives deterministically from one int64 seed; a failing
 // trial shrinks to a minimal config and prints a one-line repro
@@ -139,7 +143,7 @@ type AttackSpec struct {
 	Bit    int `json:"bit"`
 }
 
-// Config is one self-contained trial: everything the five oracles consume,
+// Config is one self-contained trial: everything the six oracles consume,
 // serializable as the repro payload.
 type Config struct {
 	Seed     int64      `json:"seed"`
@@ -348,6 +352,7 @@ const (
 	OracleSerialParallel = "serial-parallel"
 	OraclePipeline       = "pipeline"
 	OracleAttack         = "attack"
+	OracleGateway        = "gateway"
 )
 
 // oracles maps names to checkers, in trial execution order.
@@ -360,6 +365,7 @@ var oracles = []struct {
 	{OracleSerialParallel, CheckSerialParallel},
 	{OraclePipeline, CheckPipelinedBatch},
 	{OracleAttack, CheckAttackDetection},
+	{OracleGateway, CheckGatewayAttack},
 }
 
 // Trial runs every oracle on the config; the first violation is shrunk to a

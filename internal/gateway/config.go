@@ -1,0 +1,75 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// config.go — the reloadable half of the gateway's configuration: the
+// replica set and routing knobs an operator changes at runtime (SIGHUP or
+// POST /admin/reload) without dropping in-flight requests. Listener
+// address, keys, and health cadence stay process-lifetime options.
+
+// ReplicaConfig names one backend replica.
+type ReplicaConfig struct {
+	// Name is the stable identity of the replica — it is what the ring
+	// hashes, so a replica that moves hosts keeps its sessions iff its
+	// name survives the move.
+	Name string `json:"name"`
+	// URL is the base URL of the replica's serving API.
+	URL string `json:"url"`
+}
+
+// Config is the hot-reloadable gateway configuration (the JSON file
+// format of -config).
+type Config struct {
+	Replicas []ReplicaConfig `json:"replicas"`
+	// Vnodes is the per-replica virtual-node count (0 = DefaultVnodes).
+	Vnodes int `json:"vnodes,omitempty"`
+	// LoadFactor is the bounded-load factor for stateless spread: a
+	// replica is skipped while its in-flight count exceeds
+	// LoadFactor × (fleet in-flight / available replicas). 0 means
+	// DefaultLoadFactor.
+	LoadFactor float64 `json:"load_factor,omitempty"`
+}
+
+// Validate rejects configurations the router cannot act on.
+func (c *Config) Validate() error {
+	if len(c.Replicas) == 0 {
+		return fmt.Errorf("gateway: config has no replicas")
+	}
+	seen := make(map[string]bool, len(c.Replicas))
+	for i, r := range c.Replicas {
+		if r.Name == "" || r.URL == "" {
+			return fmt.Errorf("gateway: replica %d needs both name and url", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("gateway: duplicate replica name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if c.LoadFactor != 0 && c.LoadFactor < 1 {
+		return fmt.Errorf("gateway: load_factor %v below 1 would refuse all overflow", c.LoadFactor)
+	}
+	if c.Vnodes < 0 {
+		return fmt.Errorf("gateway: negative vnodes")
+	}
+	return nil
+}
+
+// LoadConfig reads and validates a config file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("gateway: read config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("gateway: parse config %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}

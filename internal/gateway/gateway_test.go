@@ -1,0 +1,245 @@
+package gateway_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seculator/internal/gateway"
+	"seculator/internal/serve"
+	"seculator/internal/serve/client"
+)
+
+// fastHealth is a prober configuration quick enough for tests without
+// being racy on a loaded single-core CI box.
+func fastHealth() gateway.HealthConfig {
+	return gateway.HealthConfig{
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		FailAfter:     2,
+		EjectFor:      100 * time.Millisecond,
+		RecoverAfter:  1,
+	}
+}
+
+// startCluster brings up n replicas behind a gateway with fast probing
+// and returns a typed client pointed at the gateway.
+func startCluster(t *testing.T, n int) (*gateway.LocalCluster, *client.Client) {
+	t.Helper()
+	c, err := gateway.StartLocal(gateway.LocalOptions{
+		Replicas: n,
+		Gateway:  gateway.Options{Health: fastHealth()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, client.New(c.GatewayURL, nil)
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// A stateless inference through the gateway returns the same checksum a
+// direct replica run does, stamped with the serving replica's name.
+func TestGatewayStatelessInfer(t *testing.T) {
+	c, gc := startCluster(t, 2)
+	ctx := ctxT(t)
+	via, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.Replica == "" {
+		t.Fatal("gateway did not stamp replica attribution")
+	}
+	direct, err := client.New(c.Replicas[0].URL, nil).Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via.OutputSum != direct.OutputSum {
+		t.Fatalf("gateway checksum %#x, direct %#x", via.OutputSum, direct.OutputSum)
+	}
+	if via.Snapshot != nil {
+		t.Fatal("stateless response carried a snapshot")
+	}
+}
+
+// Sessions created through the gateway land on their ring owner and stay
+// sticky: every inference of one session serves from the same replica.
+func TestGatewaySessionSticky(t *testing.T) {
+	c, gc := startCluster(t, 3)
+	ctx := ctxT(t)
+	sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := c.Gateway.Locations()
+	home, ok := loc[sess.SessionID]
+	if !ok {
+		t.Fatalf("session %s not vaulted: %v", sess.SessionID, loc)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i), Session: sess.SessionID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Replica != home {
+			t.Fatalf("infer %d served by %s, home is %s", i, resp.Replica, home)
+		}
+		if resp.Commands == 0 {
+			t.Fatalf("session inference reported no authenticated commands")
+		}
+		if resp.Snapshot != nil {
+			t.Fatal("piggybacked snapshot leaked to a client that didn't ask")
+		}
+	}
+	// The client can still ask for the snapshot explicitly.
+	resp, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 9, Session: sess.SessionID, ReturnSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Snapshot == nil {
+		t.Fatal("ReturnSnapshot honored nowhere")
+	}
+	if err := gc.CloseSession(ctx, sess.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Gateway.Locations()[sess.SessionID]; ok {
+		t.Fatal("vault entry outlived the session")
+	}
+}
+
+// Draining a replica migrates its sessions away live: the gateway's
+// prober sees "draining" in /healthz and evacuates, after which
+// inference for those sessions serves from other replicas with the
+// sequence window intact.
+func TestGatewayDrainEvacuates(t *testing.T) {
+	c, gc := startCluster(t, 2)
+	ctx := ctxT(t)
+
+	// Create sessions until at least one lives on each replica.
+	homes := map[string]string{}
+	for i := 0; i < 8; i++ {
+		sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i), Session: sess.SessionID}); err != nil {
+			t.Fatal(err)
+		}
+		homes[sess.SessionID] = c.Gateway.Locations()[sess.SessionID]
+	}
+	victim := c.Replicas[0].Name
+	c.Drain(victim)
+	waitFor(t, 10*time.Second, "evacuation", func() bool {
+		for _, home := range c.Gateway.Locations() {
+			if home == victim {
+				return false
+			}
+		}
+		return true
+	})
+	// Every session keeps working, now on the survivor.
+	for id := range homes {
+		resp, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 99, Session: id})
+		if err != nil {
+			t.Fatalf("post-drain infer on %s: %v", id, err)
+		}
+		if resp.Replica == victim {
+			t.Fatalf("session %s still served by draining replica", id)
+		}
+	}
+}
+
+// Hot reload: adding a replica bumps the ring generation and rebalances
+// only the sessions whose ring owner changed; in-flight service
+// continues.
+func TestGatewayHotReload(t *testing.T) {
+	c, gc := startCluster(t, 3)
+	ctx := ctxT(t)
+	ids := make([]string, 0, 10)
+	for i := 0; i < 10; i++ {
+		sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i), Session: sess.SessionID}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sess.SessionID)
+	}
+	before := c.Gateway.Locations()
+	gen := c.Gateway.Gen()
+
+	// Shrink to two replicas: sessions on the removed replica must re-home.
+	cfg := gateway.Config{}
+	removed := c.Replicas[2].Name
+	for _, r := range c.Replicas[:2] {
+		cfg.Replicas = append(cfg.Replicas, gateway.ReplicaConfig{Name: r.Name, URL: r.URL})
+	}
+	if _, err := c.Gateway.Reload(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if c.Gateway.Gen() != gen+1 {
+		t.Fatalf("ring generation %d, want %d", c.Gateway.Gen(), gen+1)
+	}
+	after := c.Gateway.Locations()
+	for _, id := range ids {
+		if after[id] == removed {
+			t.Fatalf("session %s still homed on removed replica", id)
+		}
+		if before[id] != removed && before[id] != after[id] {
+			t.Fatalf("session %s moved %s→%s though its home survived", id, before[id], after[id])
+		}
+		if _, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 5, Session: id}); err != nil {
+			t.Fatalf("post-reload infer on %s: %v", id, err)
+		}
+	}
+}
+
+// A dead replica is ejected and stateless traffic retries on the
+// survivor within the retry budget — the client sees no error.
+func TestGatewayStatelessFailover(t *testing.T) {
+	c, gc := startCluster(t, 2)
+	ctx := ctxT(t)
+	c.Kill(c.Replicas[1].Name)
+	for i := 0; i < 6; i++ {
+		resp, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("infer %d with one dead replica: %v", i, err)
+		}
+		if resp.Replica == c.Replicas[1].Name {
+			t.Fatalf("response attributed to the dead replica")
+		}
+	}
+}
+
+// The gateway /healthz degrades when every replica is gone.
+func TestGatewayHealthDegraded(t *testing.T) {
+	c, _ := startCluster(t, 2)
+	for _, r := range c.Replicas {
+		c.Kill(r.Name)
+	}
+	waitFor(t, 10*time.Second, "all replicas ejected", func() bool {
+		_, err := client.New(c.GatewayURL, nil).Infer(context.Background(),
+			serve.InferRequest{Network: "Mini", Seed: 1})
+		return err != nil
+	})
+}

@@ -1,0 +1,188 @@
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics.go — the gateway's counter set, rendered Prometheus-style on
+// GET /metrics in the same idiom as internal/serve. Per-replica
+// attribution is the point: the flat serve counters tell you the fleet is
+// slow, these tell you which replica.
+
+// latencyWindow keeps the most recent forward latencies of one replica so
+// the scrape can report tail quantiles without a histogram dependency.
+const latencyWindow = 1024
+
+// replicaStats is one replica's forward-path accounting.
+type replicaStats struct {
+	requests   uint64
+	errors     uint64
+	latencySum time.Duration
+	window     []time.Duration // ring buffer of recent latencies
+	windowPos  int
+}
+
+// Metrics is the gateway counter set. Migration reasons label the
+// migrations counter: "place" (create-time move to the ring owner),
+// "rebalance" (ring change), "drain" (replica pre-draining), "failover"
+// (replica death, vault restore).
+type Metrics struct {
+	mu sync.Mutex
+
+	requests          map[int]uint64 // gateway HTTP status -> count
+	replicas          map[string]*replicaStats
+	retries           uint64
+	migrations        map[string]uint64 // reason -> count
+	migrationFailures uint64
+}
+
+// Migration reasons as rendered on /metrics.
+const (
+	MigratePlace     = "place"
+	MigrateRebalance = "rebalance"
+	MigrateDrain     = "drain"
+	MigrateFailover  = "failover"
+)
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:   make(map[int]uint64),
+		replicas:   make(map[string]*replicaStats),
+		migrations: make(map[string]uint64),
+	}
+}
+
+// Request records one gateway response's final status.
+func (m *Metrics) Request(status int) {
+	m.mu.Lock()
+	m.requests[status]++
+	m.mu.Unlock()
+}
+
+// Forward records one forwarded request's outcome against its replica.
+// Transport errors count as errors with no latency sample (the duration
+// of a refused connection says nothing about the replica's service time).
+func (m *Metrics) Forward(replica string, d time.Duration, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.replicas[replica]
+	if rs == nil {
+		rs = &replicaStats{}
+		m.replicas[replica] = rs
+	}
+	rs.requests++
+	if !ok {
+		rs.errors++
+		return
+	}
+	rs.latencySum += d
+	if len(rs.window) < latencyWindow {
+		rs.window = append(rs.window, d)
+	} else {
+		rs.window[rs.windowPos] = d
+	}
+	rs.windowPos = (rs.windowPos + 1) % latencyWindow
+}
+
+// Retry records one forward retried on an alternate replica.
+func (m *Metrics) Retry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+// Migration records one session migration by reason.
+func (m *Metrics) Migration(reason string) {
+	m.mu.Lock()
+	m.migrations[reason]++
+	m.mu.Unlock()
+}
+
+// MigrationFailure records one migration attempt that failed (the session
+// stays where it was; the rebalancer retries on its next pass).
+func (m *Metrics) MigrationFailure() {
+	m.mu.Lock()
+	m.migrationFailures++
+	m.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window (copied and sorted).
+// Caller holds m.mu.
+func (rs *replicaStats) quantile(q float64) time.Duration {
+	if len(rs.window) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), rs.window...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ReplicaView is the scrape-time health view of one replica, sampled by
+// the gateway (the metrics type stays free of prober dependencies).
+type ReplicaView struct {
+	Name      string
+	State     HealthState
+	Draining  bool
+	Inflight  int64
+	Ejections uint64
+}
+
+// Render writes the scrape text. Ring generation, vault size, and the
+// replica health views are passed in so the metrics type stays a plain
+// counter bag.
+func (m *Metrics) Render(ringGen uint64, vaultSessions int, views []ReplicaView) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	codes := make([]int, 0, len(m.requests))
+	for c := range m.requests {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "seculator_gateway_requests_total{code=%q} %d\n", fmt.Sprint(c), m.requests[c])
+	}
+	fmt.Fprintf(&b, "seculator_gateway_ring_generation %d\n", ringGen)
+	fmt.Fprintf(&b, "seculator_gateway_vault_sessions %d\n", vaultSessions)
+	fmt.Fprintf(&b, "seculator_gateway_retries_total %d\n", m.retries)
+	reasons := make([]string, 0, len(m.migrations))
+	for r := range m.migrations {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "seculator_gateway_migrations_total{reason=%q} %d\n", r, m.migrations[r])
+	}
+	fmt.Fprintf(&b, "seculator_gateway_migration_failures_total %d\n", m.migrationFailures)
+
+	names := make([]string, 0, len(m.replicas))
+	for n := range m.replicas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rs := m.replicas[n]
+		fmt.Fprintf(&b, "seculator_gateway_replica_requests_total{replica=%q} %d\n", n, rs.requests)
+		fmt.Fprintf(&b, "seculator_gateway_replica_errors_total{replica=%q} %d\n", n, rs.errors)
+		fmt.Fprintf(&b, "seculator_gateway_replica_latency_ms_total{replica=%q} %.3f\n", n, float64(rs.latencySum)/float64(time.Millisecond))
+		fmt.Fprintf(&b, "seculator_gateway_replica_latency_p50_ms{replica=%q} %.3f\n", n, float64(rs.quantile(0.50))/float64(time.Millisecond))
+		fmt.Fprintf(&b, "seculator_gateway_replica_latency_p99_ms{replica=%q} %.3f\n", n, float64(rs.quantile(0.99))/float64(time.Millisecond))
+	}
+	for _, v := range views {
+		fmt.Fprintf(&b, "seculator_gateway_replica_state{replica=%q} %d\n", v.Name, int(v.State))
+		draining := 0
+		if v.Draining {
+			draining = 1
+		}
+		fmt.Fprintf(&b, "seculator_gateway_replica_draining{replica=%q} %d\n", v.Name, draining)
+		fmt.Fprintf(&b, "seculator_gateway_replica_inflight{replica=%q} %d\n", v.Name, v.Inflight)
+		fmt.Fprintf(&b, "seculator_gateway_replica_ejections_total{replica=%q} %d\n", v.Name, v.Ejections)
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"seculator/internal/gateway"
+	"seculator/internal/serve"
+)
+
+// snapshotState is the subset of the sealed payload the migration tests
+// assert on: the replay window position and the MAC registers.
+type snapshotState struct {
+	ID      string          `json:"id"`
+	LastSeq uint64          `json:"last_seq"`
+	Regs    json.RawMessage `json:"regs"`
+}
+
+func decodeState(t *testing.T, env *serve.SnapshotEnvelope) snapshotState {
+	t.Helper()
+	if env == nil {
+		t.Fatal("nil snapshot envelope")
+	}
+	var st snapshotState
+	if err := json.Unmarshal(env.Payload, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The headline migration guarantee, exercised end to end under -race:
+// create a session on replica A through the gateway, run inference so it
+// has MAC-register and sequence state, kill A abruptly, and verify the
+// session continues on replica B with *bit-identical* durable state —
+// the sealed payload B serves equals the last one A acknowledged, MAC
+// registers and replay window included — and further inference under the
+// session succeeds with the sequence window advancing, never rewinding.
+func TestSessionMigrationSurvivesReplicaKill(t *testing.T) {
+	c, gc := startCluster(t, 2)
+	ctx := ctxT(t)
+
+	sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.SessionID
+	homeA := c.Gateway.Locations()[id]
+	if homeA == "" {
+		t.Fatal("session not vaulted")
+	}
+
+	// Build up session state: the piggybacked snapshot of the last infer
+	// is the reference the survivor must reproduce bit-identically.
+	var lastEnv *serve.SnapshotEnvelope
+	for i := 0; i < 3; i++ {
+		resp, err := gc.Infer(ctx, serve.InferRequest{
+			Network: "Mini", Seed: int64(10 + i), Session: id, ReturnSnapshot: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Replica != homeA {
+			t.Fatalf("pre-kill infer served by %s, home %s", resp.Replica, homeA)
+		}
+		lastEnv = resp.Snapshot
+	}
+	preKill := decodeState(t, lastEnv)
+	if preKill.LastSeq == 0 || len(preKill.Regs) == 0 {
+		t.Fatalf("session accumulated no durable state: %+v", preKill)
+	}
+
+	c.Kill(homeA)
+	waitFor(t, 15*time.Second, "failover to the survivor", func() bool {
+		home := c.Gateway.Locations()[id]
+		return home != "" && home != homeA
+	})
+	homeB := c.Gateway.Locations()[id]
+
+	// Before any new inference, B's exported snapshot must be
+	// bit-identical to the last sealed state A acknowledged.
+	snap, err := gc.SnapshotSession(ctx, id)
+	if err != nil {
+		t.Fatalf("snapshot from survivor: %v", err)
+	}
+	if !bytes.Equal(snap.Snapshot.Payload, lastEnv.Payload) {
+		t.Fatalf("survivor payload diverged:\n  A: %s\n  B: %s", lastEnv.Payload, snap.Snapshot.Payload)
+	}
+	postKill := decodeState(t, &snap.Snapshot)
+	if postKill.LastSeq != preKill.LastSeq || !bytes.Equal(postKill.Regs, preKill.Regs) {
+		t.Fatalf("durable state mismatch: %+v vs %+v", preKill, postKill)
+	}
+
+	// The session continues on B: the replay window advances (monotone
+	// sequence), commands flow, and the serving replica is the survivor.
+	resp, err := gc.Infer(ctx, serve.InferRequest{
+		Network: "Mini", Seed: 77, Session: id, ReturnSnapshot: true,
+	})
+	if err != nil {
+		t.Fatalf("post-kill infer: %v", err)
+	}
+	if resp.Replica != homeB {
+		t.Fatalf("post-kill infer served by %s, want %s", resp.Replica, homeB)
+	}
+	if resp.Commands == 0 {
+		t.Fatal("post-kill inference skipped the authenticated command channel")
+	}
+	cont := decodeState(t, resp.Snapshot)
+	if cont.LastSeq <= preKill.LastSeq {
+		t.Fatalf("replay window rewound: %d → %d", preKill.LastSeq, cont.LastSeq)
+	}
+}
+
+// A transient transport failure against a live replica must NOT trigger
+// failover (restoring a stale snapshot while the home holds newer state
+// would fork the sequence window). The gateway verifies death with a
+// direct liveness check before restoring anywhere else; with the home
+// alive the worst case is an upstream error, never a fork.
+func TestNoFailoverWhileHomeAlive(t *testing.T) {
+	c, gc := startCluster(t, 2)
+	ctx := ctxT(t)
+	sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.SessionID
+	home := c.Gateway.Locations()[id]
+	for i := 0; i < 2; i++ {
+		if _, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: int64(i), Session: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Gateway.Locations()[id]; got != home {
+		t.Fatalf("session moved %s→%s with a healthy home", home, got)
+	}
+}
+
+// Restoring a tenant-exported snapshot through the gateway homes the
+// session on its ring owner and the vault adopts it.
+func TestGatewayRestoreRoutesToOwner(t *testing.T) {
+	c, gc := startCluster(t, 3)
+	ctx := ctxT(t)
+	sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sess.SessionID
+	if _, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 3, Session: id}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := gc.SnapshotSession(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.CloseSession(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := gc.RestoreSession(ctx, snap.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SessionID != id {
+		t.Fatalf("restore changed the session id: %s → %s", id, restored.SessionID)
+	}
+	if home := c.Gateway.Locations()[id]; home == "" {
+		t.Fatal("restored session not vaulted")
+	}
+	if _, err := gc.Infer(ctx, serve.InferRequest{Network: "Mini", Seed: 4, Session: id}); err != nil {
+		t.Fatalf("infer after restore: %v", err)
+	}
+}
+
+// A tampered envelope through the gateway still fails closed at the
+// replica (422 snapshot_integrity) and never creates vault state.
+func TestGatewayRestoreTamperFailsClosed(t *testing.T) {
+	_, gc := startCluster(t, 2)
+	ctx := ctxT(t)
+	sess, err := gc.CreateSession(ctx, serve.SessionCreateRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := gc.SnapshotSession(ctx, sess.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.CloseSession(ctx, sess.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	evil := snap.Snapshot
+	evil.Payload = bytes.Replace(evil.Payload, []byte(`"last_seq":`), []byte(`"last_seq":9`), 1)
+	if _, err := gc.RestoreSession(ctx, evil); err == nil {
+		t.Fatal("tampered snapshot restored through the gateway")
+	}
+}
+
+// Config validation refuses the shapes the router cannot act on.
+func TestConfigValidate(t *testing.T) {
+	bad := []gateway.Config{
+		{},
+		{Replicas: []gateway.ReplicaConfig{{Name: "", URL: "http://x"}}},
+		{Replicas: []gateway.ReplicaConfig{{Name: "a", URL: ""}}},
+		{Replicas: []gateway.ReplicaConfig{{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"}}},
+		{Replicas: []gateway.ReplicaConfig{{Name: "a", URL: "http://x"}}, LoadFactor: 0.5},
+		{Replicas: []gateway.ReplicaConfig{{Name: "a", URL: "http://x"}}, Vnodes: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d validated: %+v", i, cfg)
+		}
+	}
+	good := gateway.Config{Replicas: []gateway.ReplicaConfig{{Name: "a", URL: "http://x"}}, LoadFactor: 1.5, Vnodes: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring.go — the placement maths of the gateway, kept pure so the
+// rebalance property ("adding a replica moves at most ~K/N sessions") is
+// testable without any HTTP machinery.
+//
+// Two hash families split the traffic classes:
+//
+//   - Session-bound requests ride a consistent-hash ring keyed on session
+//     id. Each replica projects Vnodes points onto the 64-bit circle; a
+//     session belongs to the first point at or after its own hash. Adding
+//     or removing one replica only reassigns the keys that fall into that
+//     replica's arcs — the property the rebalancer depends on to keep
+//     migrations (each a sealed snapshot round trip) proportional to the
+//     change, not to the fleet.
+//
+//   - Stateless inference has no placement state worth preserving, so it
+//     spreads by rendezvous hashing on the tenant key: every replica
+//     scores hash(replica, tenant), highest score wins, and the full
+//     descending order doubles as the retry/overflow preference list.
+
+// DefaultVnodes is the per-replica virtual-node count. 128 points per
+// replica keeps the arc-length imbalance low single-digit percent at the
+// fleet sizes this gateway targets while the ring stays a few KB.
+const DefaultVnodes = 128
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// Ring is an immutable consistent-hash ring over a replica set. Build a
+// new one on membership change and swap it in; lookups are lock-free.
+type Ring struct {
+	points []ringPoint
+	names  []string
+}
+
+// NewRing builds a ring with vnodes points per replica (0 means
+// DefaultVnodes). Point collisions resolve by name order so the ring is
+// deterministic across processes — every gateway instance with the same
+// membership computes the same placement.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{names: append([]string(nil), names...)}
+	sort.Strings(r.names)
+	r.points = make([]ringPoint, 0, len(r.names)*vnodes)
+	for _, n := range r.names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), name: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// Replicas returns the member names (sorted).
+func (r *Ring) Replicas() []string { return r.names }
+
+// Owner returns the replica owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.at(key)].name
+}
+
+// at locates the first point at or after hash(key), wrapping.
+func (r *Ring) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Seq returns every replica in ring order starting at key's owner — the
+// preference list a router walks when the owner is ejected or draining.
+func (r *Ring) Seq(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.names))
+	seen := make(map[string]bool, len(r.names))
+	for i, start := 0, r.at(key); i < len(r.points) && len(out) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	return out
+}
+
+// Rendezvous orders names by descending rendezvous score for key: the
+// stateless-spread preference list. Ties break by name so the order is
+// total and deterministic.
+func Rendezvous(names []string, key string) []string {
+	out := append([]string(nil), names...)
+	score := make(map[string]uint64, len(out))
+	for _, n := range out {
+		score[n] = hash64(n + "|" + key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if score[out[i]] != score[out[j]] {
+			return score[out[i]] > score[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

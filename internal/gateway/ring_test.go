@@ -1,0 +1,118 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The consistent-hash property the rebalancer depends on: growing the
+// fleet from N to N+1 replicas only moves keys TO the new replica, and
+// the moved fraction stays near K/(N+1) — far from the full reshuffle a
+// mod-N hash would cause.
+func TestRingRebalanceProperty(t *testing.T) {
+	const keys = 4000
+	for _, n := range []int{2, 3, 5, 8} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("replica-%d", i)
+		}
+		before := NewRing(names, 0)
+		after := NewRing(append(append([]string(nil), names...), "replica-new"), 0)
+
+		moved := 0
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("s-%08x", k*2654435761)
+			ob, oa := before.Owner(key), after.Owner(key)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != "replica-new" {
+				t.Fatalf("n=%d key %s moved %s→%s, not to the new replica", n, key, ob, oa)
+			}
+		}
+		// Expect ~keys/(n+1) moved; allow 2× slack for vnode imbalance.
+		limit := 2 * keys / (n + 1)
+		if moved == 0 || moved > limit {
+			t.Fatalf("n=%d: %d/%d keys moved, want (0, %d]", n, moved, keys, limit)
+		}
+	}
+}
+
+// Removing a replica must only move that replica's keys.
+func TestRingRemovalProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	before := NewRing(names, 0)
+	after := NewRing([]string{"a", "b", "d"}, 0)
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("s-%06d", k)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != "c" && ob != oa {
+			t.Fatalf("key %s moved %s→%s though %s survived", key, ob, oa, ob)
+		}
+		if oa == "c" {
+			t.Fatalf("key %s assigned to removed replica", key)
+		}
+	}
+}
+
+// The ring is deterministic: same membership, same placement, regardless
+// of input order.
+func TestRingDeterminism(t *testing.T) {
+	r1 := NewRing([]string{"a", "b", "c"}, 32)
+	r2 := NewRing([]string{"c", "a", "b"}, 32)
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("s-%d", k)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("placement depends on membership order at key %s", key)
+		}
+	}
+}
+
+// Seq starts at the owner and enumerates every replica exactly once.
+func TestRingSeq(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 16)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("s-%d", k)
+		seq := r.Seq(key)
+		if len(seq) != 3 {
+			t.Fatalf("Seq(%s) = %v, want 3 distinct replicas", key, seq)
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("Seq(%s) starts at %s, owner is %s", key, seq[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Seq(%s) repeats %s", key, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// Rendezvous ordering is total, deterministic, and reasonably balanced in
+// its first choice.
+func TestRendezvousSpread(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	first := map[string]int{}
+	for k := 0; k < 4000; k++ {
+		key := fmt.Sprintf("tenant-%d", k)
+		order := Rendezvous(names, key)
+		if len(order) != 4 {
+			t.Fatalf("lost a replica: %v", order)
+		}
+		again := Rendezvous([]string{"d", "c", "b", "a"}, key)
+		for i := range order {
+			if order[i] != again[i] {
+				t.Fatalf("rendezvous depends on input order: %v vs %v", order, again)
+			}
+		}
+		first[order[0]]++
+	}
+	for _, n := range names {
+		if first[n] < 4000/4/2 {
+			t.Fatalf("replica %s got only %d/4000 first picks: %v", n, first[n], first)
+		}
+	}
+}

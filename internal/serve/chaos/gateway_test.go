@@ -1,0 +1,40 @@
+package chaos_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seculator/internal/serve/chaos"
+)
+
+// The fleet acceptance campaign: stateless traffic flows through the
+// replica-sharding gateway while one replica — the one homing the most
+// live sessions — is killed abruptly mid-run. Zero session loss (every
+// session resumes on a survivor with bit-identical sealed state and an
+// advancing replay window), zero errors beyond the gateway's
+// retry-on-alternate budget, and the gateway's metrics attest the
+// ejection and the failover migrations.
+func TestGatewayChaosCampaign(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	res, err := chaos.RunGateway(ctx, chaos.GatewayOptions{
+		Seed:     1,
+		Replicas: 3,
+		Sessions: 4,
+		RPS:      40,
+		Duration: 2 * time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("gateway campaign harness: %v", err)
+	}
+	t.Logf("\n%s", res)
+	if !res.Ok() {
+		t.Fatalf("gateway invariants violated:\n%s", res)
+	}
+	if res.Moved < 1 {
+		t.Fatalf("kill of %s exercised no failover (moved=%d)", res.Victim, res.Moved)
+	}
+}

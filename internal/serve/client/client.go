@@ -73,10 +73,11 @@ func IsSnapshotRejected(err error) bool { return classIs(err, serve.ClassSnapsho
 
 // Client talks to one serving daemon.
 type Client struct {
-	base   string
-	http   *http.Client
-	apiKey string
-	retry  retrier
+	base     string
+	http     *http.Client
+	apiKey   string
+	adminKey string
+	retry    retrier
 }
 
 // New creates a client for a base URL ("http://127.0.0.1:8080"). A nil
@@ -91,6 +92,10 @@ func New(base string, httpClient *http.Client) *Client {
 // SetAPIKey attaches a tenant API key to every request (X-API-Key header).
 // Call before issuing requests; not safe to change concurrently with them.
 func (c *Client) SetAPIKey(key string) { c.apiKey = key }
+
+// SetAdminKey attaches the replica admin key to every request (X-Admin-Key
+// header) for the /admin/* migration surface. Call before issuing requests.
+func (c *Client) SetAdminKey(key string) { c.adminKey = key }
 
 // SetRetryPolicy enables automatic retries of backpressure rejections; see
 // RetryPolicy. Call before issuing requests.
@@ -140,6 +145,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	}
 	if c.apiKey != "" {
 		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	if c.adminKey != "" {
+		req.Header.Set("X-Admin-Key", c.adminKey)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -211,6 +219,34 @@ func (c *Client) RestoreSession(ctx context.Context, env serve.SnapshotEnvelope)
 	var out serve.SessionCreateResponse
 	err := c.do(ctx, http.MethodPost, "/v1/sessions/restore", serve.RestoreRequest{Snapshot: env}, &out)
 	return out, err
+}
+
+// Drain asks the replica to stop accepting new sessions while continuing
+// to serve inference (POST /admin/drain) — the gateway's pre-drain hook.
+func (c *Client) Drain(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/admin/drain", nil, nil)
+}
+
+// AdminSnapshot exports any tenant's session as a sealed envelope
+// (GET /admin/sessions/{id}/snapshot) — the gateway migration path.
+func (c *Client) AdminSnapshot(ctx context.Context, id string) (serve.SnapshotResponse, error) {
+	var out serve.SnapshotResponse
+	err := c.do(ctx, http.MethodGet, "/admin/sessions/"+id+"/snapshot", nil, &out)
+	return out, err
+}
+
+// AdminRestore imports a sealed envelope regardless of tenant ownership
+// (POST /admin/sessions/restore) — the gateway migration path.
+func (c *Client) AdminRestore(ctx context.Context, env serve.SnapshotEnvelope) (serve.SessionCreateResponse, error) {
+	var out serve.SessionCreateResponse
+	err := c.do(ctx, http.MethodPost, "/admin/sessions/restore", serve.RestoreRequest{Snapshot: env}, &out)
+	return out, err
+}
+
+// AdminEvict removes a session from the replica without tenant scoping
+// (DELETE /admin/sessions/{id}) — the source side of a migration.
+func (c *Client) AdminEvict(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/admin/sessions/"+id, nil, nil)
 }
 
 // Metrics fetches the raw /metrics text.

@@ -86,6 +86,17 @@ type Report struct {
 	Max            time.Duration
 	MeanBatch      float64 // mean server-reported batch size over OK requests
 	ResidencyHits  int     // OK requests that rode the server's pinned weights
+
+	// ByReplica attributes completed requests to the replica that served
+	// them. Populated only when the target is a gateway (which stamps
+	// InferResponse.Replica); direct single-replica runs leave it empty.
+	ByReplica map[string]ReplicaStats
+}
+
+// ReplicaStats is one replica's slice of a gateway load run.
+type ReplicaStats struct {
+	OK            int
+	P50, P95, P99 time.Duration
 }
 
 // String renders the report for humans.
@@ -100,6 +111,19 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  batching: mean batch size %.2f\n", r.MeanBatch)
 	if r.ResidencyHits > 0 {
 		fmt.Fprintf(&b, "  residency: %d/%d hits\n", r.ResidencyHits, r.OK)
+	}
+	if len(r.ByReplica) > 0 {
+		names := make([]string, 0, len(r.ByReplica))
+		for n := range r.ByReplica {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rs := r.ByReplica[n]
+			fmt.Fprintf(&b, "  replica %s: %d ok  p50 %v  p95 %v  p99 %v\n", n, rs.OK,
+				rs.P50.Round(10*time.Microsecond), rs.P95.Round(10*time.Microsecond),
+				rs.P99.Round(10*time.Microsecond))
+		}
 	}
 	if len(r.Errors) > 0 {
 		classes := make([]string, 0, len(r.Errors))
@@ -128,6 +152,7 @@ func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
 	var (
 		mu        sync.Mutex
 		lats      []time.Duration
+		byReplica = make(map[string][]time.Duration)
 		batchSum  int
 		rep       Report
 		wg        sync.WaitGroup
@@ -212,6 +237,9 @@ arrivals:
 			}
 			rep.OK++
 			lats = append(lats, lat)
+			if resp.Replica != "" {
+				byReplica[resp.Replica] = append(byReplica[resp.Replica], lat)
+			}
 			batchSum += resp.BatchSize
 			if resp.ResidencyHit {
 				rep.ResidencyHits++
@@ -231,6 +259,18 @@ arrivals:
 		rep.P99 = percentile(lats, 0.99)
 		rep.Max = lats[len(lats)-1]
 		rep.MeanBatch = float64(batchSum) / float64(rep.OK)
+	}
+	if len(byReplica) > 0 {
+		rep.ByReplica = make(map[string]ReplicaStats, len(byReplica))
+		for name, rl := range byReplica {
+			sort.Slice(rl, func(i, j int) bool { return rl[i] < rl[j] })
+			rep.ByReplica[name] = ReplicaStats{
+				OK:  len(rl),
+				P50: percentile(rl, 0.50),
+				P95: percentile(rl, 0.95),
+				P99: percentile(rl, 0.99),
+			}
+		}
 	}
 	return rep, nil
 }

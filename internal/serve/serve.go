@@ -114,6 +114,13 @@ type Options struct {
 	// means a fresh random key: snapshots then verify only within this
 	// process; set it to restore across restarts.
 	SnapshotKey []byte
+
+	// AdminKey gates the /admin/* surface (drain, unscoped session
+	// snapshot/restore/evict — the hooks a replica-sharding gateway drives
+	// migration through). When set, admin requests must carry it in
+	// X-Admin-Key; when empty the surface is open, which is only
+	// appropriate when the listener itself is trusted (loopback, tests).
+	AdminKey string
 }
 
 func (o *Options) setDefaults() {
@@ -147,7 +154,8 @@ type Server struct {
 	networks map[string]workload.Network
 	netNames []string // registry order
 
-	draining  atomic.Bool
+	draining  atomic.Bool // full drain: Close() was called, all new work refused
+	preDrain  atomic.Bool // graceful pre-drain: no new sessions, in-flight work finishes
 	closeOnce sync.Once
 	closed    chan struct{}
 	janitor   chan struct{}
@@ -199,6 +207,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /admin/drain", s.handleAdminDrain)
+	s.mux.HandleFunc("GET /admin/sessions/{id}/snapshot", s.handleAdminSnapshot)
+	s.mux.HandleFunc("POST /admin/sessions/restore", s.handleAdminRestore)
+	s.mux.HandleFunc("DELETE /admin/sessions/{id}", s.handleAdminEvict)
 
 	s.janitorWG.Add(1)
 	go s.runJanitor()
@@ -264,12 +276,26 @@ func ResolveNetwork(name string) (workload.Network, error) {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// BeginDrain puts the server into graceful pre-drain: new sessions and
+// snapshot imports are refused with 503, but inference — stateless and on
+// existing sessions — keeps flowing and admitted micro-batches finish.
+// /healthz reports "draining" so a fronting gateway can migrate this
+// replica's sessions away and stop routing to it before the hard stop,
+// instead of discovering the death through ejection. Idempotent; Close()
+// implies it.
+func (s *Server) BeginDrain() { s.preDrain.Store(true) }
+
+// Draining reports whether the server refuses new sessions (pre-drain or
+// full close).
+func (s *Server) Draining() bool { return s.preDrain.Load() || s.draining.Load() }
+
 // Close drains the server: new work is rejected with 503, admitted work
 // finishes, sessions are dropped. It returns nil once fully drained, or
 // ctx's error if the deadline passes first (the drain keeps finishing in
 // the background either way).
 func (s *Server) Close(ctx context.Context) error {
 	s.closeOnce.Do(func() {
+		s.preDrain.Store(true)
 		s.draining.Store(true)
 		close(s.janitor)
 		go func() {
@@ -337,7 +363,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s.draining.Load() {
+	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrShuttingDown.Error(), Class: ClassShutdown, RetryAfterMs: retryAfter.Milliseconds()})
 		return
 	}
@@ -387,7 +413,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, body)
 		return
 	}
-	if s.draining.Load() {
+	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrShuttingDown.Error(), Class: ClassShutdown, RetryAfterMs: retryAfter.Milliseconds()})
 		return
 	}
@@ -428,10 +454,89 @@ func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{Status: "ok", Sessions: s.sessions.Active(), Queue: s.fair.Depth()}
-	if s.draining.Load() {
+	if s.Draining() {
 		resp.Status = "draining"
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- admin surface (gateway migration hooks) ----
+
+// adminOK authorizes an /admin/* request: the configured key must match
+// (constant-time); an unconfigured key leaves the surface open for trusted
+// listeners.
+func (s *Server) adminOK(r *http.Request) bool {
+	if s.opts.AdminKey == "" {
+		return true
+	}
+	return hmacEqualString(r.Header.Get("X-Admin-Key"), s.opts.AdminKey)
+}
+
+func (s *Server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	if !s.adminOK(r) {
+		writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: ErrUnauthorized.Error(), Class: ClassUnauthorized})
+		return
+	}
+	s.BeginDrain()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleAdminSnapshot exports any tenant's session — the gateway acts for
+// the platform, not for one tenant, when it migrates sessions between
+// replicas.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.adminOK(r) {
+		writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: ErrUnauthorized.Error(), Class: ClassUnauthorized})
+		return
+	}
+	id := r.PathValue("id")
+	env, err := s.SnapshotSession(id, "")
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{SessionID: id, Snapshot: env})
+}
+
+// handleAdminRestore imports a sealed envelope without a tenant-ownership
+// check (the envelope MAC still gates integrity; only the "acting tenant
+// must own the snapshot" rule is waived for the trusted front).
+func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
+	if !s.adminOK(r) {
+		writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: ErrUnauthorized.Error(), Class: ClassUnauthorized})
+		return
+	}
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: ErrShuttingDown.Error(), Class: ClassShutdown, RetryAfterMs: retryAfter.Milliseconds()})
+		return
+	}
+	var req RestoreRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
+		return
+	}
+	resp, err := s.RestoreSession(req.Snapshot, "")
+	if err != nil {
+		status, body := statusFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// handleAdminEvict removes a session regardless of owner — the source side
+// of a completed migration.
+func (s *Server) handleAdminEvict(w http.ResponseWriter, r *http.Request) {
+	if !s.adminOK(r) {
+		writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: ErrUnauthorized.Error(), Class: ClassUnauthorized})
+		return
+	}
+	if s.sessions.Evict(r.PathValue("id"), "", EvictMigrate) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, ErrorBody{Error: ErrSessionUnknown.Error(), Class: ClassUnknownSession})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -592,8 +697,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	outcome(false)
 
 	oc := res.(*inferOutcome)
+	var piggyback *SnapshotEnvelope
 	if req.Session != "" {
 		s.sessions.Commit(req.Session, oc.lastSeq, oc.regs, oc.haveRegs, OutputSum(oc.out))
+		if req.ReturnSnapshot {
+			// Snapshot piggyback: export the just-committed session state in
+			// the same response, so a gateway's write-through vault is never
+			// a round trip behind the session it would have to resurrect.
+			if env, err := s.SnapshotSession(req.Session, tenant.Name()); err == nil {
+				piggyback = &env
+			}
+		}
 	}
 	resp := InferResponse{
 		Network:      net.Name,
@@ -613,6 +727,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	resp.OutputDims = [3]int{oc.out.Chans, oc.out.H, oc.out.W}
+	resp.Snapshot = piggyback
 	if req.ReturnOutput {
 		resp.Output = oc.out.Data
 	}

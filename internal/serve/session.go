@@ -23,9 +23,10 @@ var (
 
 // Eviction reasons, reported on /metrics.
 const (
-	EvictIdle   = "idle"
-	EvictBreach = "breach"
-	EvictClose  = "close"
+	EvictIdle    = "idle"
+	EvictBreach  = "breach"
+	EvictClose   = "close"
+	EvictMigrate = "migrate" // source side of a gateway-driven migration
 )
 
 // sessionKeyBytes is the negotiated session-key length. The command

@@ -132,6 +132,9 @@ func openSnapshot(key []byte, env SnapshotEnvelope) (snapshotPayload, error) {
 	return p, nil
 }
 
+// hmacEqualString compares two strings in constant time (admin-key check).
+func hmacEqualString(a, b string) bool { return hmac.Equal([]byte(a), []byte(b)) }
+
 // snapshotMAC computes HMAC-SHA256 over the domain-separated envelope.
 func snapshotMAC(key []byte, version int, payload []byte) []byte {
 	h := hmac.New(sha256.New, key)

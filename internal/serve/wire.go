@@ -43,6 +43,12 @@ type InferRequest struct {
 	// TimeoutMs, when positive, sets the per-request deadline (queue wait
 	// included); the server clamps it to its configured maximum.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// ReturnSnapshot, on a session-bound inference, asks the server to
+	// piggyback the session's sealed post-inference snapshot on the
+	// response. The replica-sharding gateway sets it so its write-through
+	// session vault is updated atomically with every inference; ordinary
+	// clients can ignore it.
+	ReturnSnapshot bool `json:"return_snapshot,omitempty"`
 }
 
 // RecoveryInfo mirrors resilience.Stats on the wire.
@@ -80,6 +86,14 @@ type InferResponse struct {
 	ResidencyHit bool `json:"residency_hit,omitempty"`
 
 	Recovery RecoveryInfo `json:"recovery"`
+
+	// Snapshot is the sealed post-inference session snapshot, present only
+	// when the request set ReturnSnapshot on a session-bound inference.
+	Snapshot *SnapshotEnvelope `json:"snapshot,omitempty"`
+	// Replica is the name of the replica that served the request. The
+	// gateway injects it on proxied responses; a standalone server leaves
+	// it empty.
+	Replica string `json:"replica,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.

@@ -18,6 +18,10 @@
 #     "serve": {
 #       "BenchmarkServeInfer": {"ns_per_op": ..., ...},
 #       ...
+#     },
+#     "gateway": {
+#       "BenchmarkGatewayInfer": {"ns_per_op": ..., ...},
+#       ...
 #     }
 #   }
 #
@@ -65,6 +69,11 @@ infer=$(go test -run='^$' -bench='SecureInference' -benchtime=5x -benchmem \
 serve=$(go test -run='^$' -bench='Serve' -benchtime=50x -benchmem \
 	./internal/serve/ | entries '    ')
 
+# Gateway front tier: the same inference through one extra HTTP hop plus
+# routing — the delta against the serve figures is the proxy overhead.
+gway=$(go test -run='^$' -bench='Gateway' -benchtime=50x -benchmem \
+	./internal/gateway/ | entries '    ')
+
 {
 	echo "{"
 	printf '%s,\n' "$micro"
@@ -73,6 +82,9 @@ serve=$(go test -run='^$' -bench='Serve' -benchtime=50x -benchmem \
 	echo "  },"
 	echo '  "serve": {'
 	printf '%s\n' "$serve"
+	echo "  },"
+	echo '  "gateway": {'
+	printf '%s\n' "$gway"
 	echo "  }"
 	echo "}"
 } >"$out"

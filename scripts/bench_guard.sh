@@ -19,10 +19,10 @@ tol="${1:-2.0}"
 cd "$(dirname "$0")/.."
 
 baseline_ns() {
-	# Pull "Benchmark<name>": {"ns_per_op": N, ...} out of the serve
-	# section of BENCH_baseline.json.
-	awk -v name="$1" '
-	/"serve": \{/ { inserve = 1 }
+	# Pull "Benchmark<name>": {"ns_per_op": N, ...} out of the named
+	# section ($2, default "serve") of BENCH_baseline.json.
+	awk -v name="$1" -v section="\"${2:-serve}\": {" '
+	index($0, section) { inserve = 1 }
 	inserve && $0 ~ "\"" name "\":" {
 		if (match($0, /"ns_per_op": [0-9.]+/)) {
 			s = substr($0, RSTART, RLENGTH)
@@ -57,5 +57,20 @@ for name in BenchmarkServeInfer BenchmarkServeInferParallel BenchmarkServeSessio
 		echo "bench_guard: FAIL — serial serving path regressed beyond ${tol}x"
 		fail=1
 	fi
+done
+
+# Gateway front tier: reported for visibility, never gating — the proxied
+# path stacks two HTTP hops and wobbles too much on shared runners.
+echo "bench_guard: running gateway benchmarks (20 iterations each)..."
+gout=$(go test -run='^$' -bench='Gateway' -benchtime=20x ./internal/gateway/ || true)
+for name in BenchmarkGatewayInfer BenchmarkGatewaySessionInfer; do
+	old=$(baseline_ns "$name" gateway)
+	new=$(echo "$gout" | awk -v name="$name" '$1 ~ "^" name "(-[0-9]+)?$" { print $3; exit }')
+	if [ -z "$old" ] || [ -z "$new" ]; then
+		echo "bench_guard: $name missing (baseline='$old' run='$new'), not gating"
+		continue
+	fi
+	ratio=$(awk -v o="$old" -v n="$new" 'BEGIN { printf "%.2fx", n / o }')
+	echo "bench_guard: $name ${new} ns/op vs baseline ${old} ns/op (${ratio}, informational)"
 done
 exit "$fail"
