@@ -17,6 +17,7 @@
 //	seculator-serve -snapshot-key $KEY          # stable session-snapshot sealing
 //	seculator-serve -chaos -seed 1 -duration 1s # seeded fault campaign, exit 0/1
 //	seculator-serve -smoke                   # start, one round-trip, drain
+//	seculator-serve -loadgen -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -loadgen without -target starts an in-process server, drives it at the
 // requested rate, prints p50/p95/p99 latency and sustained RPS, and exits.
@@ -43,6 +44,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -86,6 +89,9 @@ func main() {
 		mseed    = flag.Int64("model-seed", 1, "loadgen: pinned model seed under -fixed-model")
 		noRes    = flag.Bool("no-residency", false, "disable the verified-weight residency cache (per-request provisioning)")
 
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (loadgen/chaos/smoke)")
+		memProf = flag.String("memprofile", "", "write an end-of-run allocation profile to this file")
+
 		smoke = flag.Bool("smoke", false, "start, one verified round-trip, graceful drain, exit")
 	)
 	flag.Parse()
@@ -113,13 +119,20 @@ func main() {
 		opts.SnapshotKey = []byte(*snapKey)
 	}
 
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+
 	switch {
 	case *smoke:
 		if err := runSmoke(opts); err != nil {
+			stopProf()
 			fail(err)
 		}
 	case *doChaos:
 		if err := runChaos(opts, *seed, *duration, *restart); err != nil {
+			stopProf()
 			fail(err)
 		}
 	case *doLoad:
@@ -127,13 +140,59 @@ func main() {
 			RPS: *rps, Duration: *duration, Network: *network, Sessions: *sessions,
 			FixedModel: *fixed, ModelSeed: *mseed,
 		}); err != nil {
+			stopProf()
 			fail(err)
 		}
 	default:
 		if err := runServer(opts, *addr); err != nil {
+			stopProf()
 			fail(err)
 		}
 	}
+	if err := stopProf(); err != nil {
+		fail(err)
+	}
+}
+
+// startProfiles arms the requested pprof outputs and returns the function
+// that flushes them; the in-process loadgen runs server and generator in
+// one process, so a single CPU/alloc profile covers the whole serving hot
+// path. The returned stop is idempotent.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		fmt.Printf("seculator-serve: profiling CPU to %s\n", cpuPath)
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			fmt.Printf("seculator-serve: wrote allocation profile to %s\n", memPath)
+		}
+		return nil
+	}, nil
 }
 
 func fail(err error) {

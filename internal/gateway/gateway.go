@@ -325,13 +325,22 @@ type forwardResult struct {
 // FSM; an ejection triggers failover of its vaulted sessions.
 func (g *Gateway) forward(ctx context.Context, rep *replica, method, path string, src *http.Request, in any) (forwardResult, error) {
 	var body io.Reader
+	var bodyScratch *jsonScratch
 	if in != nil {
-		buf, err := json.Marshal(in)
+		s, err := encodeJSON(in)
 		if err != nil {
 			return forwardResult{}, err
 		}
-		body = bytes.NewReader(buf)
+		bodyScratch = s
+		body = bytes.NewReader(s.buf.Bytes())
 	}
+	// The pooled body bytes must outlive the round trip (http.Do may re-read
+	// them via GetBody); they recycle once the exchange is over.
+	defer func() {
+		if bodyScratch != nil {
+			putJSON(bodyScratch)
+		}
+	}()
 	ctx, cancel := context.WithTimeout(ctx, g.opts.ForwardTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, rep.url+path, body)
@@ -362,7 +371,7 @@ func (g *Gateway) forward(ctx context.Context, rep *replica, method, path string
 		return forwardResult{}, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	data, err := readInto(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		g.metrics.Forward(rep.name, 0, false)
 		if rep.hp.ObserveFailure(time.Now()) {
@@ -385,9 +394,7 @@ func (g *Gateway) relay(w http.ResponseWriter, fr forwardResult) {
 
 func (g *Gateway) writeError(w http.ResponseWriter, status int, body serve.ErrorBody) {
 	g.metrics.Request(status)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	writeJSONPooled(w, status, &body)
 }
 
 func (g *Gateway) upstreamError(w http.ResponseWriter, why string) {
@@ -421,7 +428,7 @@ func (g *Gateway) replicaAlive(rep *replica) bool {
 
 func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var req serve.InferRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+	if err := decodeJSONBody(r.Body, 8<<20, &req); err != nil {
 		g.writeError(w, http.StatusBadRequest, serve.ErrorBody{Error: "malformed JSON: " + err.Error(), Class: serve.ClassBadRequest})
 		return
 	}
@@ -440,7 +447,7 @@ func (g *Gateway) handleInfer(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) statelessInfer(w http.ResponseWriter, r *http.Request, rt *routing, req *serve.InferRequest) {
 	candidates := statelessCandidates(rt, tenantKeyOf(r), time.Now())
 	if len(candidates) == 0 {
-		g.upstreamError(w, "no available replica")
+		g.upstreamErrorStatic(w, preNoReplica)
 		return
 	}
 	attempts := 1 + g.opts.RetryBudget
@@ -569,9 +576,7 @@ func (g *Gateway) relayInfer(w http.ResponseWriter, fr forwardResult, replicaNam
 	}
 	resp.Replica = replicaName
 	g.metrics.Request(fr.status)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(fr.status)
-	_ = json.NewEncoder(w).Encode(&resp)
+	writeJSONPooled(w, fr.status, &resp)
 }
 
 // handleSessionCreate places a new session. The replica mints the id, so
@@ -604,7 +609,7 @@ func (g *Gateway) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(accepting) == 0 {
-		g.upstreamError(w, "no replica accepting sessions")
+		g.upstreamErrorStatic(w, preNoSessionAccepting)
 		return
 	}
 	attempts := 1 + g.opts.RetryBudget
@@ -671,7 +676,7 @@ func (g *Gateway) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	rt := g.routing.Load()
 	rep := g.homeOf(rt, id)
 	if rep == nil {
-		g.upstreamError(w, "no available replica for session")
+		g.upstreamErrorStatic(w, preNoSessionReplica)
 		return
 	}
 	fr, err := g.forward(r.Context(), rep, http.MethodDelete, "/v1/sessions/"+id, r, nil)
@@ -690,7 +695,7 @@ func (g *Gateway) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	rt := g.routing.Load()
 	rep := g.homeOf(rt, id)
 	if rep == nil {
-		g.upstreamError(w, "no available replica for session")
+		g.upstreamErrorStatic(w, preNoSessionReplica)
 		return
 	}
 	fr, err := g.forward(r.Context(), rep, http.MethodGet, "/v1/sessions/"+id+"/snapshot", r, nil)
@@ -707,7 +712,7 @@ func (g *Gateway) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // owner; the owner's MAC verification remains the integrity gate.
 func (g *Gateway) handleRestore(w http.ResponseWriter, r *http.Request) {
 	var req serve.RestoreRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := decodeJSONBody(r.Body, 1<<20, &req); err != nil {
 		g.writeError(w, http.StatusBadRequest, serve.ErrorBody{Error: "malformed JSON: " + err.Error(), Class: serve.ClassBadRequest})
 		return
 	}
@@ -730,7 +735,7 @@ func (g *Gateway) handleRestore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if rep == nil {
-		g.upstreamError(w, "no replica accepting sessions")
+		g.upstreamErrorStatic(w, preNoSessionAccepting)
 		return
 	}
 	fr, err := g.forward(r.Context(), rep, http.MethodPost, "/v1/sessions/restore", r, &req)
@@ -754,7 +759,7 @@ func (g *Gateway) handleDesigns(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	g.upstreamError(w, "no available replica")
+	g.upstreamErrorStatic(w, preNoReplica)
 }
 
 // homeOf resolves a session's current replica: the vault entry when the
@@ -788,8 +793,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if avail == 0 {
 		resp.Status = "degraded"
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(&resp)
+	writeJSONPooled(w, http.StatusOK, &resp)
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -836,8 +840,7 @@ func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.metrics.Request(http.StatusOK)
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(&ReloadResponse{Generation: g.Gen(), Migrated: moved})
+	writeJSONPooled(w, http.StatusOK, &ReloadResponse{Generation: g.Gen(), Migrated: moved})
 }
 
 // ---- active health probing ----

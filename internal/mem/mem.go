@@ -173,13 +173,19 @@ func (d *DRAM) Reserve(n uint64) {
 	if n == 0 {
 		return
 	}
-	if uint64(len(d.written)) < n {
+	old := uint64(len(d.written))
+	if old < n {
 		grown := make([]bool, n)
 		copy(grown, d.written)
 		d.written = grown
 	}
+	// Lines stored before the bitmap covered them were genuinely written
+	// (pre-reservation WriteBlockQuiet traffic) and keep that status. Lines
+	// the bitmap already tracked keep whatever it says — in particular a
+	// pooled, Reset DRAM has its zeroed lines stay nonexistent for the
+	// attacker surface rather than being resurrected by re-reservation.
 	for a := range d.store {
-		if a < n {
+		if a >= old && a < n {
 			d.written[a] = true
 		}
 	}
@@ -191,6 +197,27 @@ func (d *DRAM) Reserve(n uint64) {
 			d.store[a] = slab[lo:hi:hi]
 		}
 	}
+}
+
+// Reset returns the DRAM to its post-New state while keeping the backing
+// slab, the store map, and the written bitmap allocated — the reuse
+// primitive behind the secure executor's pooled run state. Every stored
+// payload is zeroed (a pooled DRAM must not leak one run's ciphertext into
+// the next run's address space), every line reverts to "nonexistent" for
+// the attacker/test surface, the traffic counters clear, and any installed
+// injector is removed. Lines beyond the written bitmap's reach cannot be
+// hidden by it, so they are dropped outright.
+func (d *DRAM) Reset() {
+	d.traffic = TrafficStats{}
+	d.injector = nil
+	for a, buf := range d.store {
+		if a >= uint64(len(d.written)) {
+			delete(d.store, a)
+			continue
+		}
+		clear(buf)
+	}
+	clear(d.written)
 }
 
 // markWritten records that a reserved line now holds real data.

@@ -21,6 +21,7 @@ type SeculatorMemory struct {
 	checker mac.LayerChecker
 
 	secret  uint64
+	random  uint64
 	layer   uint32
 	started bool
 
@@ -39,7 +40,27 @@ func NewSeculatorMemory(d *mem.DRAM, secret, bootRandom uint64) *SeculatorMemory
 		dram:   d,
 		engine: crypto.NewCTR(secret, bootRandom),
 		secret: secret,
+		random: bootRandom,
 	}
+}
+
+// Recycle returns the memory to its post-New state for reuse under the
+// same crypto identity, keeping the expensive part — the AES key schedule —
+// alive. It reports false (and changes nothing) when the requested
+// (secret, bootRandom) differ from the ones the engine was keyed with:
+// a pooled memory must never be rebound to a different key, so the caller
+// then builds a fresh one. The ciphertext staging buffer is scrubbed; the
+// caller owns scrubbing the DRAM it passed in.
+func (m *SeculatorMemory) Recycle(d *mem.DRAM, secret, bootRandom uint64) bool {
+	if secret != m.secret || bootRandom != m.random {
+		return false
+	}
+	m.dram = d
+	m.checker = mac.LayerChecker{}
+	m.layer = 0
+	m.started = false
+	clear(m.ct[:])
+	return true
 }
 
 // BeginLayer starts accumulating MAC state for the given layer.

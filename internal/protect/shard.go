@@ -43,6 +43,20 @@ func (m *SeculatorMemory) Shard() *SeculatorShard {
 // keystream-precompute stage generates pads ahead of use with it.
 func (m *SeculatorMemory) PadEngine() *crypto.CTREngine { return m.engine.Clone() }
 
+// Recycle scrubs a shard for reuse across runs of its (recycled) parent
+// memory: MAC partials and traffic counts reset, the plaintext/ciphertext
+// staging is zeroed so no block of the previous run survives in pooled
+// scratch, and the row hasher returns to its zero-value-ready state. The
+// engine clone is kept — it shares the parent's immutable key schedule,
+// which Recycle on the parent guarantees is unchanged.
+func (s *SeculatorShard) Recycle() {
+	s.partial.Reset()
+	s.reads, s.writes = 0, 0
+	clear(s.ct[:])
+	clear(s.pt[:])
+	s.rowh = mac.RowHasher{}
+}
+
 // Merge reduces shard state back into the memory: per-shard partial MAC
 // banks fold into the current layer's bank (commutative XOR, so the shard
 // order is immaterial), and local transfer counts flush into the DRAM

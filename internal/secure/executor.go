@@ -252,13 +252,12 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 			Err: fmt.Errorf("secure: %d weight tensors for %d layers", len(weights), len(net.Layers)),
 		}
 	}
-	dram, err := mem.New(x.DRAM)
+	rs, err := x.acquireRun()
 	if err != nil {
 		return Result{}, &resilience.ConfigError{Err: err}
 	}
-	sm := protect.NewSeculatorMemory(dram, x.Secret, x.Random)
-	rt := x.newRuntime(sm, dram)
-	defer rt.drain()
+	dram, sm, rt := rs.dram, rs.sm, rs.rt
+	defer rs.release()
 	if x.Injector != nil {
 		if rt.parallelOn() {
 			// Fault injectors keep state (RNG, replay maps) and are
@@ -277,11 +276,12 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 	if x.OnPlan != nil {
 		x.OnPlan(planInfo(states, inputLayout))
 	}
-	if rt.parallelOn() {
-		// Pre-allocate every line the run will touch so the store map is
-		// read-only during sharded execution (mem.DRAM.Reserve).
-		dram.Reserve(total)
-	}
+	// Pre-allocate every line the run will touch, carved from one slab
+	// (mem.DRAM.Reserve): sharded execution needs the store map read-only,
+	// and the serial path sheds its dominant cost — one heap allocation per
+	// first-written DRAM line. Reservation is attacker-invisible, so the
+	// two paths stay bit- and observation-identical.
+	dram.Reserve(total)
 	goldenInput := x.loadInput(rt, input, inputLayout)
 
 	// Residency attach: install the pinned, pre-verified ciphertext by
@@ -302,7 +302,8 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 		}
 	case overlap:
 		if weights[0] != nil {
-			states[0].goldenWeights = x.loadLayerWeights(rt.shards[0], &states[0], weights[0])
+			ints, pt, ct := rt.loadScratch(0, states[0].wl.sliceInts, states[0].wl.sliceBlocks)
+			states[0].goldenWeights = x.loadLayerWeights(rt.shards[0], &states[0], weights[0], ints, pt, ct)
 			sm.Merge(rt.shards[0])
 		}
 	default:
@@ -323,7 +324,8 @@ func (x *Executor) Run(ctx context.Context, net workload.Network, input *nn.Tens
 				if g, ok := rt.waitPreload(); ok {
 					st.goldenWeights = g
 				} else {
-					st.goldenWeights = x.loadLayerWeights(rt.shards[0], st, weights[i])
+					ints, pt, ct := rt.loadScratch(0, st.wl.sliceInts, st.wl.sliceBlocks)
+					st.goldenWeights = x.loadLayerWeights(rt.shards[0], st, weights[i], ints, pt, ct)
 					sm.Merge(rt.shards[0])
 				}
 			}
@@ -542,7 +544,8 @@ func planInfo(states []layerState, input actLayout) PlanInfo {
 // per-shard partial digests XOR together, so the golden value is identical
 // for any worker count.
 func (x *Executor) loadInput(rt *inferRuntime, input *nn.Tensor, il actLayout) mac.Digest {
-	golden := make([]mac.Digest, rt.workers)
+	golden := rt.wDigest
+	clear(golden)
 	n := input.Chans * input.H
 	rt.forkBlocks(n, il.bpr, func(s int, sh *protect.SeculatorShard, lo, hi int) {
 		pt, ct := rt.rowScratch(s, il.bpr)
@@ -561,17 +564,17 @@ func (x *Executor) loadInput(rt *inferRuntime, input *nn.Tensor, il actLayout) m
 }
 
 // loadLayerWeights host-writes one layer's weights through a shard, slice
-// by slice, returning the layer's golden XOR-MAC. It runs either inline or
-// as the overlapped preload stage; scratch is local, so a preload never
-// shares state with the executing layer's shards.
-func (x *Executor) loadLayerWeights(sh *protect.SeculatorShard, st *layerState, w *nn.Weights) mac.Digest {
+// by slice, returning the layer's golden XOR-MAC. The caller supplies the
+// staging (ints of wl.sliceInts values, pt/ct of wl.sliceBlocks blocks):
+// inline loads pass the runtime's loadScratch, forked loads their shard's
+// scratch, and the overlapped preload its private preloadScratch — so no
+// path shares staging with a concurrently executing layer shard.
+func (x *Executor) loadLayerWeights(sh *protect.SeculatorShard, st *layerState, w *nn.Weights, ints []int32, pt, ct []byte) mac.Digest {
 	var golden mac.Digest
 	wl := st.wl
-	pt := make([]byte, wl.sliceBlocks*tensor.BlockBytes)
-	ct := make([]byte, wl.sliceBlocks*tensor.BlockBytes)
 	for k := 0; k < wl.k; k++ {
 		for cg := 0; cg < wl.cGroups; cg++ {
-			ints := weightSlice(st.layer, w, k, cg, wl.sliceInts)
+			weightSliceInto(ints, st.layer, w, k, cg)
 			encodeRowInto(pt, ints)
 			golden = golden.Xor(sh.HostWriteRow(wl.addr(k, cg, 0), wl.ownerID, uint32(k), 1,
 				uint32(cg*wl.sliceBlocks), pt, ct))
@@ -596,9 +599,41 @@ func (x *Executor) loadAllWeights(rt *inferRuntime, states []layerState, weights
 			if weights[i] == nil {
 				continue
 			}
-			states[i].goldenWeights = x.loadLayerWeights(sh, &states[i], weights[i])
+			wl := states[i].wl
+			ints := rt.weightInts(s, wl.sliceInts)
+			pt, ct := rt.rowScratch(s, wl.sliceBlocks)
+			states[i].goldenWeights = x.loadLayerWeights(sh, &states[i], weights[i], ints, pt, ct)
 		}
 	})
+}
+
+// weightSliceInto fills dst (the (k, c-group) slice, len == sliceInts) with
+// the flat int32 weight row — the allocation-free counterpart of weightSlice
+// for the hot load paths. Padded channel groups read as zero.
+func weightSliceInto(dst []int32, l workload.Layer, w *nn.Weights, k, cg int) {
+	i := 0
+	if l.Type == workload.Depthwise {
+		for r := 0; r < l.R; r++ {
+			for s := 0; s < l.S; s++ {
+				dst[i] = w.At(k, 0, r, s)
+				i++
+			}
+		}
+		return
+	}
+	ct := len(dst) / (l.R * l.S)
+	for c := cg * ct; c < (cg+1)*ct; c++ {
+		for r := 0; r < l.R; r++ {
+			for s := 0; s < l.S; s++ {
+				if c < l.C {
+					dst[i] = w.At(k, c, r, s)
+				} else {
+					dst[i] = 0 // padded channel group
+				}
+				i++
+			}
+		}
+	}
 }
 
 // weightSlice extracts the (k, c-group) weight slice as a flat int32 row.
@@ -638,20 +673,19 @@ func rowOf(t *nn.Tensor, c, y int) []int32 {
 	return t.Data[(c*t.H+y)*t.W : (c*t.H+y)*t.W+t.W]
 }
 
-// encodeRow packs int32 values into zero-padded 64-byte blocks.
-func encodeRow(vals []int32, nblocks int) [][]byte {
-	out := make([][]byte, nblocks)
-	for j := range out {
-		blk := make([]byte, tensor.BlockBytes)
-		for i := 0; i < intsPerBlock; i++ {
-			idx := j*intsPerBlock + i
-			if idx < len(vals) {
-				binary.BigEndian.PutUint32(blk[i*4:], uint32(vals[idx]))
-			}
+// encodeBlockInto packs block j of a value row into dst (one zero-padded
+// 64-byte block) without allocating — the per-block counterpart of
+// encodeRowInto for paths that re-derive single blocks (golden re-MACs of
+// unread weights, external folds of unconsumed outputs).
+func encodeBlockInto(dst []byte, vals []int32, j int) {
+	clear(dst)
+	for i := 0; i < intsPerBlock; i++ {
+		idx := j*intsPerBlock + i
+		if idx >= len(vals) {
+			return
 		}
-		out[j] = blk
+		binary.BigEndian.PutUint32(dst[i*4:], uint32(vals[idx]))
 	}
-	return out
 }
 
 // encodeRowInto packs vals into dst — a whole number of zero-padded

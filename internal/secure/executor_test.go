@@ -9,6 +9,7 @@ import (
 	"seculator/internal/mac"
 	"seculator/internal/mem"
 	"seculator/internal/nn"
+	"seculator/internal/tensor"
 	"seculator/internal/workload"
 )
 
@@ -180,25 +181,25 @@ func TestRunValidation(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	vals := []int32{1, -2, 3, -4, 5, 1 << 30, -(1 << 30)}
-	blocks := encodeRow(vals, 1)
-	if len(blocks) != 1 {
-		t.Fatalf("blocks = %d", len(blocks))
-	}
+	var blk [tensor.BlockBytes]byte
+	encodeBlockInto(blk[:], vals, 0)
 	got := make([]int32, len(vals))
-	decodeBlock(got, 0, blocks[0])
+	decodeBlock(got, 0, blk[:])
 	for i := range vals {
 		if got[i] != vals[i] {
 			t.Fatalf("round trip at %d: %d != %d", i, got[i], vals[i])
 		}
 	}
-	// Multi-block rows pad with zeros.
+	// Multi-block rows pad with zeros, and encodeBlockInto scrubs stale
+	// bytes left in the destination by a previous block.
 	long := make([]int32, 20)
 	long[19] = 7
-	blocks = encodeRow(long, 2)
 	got = make([]int32, 20)
-	decodeBlock(got, 0, blocks[0])
-	decodeBlock(got, 16, blocks[1])
-	if got[19] != 7 || got[15] != 0 {
+	encodeBlockInto(blk[:], long, 0)
+	decodeBlock(got, 0, blk[:])
+	encodeBlockInto(blk[:], long, 1)
+	decodeBlock(got, 16, blk[:])
+	if got[19] != 7 || got[15] != 0 || got[0] != 0 {
 		t.Fatal("multi-block round trip failed")
 	}
 }

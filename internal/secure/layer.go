@@ -35,6 +35,10 @@ type layerRun struct {
 	wTouched  []bool // per weight block: first-read seen
 	wDigest   mac.Digest
 
+	// flatIn is the reusable flattened-input header FC compute visits view
+	// the producer volume through (same backing data, collapsed shape).
+	flatIn nn.Tensor
+
 	err error
 }
 
@@ -58,12 +62,20 @@ func (x *Executor) runLayer(rt *inferRuntime, st *layerState,
 		rt.ks.start(rt.pool, rt.ksEngine, producer)
 		defer rt.ks.cancel()
 	}
-	run := &layerRun{
+	// The layer context and its working set live in the runtime's reusable
+	// slabs: the input/output tensors, first-touch bitmaps and decoded
+	// weights are zeroed views over run-pooled backing arrays, so the layer
+	// loop allocates nothing in steady state. Outputs double-buffer by layer
+	// parity — layer i assembles into buffer i&1 while layer i-1's output
+	// (this layer's producerData, consumed by unreadExternal) stays intact
+	// in the other buffer.
+	run := &rt.lr
+	*run = layerRun{
 		rt: rt, sm: sm, st: st,
 		producer: producer, producerData: producerData,
-		in:        nn.NewTensor(producer.chans, producer.rows, producer.cols),
-		out:       nn.NewTensor(st.layer.K, st.layer.OutH(), st.layer.OutW()),
-		inTouched: make([]bool, producer.blocks()),
+		in:        rt.inputTensor(producer.chans, producer.rows, producer.cols),
+		out:       rt.outputTensor(int(st.act.ownerID-1)&1, st.layer.K, st.layer.OutH(), st.layer.OutW()),
+		inTouched: rt.touchedInput(producer.blocks()),
 	}
 	if weights != nil {
 		if st.resident {
@@ -73,8 +85,12 @@ func (x *Executor) runLayer(rt *inferRuntime, st *layerState,
 			// the residency was built / last epoch-checked.
 			run.w = weights
 		} else {
-			run.w = nn.WeightsFor(st.layer)
-			run.wTouched = make([]bool, st.wl.k*st.wl.cGroups*st.wl.sliceBlocks)
+			if st.layer.Type == workload.Depthwise {
+				run.w = rt.weightsTensor(st.layer.K, 1, st.layer.R, st.layer.S)
+			} else {
+				run.w = rt.weightsTensor(st.layer.K, st.layer.C, st.layer.R, st.layer.S)
+			}
+			run.wTouched = rt.touchedWeights(st.wl.k * st.wl.cGroups * st.wl.sliceBlocks)
 		}
 	}
 
@@ -133,8 +149,10 @@ func (r *layerRun) onCompute(idx dataflow.LoopIdx) bool {
 	y1 := min(l.OutH(), y0+c.OHT)
 	in := r.in
 	if l.Type == workload.FC && l.H == 1 && l.W == 1 {
-		// FC consumes the flattened producer volume.
-		in = &nn.Tensor{Chans: l.C, H: 1, W: 1, Data: r.in.Data}
+		// FC consumes the flattened producer volume (a reusable header over
+		// the same backing data).
+		r.flatIn = nn.Tensor{Chans: l.C, H: 1, W: 1, Data: r.in.Data}
+		in = &r.flatIn
 	}
 	// The arithmetic itself shards like the crypto: sub-ranges own disjoint
 	// output elements and keep the serial per-element accumulation order,
@@ -225,8 +243,7 @@ func (r *layerRun) readIfmapTile(e dataflow.Event) {
 func (r *layerRun) readFlatRange(f0, f1 int) {
 	p := r.producer
 	perChan := p.rows * p.cols
-	type blockRun struct{ ch, row, j, n int }
-	runs := make([]blockRun, 0, (f1-f0)/intsPerBlock+2)
+	runs := r.rt.flatRuns[:0]
 	for f := f0; f < f1; {
 		ch := f / perChan
 		rem := f % perChan
@@ -241,9 +258,10 @@ func (r *layerRun) readFlatRange(f0, f1 int) {
 			}
 			n++
 		}
-		runs = append(runs, blockRun{ch: ch, row: row, j: j, n: n})
+		runs = append(runs, flatRun{ch: ch, row: row, j: j, n: n})
 		f += n
 	}
+	r.rt.flatRuns = runs // keep any growth for the next range/layer/run
 	r.rt.forkBlocks(len(runs), 1, func(_ int, sh *protect.SeculatorShard, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b := runs[i]
@@ -293,7 +311,7 @@ func (r *layerRun) readWeightTile(e dataflow.Event) {
 	rt := r.rt
 	clear(rt.wDigest)
 	rt.forkBlocks(k1-k0, wl.sliceBlocks, func(s int, sh *protect.SeculatorShard, lo, hi int) {
-		ints := make([]int32, wl.sliceInts)
+		ints := rt.weightInts(s, wl.sliceInts)
 		for k := k0 + lo; k < k0+hi; k++ {
 			for j := 0; j < wl.sliceBlocks; j++ {
 				flat := (k*wl.cGroups+cg)*wl.sliceBlocks + j
@@ -403,18 +421,25 @@ func (r *layerRun) writeOfmapTile(e dataflow.Event) {
 func (r *layerRun) verifyWeights() error {
 	got := r.wDigest
 	// Fold unread weight blocks host-side (slices of fully padded channel
-	// groups, or resident groups skipped by the mapping's reuse).
+	// groups, or resident groups skipped by the mapping's reuse). The slice
+	// is re-derived at most once per (k, cg) into runtime scratch — the
+	// events have quiesced, so shard 0's decode slab is free.
 	wl := r.st.wl
 	l := r.st.layer
+	blk := r.rt.blockBuf[:]
 	for k := 0; k < wl.k; k++ {
 		for cg := 0; cg < wl.cGroups; cg++ {
+			var ints []int32
 			for j := 0; j < wl.sliceBlocks; j++ {
 				flat := (k*wl.cGroups+cg)*wl.sliceBlocks + j
 				if r.wTouched[flat] {
 					continue
 				}
-				ints := weightSlice(l, r.wOrig(), k, cg, wl.sliceInts)
-				blk := encodeRow(ints, wl.sliceBlocks)[j]
+				if ints == nil {
+					ints = r.rt.weightInts(0, wl.sliceInts)
+					weightSliceInto(ints, l, r.wOrig(), k, cg)
+				}
+				encodeBlockInto(blk, ints, j)
 				got = got.Xor(r.sm.BlockDigest(wl.ownerID, uint32(k), 1, uint32(cg*wl.sliceBlocks+j), blk))
 			}
 		}
@@ -435,19 +460,17 @@ func (r *layerRun) wOrig() *nn.Weights { return r.w }
 func (r *layerRun) unreadExternal() mac.Digest {
 	var d mac.Digest
 	p := r.producer
+	blk := r.rt.blockBuf[:]
 	for ch := 0; ch < p.chans; ch++ {
 		for row := 0; row < p.rows; row++ {
 			vals := rowOf(r.producerData, ch, row)
-			var blocks [][]byte
 			for j := 0; j < p.bpr; j++ {
 				flat := (ch*p.rows+row)*p.bpr + j
 				if r.inTouched[flat] {
 					continue
 				}
-				if blocks == nil {
-					blocks = encodeRow(vals, p.bpr)
-				}
-				d = d.Xor(r.sm.BlockDigest(p.ownerID, uint32(ch), p.vn, uint32(row*p.bpr+j), blocks[j]))
+				encodeBlockInto(blk, vals, j)
+				d = d.Xor(r.sm.BlockDigest(p.ownerID, uint32(ch), p.vn, uint32(row*p.bpr+j), blk))
 			}
 		}
 	}

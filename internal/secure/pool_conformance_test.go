@@ -1,0 +1,208 @@
+package secure
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"seculator/internal/mem"
+	"seculator/internal/nn"
+	"seculator/internal/protect"
+	"seculator/internal/tensor"
+	"seculator/internal/workload"
+)
+
+// pool_conformance_test.go — the oracle for cross-request run-state reuse
+// (parallel.go). A pooled runtime that leaks one request's state into the
+// next would not crash; it would silently skew activations, MAC registers,
+// or the keystream. So the conformance harness runs the same request
+// sequence twice — once on fresh state per run (pooling off), once reusing
+// one pooled state across consecutive runs — and demands bit-identical
+// outputs AND bit-identical final MAC registers, across worker counts.
+
+// conformanceCase is one request in the reuse sequence: deliberately
+// different networks and seeds back to back, so any stale geometry,
+// stale slab contents, or stale digest from the previous run shows up.
+type conformanceCase struct {
+	net  workload.Network
+	seed int64
+}
+
+func conformanceSequence() []conformanceCase {
+	strided := workload.Network{
+		Name: "strided",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 2, H: 11, W: 11, K: 4, R: 5, S: 5, Stride: 2, Valid: true},
+			{Name: "c2", Type: workload.Conv, C: 4, H: 4, W: 4, K: 6, R: 3, S: 3, Stride: 2},
+		},
+	}
+	deepER := workload.Network{
+		Name: "two",
+		Layers: []workload.Layer{
+			{Name: "c1", Type: workload.Conv, C: 2, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1},
+			{Name: "c2", Type: workload.Conv, C: 4, H: 8, W: 8, K: 4, R: 3, S: 3, Stride: 1},
+		},
+	}
+	return []conformanceCase{
+		{miniNet(), 42},   // every layer type
+		{strided, 7},      // different geometry, valid + strided convs
+		{deepER, 3},       // different depth and seed
+		{miniNet(), 1000}, // back to the first geometry with new weights
+	}
+}
+
+// runCase executes one case on x and returns the output plus the final
+// layer's MAC register snapshot.
+func runCase(t *testing.T, x *Executor, c conformanceCase) (*nn.Tensor, protect.RegisterState) {
+	t.Helper()
+	in, ws := nn.RandomModel(c.net, c.seed)
+	var last protect.RegisterState
+	x.OnLayerMACs = func(phase int, regs protect.RegisterState) { last = regs }
+	res, err := x.Run(context.Background(), c.net, in, ws)
+	if err != nil {
+		t.Fatalf("%s/seed=%d: %v", c.net.Name, c.seed, err)
+	}
+	return res.Output, last
+}
+
+// TestPooledRuntimeConformance is the reuse oracle: one executor serving
+// the whole sequence with pooling on (every run after the first rides the
+// recycled state) must match fresh-state baselines bit for bit — outputs
+// and all four XOR-MAC registers with their fold counts.
+func TestPooledRuntimeConformance(t *testing.T) {
+	seq := conformanceSequence()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Fresh-state baselines: pooling off, a new executor per run.
+			SetRunPooling(false)
+			baselines := make([]*nn.Tensor, len(seq))
+			baseRegs := make([]protect.RegisterState, len(seq))
+			for i, c := range seq {
+				x := NewExecutor()
+				x.Parallel = workers
+				baselines[i], baseRegs[i] = runCase(t, x, c)
+			}
+
+			// Pooled: one executor, consecutive runs, state recycled
+			// between them.
+			SetRunPooling(true)
+			defer SetRunPooling(true)
+			x := NewExecutor()
+			x.Parallel = workers
+			for i, c := range seq {
+				out, regs := runCase(t, x, c)
+				if !out.Equal(baselines[i]) {
+					t.Fatalf("run %d (%s/seed=%d): pooled output diverged from fresh-state baseline",
+						i, c.net.Name, c.seed)
+				}
+				if regs != baseRegs[i] {
+					t.Fatalf("run %d (%s/seed=%d): pooled MAC registers diverged:\npooled %+v\nfresh  %+v",
+						i, c.net.Name, c.seed, regs, baseRegs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPooledRuntimeIdentityMismatch: a pooled state keyed to one crypto
+// identity must never serve a run under another. The second executor uses
+// a different secret; its run must still match its own fresh reference.
+func TestPooledRuntimeIdentityMismatch(t *testing.T) {
+	SetRunPooling(true)
+	defer SetRunPooling(true)
+	c := conformanceSequence()[0]
+	in, ws := nn.RandomModel(c.net, c.seed)
+
+	x1 := NewExecutor()
+	res1, err := x1.Run(context.Background(), c.net, in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x2 := NewExecutor()
+	x2.Secret = DefaultSecret ^ 0xdead
+	x2.Random = DefaultRandom ^ 0xbeef
+	res2, err := x2.Run(context.Background(), c.net, in, ws)
+	if err != nil {
+		t.Fatalf("different-identity run after pooled run: %v", err)
+	}
+	if !res1.Output.Equal(res2.Output) {
+		t.Fatal("crypto identity must not change functional output")
+	}
+}
+
+// TestRunPoolHammer floods the run-state pool from many goroutines with
+// mixed networks, seeds, and worker counts — the shape of a busy serving
+// tier. Under -race it is the data-race detector's view of the pool
+// (acquire/scrub/release and the preload hand-off); functionally every
+// result must match its golden reference.
+func TestRunPoolHammer(t *testing.T) {
+	SetRunPooling(true)
+	defer SetRunPooling(true)
+
+	seq := conformanceSequence()
+	goldens := make([]*nn.Tensor, len(seq))
+	for i, c := range seq {
+		in, ws := nn.RandomModel(c.net, c.seed)
+		g, err := nn.ForwardNetwork(c.net, in, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i] = g
+	}
+
+	const goroutines = 8
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(seq)
+				c := seq[i]
+				x := NewExecutor()
+				x.Parallel = 1 + (g+it)%4 // mix pool keys: workers 1..4
+				in, ws := nn.RandomModel(c.net, c.seed)
+				res, err := x.Run(context.Background(), c.net, in, ws)
+				if err != nil {
+					errc <- fmt.Errorf("g%d it%d %s: %v", g, it, c.net.Name, err)
+					return
+				}
+				if !res.Output.Equal(goldens[i]) {
+					errc <- fmt.Errorf("g%d it%d %s: pooled output diverged under contention", g, it, c.net.Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPooledStateNotResurrectedByReserve pins the mem.DRAM contract the
+// pool depends on: after Reset, re-Reserving the same range must observe
+// zeroed, unwritten lines — not the previous run's ciphertext.
+func TestPooledStateNotResurrectedByReserve(t *testing.T) {
+	d, err := mem.New(mem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reserve(8)
+	var line [tensor.BlockBytes]byte
+	line[0] = 0xAA
+	d.WriteBlockQuiet(3, line[:])
+	d.Reset()
+	d.Reserve(8)
+	if got := d.Lines(); got != 0 {
+		t.Fatalf("Reserve after Reset resurrected %d written lines", got)
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// arena.go — request-scoped buffer arenas for the HTTP surface. Every
+// request used to allocate its own JSON decode scratch, response encoder,
+// and encode buffer; the steady-state serving path instead draws them from
+// process-wide pools and returns them when the response is written, so the
+// per-request handler overhead is a handful of fixed-size pool round trips
+// (DESIGN.md §15). Buffers that grew beyond maxPooledBuf (one oversized
+// snapshot import, a huge input override) are dropped rather than pooled so
+// a burst cannot pin its high-water mark forever.
+
+// maxPooledBuf bounds the capacity a buffer may keep when returned to its
+// pool.
+const maxPooledBuf = 1 << 20
+
+// bodyPool holds request-body read scratch: the decode path slurps the
+// (limited) body into a pooled buffer and unmarshals from its bytes —
+// json.Unmarshal reuses scanner state from encoding/json's internal pool,
+// where a per-request json.NewDecoder would allocate its own.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody reads at most limit bytes of body into pooled scratch. The
+// returned buffer's bytes are valid until putBody.
+func readBody(body io.Reader, limit int64) (*bytes.Buffer, error) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(io.LimitReader(body, limit)); err != nil {
+		putBody(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putBody(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bodyPool.Put(buf)
+	}
+}
+
+// jsonScratch is one pooled response encoder: a buffer with a json.Encoder
+// permanently bound to it, so encoding a response allocates neither.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
+
+// encodeJSON renders v through a pooled encoder and returns the scratch;
+// the caller writes scratch.buf.Bytes() and calls putJSON.
+func encodeJSON(v any) (*jsonScratch, error) {
+	s := jsonPool.Get().(*jsonScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		putJSON(s)
+		return nil, err
+	}
+	return s, nil
+}
+
+func putJSON(s *jsonScratch) {
+	if s.buf.Cap() <= maxPooledBuf {
+		jsonPool.Put(s)
+	}
+}
+
+// decodeJSON is the pooled-scratch counterpart of a one-shot
+// json.NewDecoder(...).Decode: read the limited body, unmarshal, release.
+func decodeJSON(body io.Reader, limit int64, v any) error {
+	buf, err := readBody(body, limit)
+	if err != nil {
+		return err
+	}
+	err = json.Unmarshal(buf.Bytes(), v)
+	putBody(buf)
+	return err
+}

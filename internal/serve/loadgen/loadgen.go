@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -91,6 +92,30 @@ type Report struct {
 	// them. Populated only when the target is a gateway (which stamps
 	// InferResponse.Replica); direct single-replica runs leave it empty.
 	ByReplica map[string]ReplicaStats
+
+	// GC is the process-wide memory churn over the run window
+	// (runtime.ReadMemStats deltas). For in-process targets it covers the
+	// full server hot path; against a remote -target it measures only the
+	// generator's own side, which is still the regression signal the
+	// zero-allocation serving work watches.
+	GC GCStats
+}
+
+// GCStats is the allocation/collector activity attributable to a run.
+type GCStats struct {
+	Mallocs    uint64        // heap objects allocated during the run
+	AllocBytes uint64        // bytes allocated during the run
+	Cycles     uint32        // GC cycles completed during the run
+	PauseTotal time.Duration // stop-the-world pause time accumulated
+}
+
+// perThousand normalizes a per-run counter to per-1000-requests so runs of
+// different lengths compare directly.
+func perThousand(v uint64, requests int) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return float64(v) * 1000 / float64(requests)
 }
 
 // ReplicaStats is one replica's slice of a gateway load run.
@@ -109,6 +134,12 @@ func (r Report) String() string {
 		r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
 		r.P99.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
 	fmt.Fprintf(&b, "  batching: mean batch size %.2f\n", r.MeanBatch)
+	if r.Sent > 0 {
+		fmt.Fprintf(&b, "  gc: %.0f allocs / %.0f KiB per 1k requests, %d cycles (%.2f per 1k), pause total %v\n",
+			perThousand(r.GC.Mallocs, r.Sent), perThousand(r.GC.AllocBytes, r.Sent)/1024,
+			r.GC.Cycles, perThousand(uint64(r.GC.Cycles), r.Sent),
+			r.GC.PauseTotal.Round(10*time.Microsecond))
+	}
 	if r.ResidencyHits > 0 {
 		fmt.Fprintf(&b, "  residency: %d/%d hits\n", r.ResidencyHits, r.OK)
 	}
@@ -183,6 +214,9 @@ func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
 		sessionID = sres.SessionID
 	}
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
 	start := time.Now()
 	deadline := start.Add(opts.Duration)
 	ticker := time.NewTicker(interval)
@@ -248,6 +282,15 @@ arrivals:
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	rep.GC = GCStats{
+		Mallocs:    msAfter.Mallocs - msBefore.Mallocs,
+		AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+		Cycles:     msAfter.NumGC - msBefore.NumGC,
+		PauseTotal: time.Duration(msAfter.PauseTotalNs - msBefore.PauseTotalNs),
+	}
 
 	if rep.Elapsed > 0 {
 		rep.AchievedRPS = float64(rep.OK) / rep.Elapsed.Seconds()

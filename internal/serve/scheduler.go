@@ -85,6 +85,26 @@ type batch struct {
 	timer *time.Timer
 }
 
+// batchPool recycles batch headers and their item-slice backing across
+// dispatches — steady-state traffic forms and retires batches at request
+// rate, so the slices live in a pool instead of the heap. Only the batch
+// and its slice recycle; items are owned jointly by the executor and the
+// submitting goroutine and stay garbage-collected.
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// releaseBatch scrubs an executed batch and parks it. It serializes with
+// the scheduler lock because a stale linger timer may still hold the batch
+// pointer: its flush finds the batch already detached (pointer comparison
+// under the same lock) and walks away, but only if the reset cannot race
+// the read.
+func (s *Scheduler) releaseBatch(b *batch) {
+	s.mu.Lock()
+	clear(b.items)
+	*b = batch{items: b.items[:0]}
+	s.mu.Unlock()
+	batchPool.Put(b)
+}
+
 // Scheduler micro-batches compatible requests onto a persistent worker
 // pool. Requests submitted under the same key within the linger window (or
 // until MaxBatch) form one batch; each batch is one pool task, so the pool
@@ -141,7 +161,8 @@ func (s *Scheduler) Submit(ctx context.Context, key string, task Task) (any, Bat
 	s.depth++
 	b, ok := s.forming[key]
 	if !ok {
-		b = &batch{key: key}
+		b = batchPool.Get().(*batch)
+		b.key = key
 		s.forming[key] = b
 		if s.cfg.Linger > 0 {
 			b.timer = time.AfterFunc(s.cfg.Linger, func() { s.flush(b) })
@@ -249,6 +270,7 @@ func (s *Scheduler) executePipelined(b *batch) {
 			run()
 		}
 	}
+	s.releaseBatch(b)
 }
 
 // execute runs a batch: each live item in admission order, each under its
@@ -278,6 +300,7 @@ func (s *Scheduler) execute(b *batch) {
 		s.depth--
 		s.mu.Unlock()
 	}
+	s.releaseBatch(b)
 }
 
 // Close drains the scheduler: forming batches dispatch immediately, new

@@ -32,7 +32,6 @@ package serve
 import (
 	"context"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -336,9 +335,16 @@ func (s *Server) runJanitor() {
 // ---- handlers ----
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	s, err := encodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(s.buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(s.buf.Bytes())
+	putJSON(s)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
@@ -358,7 +364,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SessionCreateRequest
 	if r.ContentLength != 0 {
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		if err := decodeJSON(r.Body, 1<<16, &req); err != nil {
 			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
 			return
 		}
@@ -418,7 +424,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RestoreRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := decodeJSON(r.Body, 1<<20, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
 		return
 	}
@@ -512,7 +518,7 @@ func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RestoreRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := decodeJSON(r.Body, 1<<20, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
 		return
 	}
@@ -576,7 +582,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req InferRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+	if err := decodeJSON(r.Body, 8<<20, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, ErrorBody{Error: "malformed JSON: " + err.Error(), Class: ClassBadRequest})
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"seculator/internal/mac"
 	"seculator/internal/protect"
@@ -97,10 +98,11 @@ func sealSnapshot(key []byte, p snapshotPayload) (SnapshotEnvelope, error) {
 	if err != nil {
 		return SnapshotEnvelope{}, err
 	}
+	sum := snapshotMAC(key, snapshotVersion, raw)
 	return SnapshotEnvelope{
 		Version: snapshotVersion,
 		Payload: raw,
-		MAC:     hex.EncodeToString(snapshotMAC(key, snapshotVersion, raw)),
+		MAC:     hex.EncodeToString(sum[:]),
 	}, nil
 }
 
@@ -117,7 +119,8 @@ func openSnapshot(key []byte, env SnapshotEnvelope) (snapshotPayload, error) {
 	if err != nil || len(want) != sha256.Size {
 		return snapshotPayload{}, &resilience.SnapshotIntegrityError{Reason: "mac"}
 	}
-	if !hmac.Equal(want, snapshotMAC(key, env.Version, env.Payload)) {
+	got := snapshotMAC(key, env.Version, env.Payload)
+	if !hmac.Equal(want, got[:]) {
 		return snapshotPayload{}, &resilience.SnapshotIntegrityError{Reason: "mac"}
 	}
 	var p snapshotPayload
@@ -135,12 +138,21 @@ func openSnapshot(key []byte, env SnapshotEnvelope) (snapshotPayload, error) {
 // hmacEqualString compares two strings in constant time (admin-key check).
 func hmacEqualString(a, b string) bool { return hmac.Equal([]byte(a), []byte(b)) }
 
-// snapshotMAC computes HMAC-SHA256 over the domain-separated envelope.
-func snapshotMAC(key []byte, version int, payload []byte) []byte {
+// snapshotMAC computes HMAC-SHA256 over the domain-separated envelope. The
+// prefix is built with append into stack scratch and the sum lands in a
+// value array — the seal/unseal path performs no heap allocation beyond the
+// HMAC state itself.
+func snapshotMAC(key []byte, version int, payload []byte) [sha256.Size]byte {
 	h := hmac.New(sha256.New, key)
-	fmt.Fprintf(h, "%s%d:", snapshotDomain, version)
+	prefix := make([]byte, 0, len(snapshotDomain)+24)
+	prefix = append(prefix, snapshotDomain...)
+	prefix = strconv.AppendInt(prefix, int64(version), 10)
+	prefix = append(prefix, ':')
+	h.Write(prefix)
 	h.Write(payload)
-	return h.Sum(nil)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
 }
 
 // SnapshotSession exports one session as a sealed envelope (server-side

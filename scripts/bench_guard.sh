@@ -1,30 +1,45 @@
 #!/bin/sh
 # bench_guard.sh — regression guard for the serving-path benchmarks.
 #
-# Re-runs the serve benchmarks and compares each ns/op figure against the
-# committed BENCH_baseline.json "serve" section. Fails when the serial
-# path (BenchmarkServeInfer) regresses beyond the tolerance factor, so
-# admission-layer changes (tenant gates, fair queue) cannot silently tax
-# the per-request hot path. Other serve entries are reported but only the
-# serial path gates — the parallel/session figures wobble more on shared
-# runners.
+# Re-runs the serve benchmarks and compares each figure against the
+# committed BENCH_baseline.json "serve" section. Two gates:
 #
-# Usage: scripts/bench_guard.sh [tolerance]
+#   ns/op — fails when the serial path (BenchmarkServeInfer) regresses
+#           beyond the tolerance factor, so admission-layer changes
+#           (tenant gates, fair queue) cannot silently tax the
+#           per-request hot path. Other serve entries are reported but
+#           only the serial path gates — the parallel/session figures
+#           wobble more on shared runners.
+#
+#   allocs/op — fails when ANY gated serve benchmark allocates more than
+#           its tolerance times its baseline. The serial benchmarks'
+#           counts are deterministic (no CI-noise excuse), so their
+#           tolerance is tight: the steady-state serving path is
+#           allocation-budgeted (DESIGN.md §15) and a new per-request
+#           allocation chain is a bug even when the wall clock doesn't
+#           notice yet. The concurrent benchmarks (Parallel, Session)
+#           batch differently run to run, which moves their counts a few
+#           percent, so they gate at 2x the configured margin.
+#
+# Usage: scripts/bench_guard.sh [tolerance] [alloc_tolerance]
 #   tolerance — allowed ns/op growth factor for BenchmarkServeInfer
 #               (default 2.0: generous for CI noise, tight enough to catch
 #               an accidental O(n) admission scan or lock convoy).
+#   alloc_tolerance — allowed allocs/op growth factor for every gated
+#               serve benchmark (default 1.1: >10% regression fails).
 set -eu
 
 tol="${1:-2.0}"
+atol="${2:-1.1}"
 cd "$(dirname "$0")/.."
 
-baseline_ns() {
-	# Pull "Benchmark<name>": {"ns_per_op": N, ...} out of the named
-	# section ($2, default "serve") of BENCH_baseline.json.
-	awk -v name="$1" -v section="\"${2:-serve}\": {" '
+baseline_field() {
+	# Pull "Benchmark<name>": {..., "<field>": N, ...} out of the named
+	# section ($3, default "serve") of BENCH_baseline.json.
+	awk -v name="$1" -v field="$2" -v section="\"${3:-serve}\": {" '
 	index($0, section) { inserve = 1 }
 	inserve && $0 ~ "\"" name "\":" {
-		if (match($0, /"ns_per_op": [0-9.]+/)) {
+		if (match($0, "\"" field "\": [0-9.]+")) {
 			s = substr($0, RSTART, RLENGTH)
 			sub(/.*: /, "", s)
 			print s
@@ -34,14 +49,26 @@ baseline_ns() {
 	' BENCH_baseline.json
 }
 
+baseline_ns() { baseline_field "$1" ns_per_op "${2:-serve}"; }
+baseline_allocs() { baseline_field "$1" allocs_per_op "${2:-serve}"; }
+
+# run_field <output> <name> <unit> — extract the figure reported just
+# before <unit> (ns/op, allocs/op) on the named benchmark's line.
+run_field() {
+	echo "$1" | awk -v name="$2" -v unit="$3" '
+	$1 ~ "^" name "(-[0-9]+)?$" {
+		for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit }
+	}'
+}
+
 echo "bench_guard: running serve benchmarks (20 iterations each)..."
-out=$(go test -run='^$' -bench='Serve' -benchtime=20x ./internal/serve/)
+out=$(go test -run='^$' -bench='Serve' -benchtime=20x -benchmem ./internal/serve/)
 echo "$out" | grep '^Benchmark' || { echo "bench_guard: no benchmark output"; exit 1; }
 
 fail=0
-for name in BenchmarkServeInfer BenchmarkServeInferParallel BenchmarkServeSessionInfer; do
+for name in BenchmarkServeInfer BenchmarkServeInferResident BenchmarkServeInferParallel BenchmarkServeSessionInfer; do
 	old=$(baseline_ns "$name")
-	new=$(echo "$out" | awk -v name="$name" '$1 ~ "^" name "(-[0-9]+)?$" { print $3; exit }')
+	new=$(run_field "$out" "$name" ns/op)
 	if [ -z "$old" ] || [ -z "$new" ]; then
 		echo "bench_guard: $name missing (baseline='$old' run='$new')"
 		fail=1
@@ -55,6 +82,35 @@ for name in BenchmarkServeInfer BenchmarkServeInferParallel BenchmarkServeSessio
 	echo "bench_guard: $name ${new} ns/op vs baseline ${old} ns/op (${verdict}, tolerance ${tol}x)"
 	if [ "$ok" = 0 ] && [ "$name" = "BenchmarkServeInfer" ]; then
 		echo "bench_guard: FAIL — serial serving path regressed beyond ${tol}x"
+		fail=1
+	fi
+
+	# Allocation gate: every serve benchmark gates, the serial ones
+	# (deterministic counts) at atol, the concurrent ones at double the
+	# margin above 1.0 (batch formation wobbles their counts).
+	aold=$(baseline_allocs "$name")
+	anew=$(run_field "$out" "$name" allocs/op)
+	if [ -z "$aold" ] || [ -z "$anew" ]; then
+		echo "bench_guard: $name allocs/op missing (baseline='$aold' run='$anew')"
+		fail=1
+		continue
+	fi
+	case "$name" in
+	BenchmarkServeInferParallel | BenchmarkServeSessionInfer)
+		t=$(awk -v t="$atol" 'BEGIN { printf "%.2f", 1 + 2 * (t - 1) }')
+		;;
+	*)
+		t="$atol"
+		;;
+	esac
+	averdict=$(awk -v o="$aold" -v n="$anew" -v t="$t" 'BEGIN {
+		ratio = n / o
+		printf "%.2fx", ratio
+		exit (ratio > t) ? 1 : 0
+	}') && aok=1 || aok=0
+	echo "bench_guard: $name ${anew} allocs/op vs baseline ${aold} allocs/op (${averdict}, tolerance ${t}x)"
+	if [ "$aok" = 0 ]; then
+		echo "bench_guard: FAIL — $name allocations regressed beyond ${t}x"
 		fail=1
 	fi
 done

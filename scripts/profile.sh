@@ -1,0 +1,40 @@
+#!/bin/sh
+# profile.sh — capture CPU and allocation profiles of the serving hot path.
+#
+# Runs the in-process load generator (server + generator in one process, so
+# one profile covers the full request path: HTTP decode, scheduler,
+# secure executor, MAC pipeline, encode) and writes pprof files ready for
+# `go tool pprof`. The allocation profile is the steady-state allocation
+# budget's evidence file: after the arena/pool work (DESIGN.md §15) the
+# top of `alloc_objects` should be session/handshake setup and Go runtime
+# internals, not per-request serving code.
+#
+# Usage: scripts/profile.sh [outdir] [extra seculator-serve flags...]
+#   outdir — where cpu.pprof / mem.pprof / loadgen.log land
+#            (default ./profiles).
+#
+# Examples:
+#   scripts/profile.sh
+#   scripts/profile.sh /tmp/prof -network Deep -rps 50 -duration 10s
+#   go tool pprof -top profiles/mem.pprof
+#   go tool pprof -http=:6060 profiles/cpu.pprof
+set -eu
+
+outdir="${1:-profiles}"
+[ $# -gt 0 ] && shift
+cd "$(dirname "$0")/.."
+mkdir -p "$outdir"
+
+echo "profile: building seculator-serve..."
+go build -o "$outdir/seculator-serve" ./cmd/seculator-serve
+
+echo "profile: driving in-process loadgen (profiles in $outdir)..."
+"$outdir/seculator-serve" -loadgen \
+	-cpuprofile "$outdir/cpu.pprof" -memprofile "$outdir/mem.pprof" \
+	-fixed-model -rps 200 -duration 5s \
+	"$@" | tee "$outdir/loadgen.log"
+
+echo "profile: wrote $outdir/cpu.pprof and $outdir/mem.pprof"
+echo "profile: inspect with:"
+echo "  go tool pprof -top $outdir/cpu.pprof"
+echo "  go tool pprof -top -sample_index=alloc_objects $outdir/mem.pprof"
