@@ -73,7 +73,7 @@ func main() {
 		snapKey = flag.String("snapshot-key", "", "session-snapshot sealing key (empty = random per process; set it so snapshots survive restarts)")
 
 		doChaos = flag.Bool("chaos", false, "run the seeded isolation campaign instead of serving; exit 1 on violations")
-		seed    = flag.Int64("seed", 1, "chaos: campaign seed")
+		seed    = flag.Int64("seed", 1, "chaos campaign / loadgen schedule seed (same seed = identical request schedule)")
 		restart = flag.Bool("restart", true, "chaos: kill and restore the server mid-attack")
 
 		doLoad   = flag.Bool("loadgen", false, "run the load generator instead of serving")
@@ -87,6 +87,7 @@ func main() {
 		apiKey   = flag.String("api-key", "", "loadgen: API key sent with every request (for tenant-gated targets)")
 		fixed    = flag.Bool("fixed-model", false, "loadgen: pin one model and vary inputs (residency-cache serving shape)")
 		mseed    = flag.Int64("model-seed", 1, "loadgen: pinned model seed under -fixed-model")
+		poisson  = flag.Bool("poisson", false, "loadgen: exponential (memoryless) inter-arrival gaps instead of uniform spacing")
 		noRes    = flag.Bool("no-residency", false, "disable the verified-weight residency cache (per-request provisioning)")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (loadgen/chaos/smoke)")
@@ -138,7 +139,7 @@ func main() {
 	case *doLoad:
 		if err := runLoadgen(opts, loadTarget(*target, *gwURL), *replicas, *apiKey, loadgen.Options{
 			RPS: *rps, Duration: *duration, Network: *network, Sessions: *sessions,
-			FixedModel: *fixed, ModelSeed: *mseed,
+			FixedModel: *fixed, ModelSeed: *mseed, Seed: *seed, Poisson: *poisson,
 		}); err != nil {
 			stopProf()
 			fail(err)

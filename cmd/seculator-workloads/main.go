@@ -1,0 +1,135 @@
+// seculator-workloads drives the named workload mixes (W1–W6) against an
+// in-process serving stack and reports per-phase percentile trajectories —
+// the serving-layer benchmark suite behind BENCH_workloads.json.
+//
+// Modes:
+//
+//	seculator-workloads                       run every mix, print the table
+//	seculator-workloads -mix W1,W4            run a subset
+//	seculator-workloads -out BENCH_workloads.json
+//	                                          run and write the snapshot
+//	seculator-workloads -baseline BENCH_workloads.json
+//	                                          run, then gate p99 + shed rate
+//	                                          per mix against the snapshot;
+//	                                          exit 1 on regression
+//	seculator-workloads -baseline snap.json -in run.json
+//	                                          gate a previously written run
+//	                                          without re-running anything
+//
+// Runs are seeded (-seed): the same seed replays the same arrival
+// schedules, which is what makes the snapshot comparable run to run.
+// -scale shrinks or grows every mix's offered rates together, so CI smoke
+// runs and capacity probes share one definition of the suite.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"seculator/internal/workload"
+	"seculator/internal/workload/scenario"
+)
+
+func main() {
+	var (
+		mixList  = flag.String("mix", "all", "comma-separated mix names (W1..W6 or titles), or \"all\"")
+		duration = flag.Duration("duration", 6*time.Second, "total run time per mix, split across its arrival phases")
+		seed     = flag.Int64("seed", 1, "suite seed; the same seed replays the same arrival schedules")
+		scale    = flag.Float64("scale", 1, "offered-rate multiplier applied to every phase")
+		out      = flag.String("out", "", "write the suite result JSON here")
+		in       = flag.String("in", "", "gate an existing result file instead of running (requires -baseline)")
+		baseline = flag.String("baseline", "", "gate the run against this snapshot; exit 1 on regression")
+		p99f     = flag.Float64("p99-factor", 2.5, "gate: allowed p99 growth factor over baseline")
+		p99slack = flag.Float64("p99-slack-ms", 50, "gate: minimum absolute p99 headroom in ms")
+		shed     = flag.Float64("shed-slack", 0.15, "gate: allowed absolute shed-rate growth")
+		quiet    = flag.Bool("q", false, "suppress the summary table")
+	)
+	flag.Parse()
+
+	if err := run(*mixList, *duration, *seed, *scale, *out, *in, *baseline,
+		scenario.GateOptions{P99Factor: *p99f, P99SlackMs: *p99slack, ShedSlack: *shed}, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "seculator-workloads:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mixList string, duration time.Duration, seed int64, scale float64,
+	out, in, baseline string, gate scenario.GateOptions, quiet bool) error {
+	var suite scenario.Suite
+	if in != "" {
+		if baseline == "" {
+			return fmt.Errorf("-in requires -baseline (nothing else to do with an existing result)")
+		}
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		suite, err = scenario.DecodeSuite(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		mixes, err := selectMixes(mixList)
+		if err != nil {
+			return err
+		}
+		suite, err = scenario.RunAll(context.Background(), mixes, scenario.Options{
+			Duration: duration, Seed: seed, Scale: scale,
+		})
+		if err != nil {
+			return err
+		}
+		suite.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	if !quiet {
+		fmt.Print(suite.Table())
+	}
+	if out != "" {
+		data, err := suite.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		base, err := scenario.DecodeSuite(data)
+		if err != nil {
+			return err
+		}
+		if violations := scenario.Gate(suite, base, gate); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "GATE FAIL:", v)
+			}
+			return fmt.Errorf("%d workload gate violation(s) against %s", len(violations), baseline)
+		}
+		fmt.Printf("workload gate: %d mix(es) within tolerance of %s\n", len(base.Mixes), baseline)
+	}
+	return nil
+}
+
+func selectMixes(list string) ([]workload.Mix, error) {
+	if list == "" || list == "all" {
+		return workload.Mixes(), nil
+	}
+	var out []workload.Mix
+	for _, name := range strings.Split(list, ",") {
+		m, err := workload.MixByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -380,14 +380,21 @@ func (c *campaign) runPhase(ctx context.Context, ph Phase, d time.Duration) map[
 	return reports
 }
 
-// attackLoop is the adversarial generator: an open-loop arrival process at
-// AttackRPS where every arrival opens a fresh session and runs one
-// inference through the replay MITM — each executed request is a
-// guaranteed VN breach, and refused ones probe the quarantine the breach
-// history earned. No retries: the adversary takes every refusal.
+// attackLoop adapts the campaign's plan to the shared adversarial stream.
 func (c *campaign) attackLoop(ctx context.Context, cl *client.Client, p TenantPlan, d time.Duration) loadgen.Report {
+	return AttackStream(ctx, cl, c.opts.Network, p.AttackRPS, d, c.opts.Seed)
+}
+
+// AttackStream is the adversarial generator: an open-loop arrival process
+// at rps where every arrival opens a fresh session and runs one inference
+// through the server's replay MITM intercept — each executed request is a
+// guaranteed VN breach, and refused ones probe the quarantine the breach
+// history earned. No retries: the adversary takes every refusal. Request
+// seeds derive from seed, so the stream replays. The chaos campaign's
+// attack phase and the workload suite's attack-laced mixes both ride it.
+func AttackStream(ctx context.Context, cl *client.Client, network string, rps float64, d time.Duration, seed int64) loadgen.Report {
 	rep := loadgen.Report{Errors: make(map[string]int)}
-	interval := time.Duration(float64(time.Second) / p.AttackRPS)
+	interval := time.Duration(float64(time.Second) / rps)
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
@@ -415,7 +422,7 @@ arrivals:
 			continue
 		}
 		wg.Add(1)
-		go func(seed int64) {
+		go func(reqSeed int64) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			record := func(err error) {
@@ -439,10 +446,10 @@ arrivals:
 				return
 			}
 			_, err = cl.Infer(ctx, serve.InferRequest{
-				Network: c.opts.Network, Seed: seed, Session: sess.SessionID,
+				Network: network, Seed: reqSeed, Session: sess.SessionID,
 			})
 			record(err)
-		}(c.opts.Seed + int64(rep.Sent))
+		}(seed + int64(rep.Sent))
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
@@ -615,8 +622,12 @@ func (c *campaign) check(res *Result, scrape string) {
 	}
 }
 
-// replayIntercept is the command-channel MITM: capture the layer-2 packet,
+// ReplayIntercept is the command-channel MITM: capture the layer-2 packet,
 // splice it over layer 4 — the version-number check downstream flags it.
+// One intercept carries the capture state of one inference; callers hand a
+// fresh one to every session-bound run (serve.Options.InterceptFor does).
+func ReplayIntercept() host.Intercept { return replayIntercept() }
+
 func replayIntercept() host.Intercept {
 	var mu sync.Mutex
 	var captured *host.Packet
@@ -636,8 +647,18 @@ func replayIntercept() host.Intercept {
 	}
 }
 
-// metricValue returns the value of a scrape line for the given tenant
-// label (or an unlabeled line when tenant is empty); absent lines read 0.
+// MetricValue returns the value of a /metrics scrape line for the given
+// tenant label (or an unlabeled line when tenant is empty); absent lines
+// read 0. The chaos invariants and the workload scenario runner both read
+// their evidence through it.
+func MetricValue(scrape, name, tenant string) float64 { return metricValue(scrape, name, tenant) }
+
+// MetricValueLabeled is MetricValue with a raw label-substring match, for
+// multi-label lines like shed-by-reason.
+func MetricValueLabeled(scrape, name, labels string) float64 {
+	return metricValueLabeled(scrape, name, labels)
+}
+
 func metricValue(scrape, name, tenant string) float64 {
 	if tenant == "" {
 		return metricValueLabeled(scrape, name, "")

@@ -14,6 +14,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
@@ -57,6 +59,28 @@ type Options struct {
 	FixedModel bool
 	// ModelSeed is the pinned model under FixedModel.
 	ModelSeed int64
+
+	// Seed makes the whole arrival/think-time process reproducible: the
+	// inter-arrival gaps (under Poisson), the per-request model seeds, and
+	// therefore the entire request schedule derive from it. Two runs with
+	// the same options produce the identical Schedule. Zero keeps the
+	// legacy shape: uniform spacing with sequential request seeds 1, 2, …
+	Seed int64
+	// Poisson draws exponential (memoryless) inter-arrival gaps with mean
+	// 1/RPS instead of uniform spacing — the open-loop arrival process the
+	// workload scenario curves are built from. The gap sequence is seeded
+	// by Seed, so it is reproducible run to run.
+	Poisson bool
+	// SessionEvery, with Sessions, rotates to a freshly created session
+	// every N arrivals — session-churn traffic, where session setup joins
+	// the steady-state path. Replaced sessions are left to idle expiry so
+	// in-flight requests on them still complete. Zero keeps one session
+	// for the whole run.
+	SessionEvery int
+	// KeepSamples retains the sorted OK latency samples on the report, so
+	// callers merging several concurrent streams (the workload scenario
+	// runner) can compute exact cross-stream percentiles.
+	KeepSamples bool
 }
 
 func (o *Options) setDefaults() {
@@ -87,6 +111,11 @@ type Report struct {
 	Max            time.Duration
 	MeanBatch      float64 // mean server-reported batch size over OK requests
 	ResidencyHits  int     // OK requests that rode the server's pinned weights
+	SessionsOpened int     // sessions created (initial + churn rotations)
+
+	// Samples holds the sorted OK latencies when Options.KeepSamples was
+	// set; nil otherwise.
+	Samples []time.Duration
 
 	// ByReplica attributes completed requests to the replica that served
 	// them. Populated only when the target is a gateway (which stamps
@@ -171,14 +200,58 @@ func (r Report) String() string {
 	return b.String()
 }
 
-// Run drives target at the configured rate until the duration elapses or
-// ctx is cancelled, then waits for in-flight requests and reports.
-func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
+// Arrival is one scheduled request: its offset from the run start and the
+// model seed it carries (the input seed under FixedModel).
+type Arrival struct {
+	At   time.Duration
+	Seed int64
+}
+
+// Schedule derives the request schedule from the options, deterministically:
+// the same options (Seed included) always produce the identical arrival
+// sequence, which is what makes workload runs reproducible and diffable.
+// Constant arrivals space uniformly at 1/RPS; Poisson draws exponential
+// gaps with the same mean from the seeded generator. Per-request seeds are
+// sequential (1, 2, …) when Seed is zero — the legacy loadgen shape — and
+// drawn from the seeded generator otherwise, so distinct Seeds also offer
+// distinct model populations.
+func Schedule(opts Options) []Arrival {
 	opts.setDefaults()
 	interval := time.Duration(float64(time.Second) / opts.RPS)
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	var rng *rand.Rand
+	if opts.Seed != 0 || opts.Poisson {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	sched := make([]Arrival, 0, int(opts.Duration/interval)+1)
+	at := time.Duration(0)
+	for i := 0; ; i++ {
+		gap := interval
+		if opts.Poisson {
+			gap = time.Duration(rng.ExpFloat64() * float64(interval))
+			if gap < time.Nanosecond {
+				gap = time.Nanosecond
+			}
+		}
+		at += gap
+		if at > opts.Duration {
+			break
+		}
+		seed := int64(i) + 1
+		if opts.Seed != 0 {
+			seed = rng.Int63()
+		}
+		sched = append(sched, Arrival{At: at, Seed: seed})
+	}
+	return sched
+}
+
+// Run drives target at the configured rate until the duration elapses or
+// ctx is cancelled, then waits for in-flight requests and reports.
+func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
+	opts.setDefaults()
 
 	var (
 		mu        sync.Mutex
@@ -202,36 +275,76 @@ func Run(ctx context.Context, target Inferer, opts Options) (Report, error) {
 		inputLen = first.C * first.H * first.W
 	}
 
+	var sessClient *client.Client
 	if opts.Sessions {
 		c, ok := target.(*client.Client)
 		if !ok {
 			return Report{}, fmt.Errorf("loadgen: Sessions requires a *client.Client target")
 		}
+		sessClient = c
 		sres, err := c.CreateSession(ctx, serve.SessionCreateRequest{})
 		if err != nil {
 			return Report{}, fmt.Errorf("loadgen: opening session: %w", err)
 		}
 		sessionID = sres.SessionID
+		rep.SessionsOpened = 1
 	}
+
+	// currentSession reads the live session id; rotate swaps in a fresh one
+	// (session churn). Replaced sessions are abandoned to idle expiry so
+	// requests already holding the old id still complete.
+	var sessMu sync.Mutex
+	currentSession := func() string {
+		sessMu.Lock()
+		defer sessMu.Unlock()
+		return sessionID
+	}
+	rotate := func() {
+		sres, err := sessClient.CreateSession(ctx, serve.SessionCreateRequest{})
+		mu.Lock()
+		if err != nil {
+			rep.Errors["session-rotate"]++
+			mu.Unlock()
+			return
+		}
+		rep.SessionsOpened++
+		mu.Unlock()
+		sessMu.Lock()
+		sessionID = sres.SessionID
+		sessMu.Unlock()
+	}
+
+	sched := Schedule(opts)
 
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 
 	start := time.Now()
-	deadline := start.Add(opts.Duration)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
 
-	seed := int64(0)
 arrivals:
-	for time.Now().Before(deadline) {
-		select {
-		case <-ctx.Done():
+	for i, a := range sched {
+		// Open loop: fire at the scheduled offset; a generator running
+		// behind fires immediately rather than bending the schedule.
+		if wait := time.Until(start.Add(a.At)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
 			break arrivals
-		case <-ticker.C:
 		}
 		rep.Sent++
-		seed++
+		if sessClient != nil && opts.SessionEvery > 0 && i > 0 && i%opts.SessionEvery == 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rotate()
+			}()
+		}
 		select {
 		case slots <- struct{}{}:
 		default:
@@ -245,7 +358,7 @@ arrivals:
 			req := serve.InferRequest{
 				Network:   opts.Network,
 				Seed:      seed,
-				Session:   sessionID,
+				Session:   currentSession(),
 				TimeoutMs: opts.TimeoutMs,
 			}
 			if opts.FixedModel {
@@ -278,7 +391,7 @@ arrivals:
 			if resp.ResidencyHit {
 				rep.ResidencyHits++
 			}
-		}(seed)
+		}(a.Seed)
 	}
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
@@ -297,11 +410,14 @@ arrivals:
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		rep.P50 = percentile(lats, 0.50)
-		rep.P95 = percentile(lats, 0.95)
-		rep.P99 = percentile(lats, 0.99)
+		rep.P50 = Percentile(lats, 0.50)
+		rep.P95 = Percentile(lats, 0.95)
+		rep.P99 = Percentile(lats, 0.99)
 		rep.Max = lats[len(lats)-1]
 		rep.MeanBatch = float64(batchSum) / float64(rep.OK)
+		if opts.KeepSamples {
+			rep.Samples = lats
+		}
 	}
 	if len(byReplica) > 0 {
 		rep.ByReplica = make(map[string]ReplicaStats, len(byReplica))
@@ -309,9 +425,9 @@ arrivals:
 			sort.Slice(rl, func(i, j int) bool { return rl[i] < rl[j] })
 			rep.ByReplica[name] = ReplicaStats{
 				OK:  len(rl),
-				P50: percentile(rl, 0.50),
-				P95: percentile(rl, 0.95),
-				P99: percentile(rl, 0.99),
+				P50: Percentile(rl, 0.50),
+				P95: Percentile(rl, 0.95),
+				P99: Percentile(rl, 0.99),
 			}
 		}
 	}
@@ -331,17 +447,24 @@ func varyInput(n int, seed int64) []int32 {
 	return in
 }
 
-// percentile returns the p-quantile of sorted latencies (nearest-rank).
-func percentile(sorted []time.Duration, p float64) time.Duration {
+// Percentile returns the p-quantile of the ascending-sorted samples by the
+// nearest-rank method: the smallest value with at least p of the sample at
+// or below it, rank ⌈p·n⌉. The previous rounding formula read one rank low
+// whenever p·n had a fraction under one half — on 99 samples p99 reported
+// the 98th value instead of the maximum — which matters exactly in the
+// small-sample per-phase reports the workload suite gates on. The epsilon
+// absorbs float artifacts like 0.95·1000 = 950.0000000000001, which would
+// otherwise ceil to rank 951.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p*float64(len(sorted)) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }

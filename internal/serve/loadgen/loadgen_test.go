@@ -79,3 +79,145 @@ func errCount(r loadgen.Report) int {
 	}
 	return n
 }
+
+// Two schedules derived from the same seed are identical — arrival offsets
+// and per-request model seeds both — so a workload run replays exactly.
+// A different seed must produce a different schedule, and the legacy
+// (unseeded, uniform) shape must stay sequentially seeded.
+func TestScheduleReproducible(t *testing.T) {
+	for _, poisson := range []bool{false, true} {
+		opts := loadgen.Options{RPS: 500, Duration: time.Second, Seed: 42, Poisson: poisson}
+		a := loadgen.Schedule(opts)
+		b := loadgen.Schedule(opts)
+		if len(a) == 0 {
+			t.Fatalf("poisson=%v: empty schedule", poisson)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("poisson=%v: lengths differ: %d vs %d", poisson, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("poisson=%v: arrival %d differs: %+v vs %+v", poisson, i, a[i], b[i])
+			}
+		}
+
+		opts.Seed = 43
+		c := loadgen.Schedule(opts)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("poisson=%v: seeds 42 and 43 produced the identical schedule", poisson)
+		}
+	}
+
+	legacy := loadgen.Schedule(loadgen.Options{RPS: 100, Duration: 100 * time.Millisecond})
+	if len(legacy) == 0 {
+		t.Fatal("legacy schedule empty")
+	}
+	for i, a := range legacy {
+		if a.Seed != int64(i)+1 {
+			t.Fatalf("legacy arrival %d has seed %d, want %d", i, a.Seed, i+1)
+		}
+		if want := time.Duration(i+1) * 10 * time.Millisecond; a.At != want {
+			t.Fatalf("legacy arrival %d at %v, want %v", i, a.At, want)
+		}
+	}
+}
+
+// Poisson schedules keep the configured mean rate: the arrival count over
+// a long window stays near RPS*Duration.
+func TestSchedulePoissonRate(t *testing.T) {
+	opts := loadgen.Options{RPS: 1000, Duration: 10 * time.Second, Seed: 7, Poisson: true}
+	n := len(loadgen.Schedule(opts))
+	if n < 9000 || n > 11000 {
+		t.Fatalf("poisson schedule has %d arrivals for a 10000-mean window", n)
+	}
+}
+
+// Nearest-rank percentiles at the sample sizes the per-phase workload
+// reports actually see. Samples are 1ms..n ms so the expected quantile is
+// just ceil(p*n) ms — in particular p99 of 99 samples is the maximum, which
+// the old round-based index got wrong (it read the 98th).
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		n             int
+		p50, p95, p99 int // expected rank (1-based)
+	}{
+		{1, 1, 1, 1},
+		{3, 2, 3, 3},
+		{99, 50, 95, 99},
+		{100, 50, 95, 99},
+		{1000, 500, 950, 990},
+	}
+	for _, tc := range cases {
+		samples := make([]time.Duration, tc.n)
+		for i := range samples {
+			samples[i] = time.Duration(i+1) * time.Millisecond
+		}
+		for _, q := range []struct {
+			p    float64
+			rank int
+		}{{0.50, tc.p50}, {0.95, tc.p95}, {0.99, tc.p99}} {
+			got := loadgen.Percentile(samples, q.p)
+			want := time.Duration(q.rank) * time.Millisecond
+			if got != want {
+				t.Errorf("n=%d p%.0f: got %v, want %v (rank %d)", tc.n, q.p*100, got, want, q.rank)
+			}
+		}
+	}
+	if got := loadgen.Percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty sample p99 = %v, want 0", got)
+	}
+}
+
+// Session churn rotates to fresh sessions on schedule and the run still
+// completes; the report carries the opened-session count.
+func TestLoadgenSessionChurn(t *testing.T) {
+	c := newTarget(t)
+	rep, err := loadgen.Run(context.Background(), c, loadgen.Options{
+		RPS: 100, Duration: 400 * time.Millisecond, Network: "Mini",
+		Sessions: true, SessionEvery: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no churned-session traffic succeeded: %+v", rep)
+	}
+	if rep.SessionsOpened < 2 {
+		t.Fatalf("expected session rotations, got %d opened", rep.SessionsOpened)
+	}
+	if rep.Errors["session-rotate"] > 0 {
+		t.Fatalf("session rotations failed: %+v", rep.Errors)
+	}
+}
+
+// KeepSamples retains the full sorted latency sample for cross-stream
+// percentile merging.
+func TestLoadgenKeepSamples(t *testing.T) {
+	c := newTarget(t)
+	rep, err := loadgen.Run(context.Background(), c, loadgen.Options{
+		RPS: 200, Duration: 300 * time.Millisecond, Network: "Mini", KeepSamples: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) != rep.OK {
+		t.Fatalf("kept %d samples for %d OK requests", len(rep.Samples), rep.OK)
+	}
+	for i := 1; i < len(rep.Samples); i++ {
+		if rep.Samples[i] < rep.Samples[i-1] {
+			t.Fatalf("samples not sorted at %d", i)
+		}
+	}
+	if rep.P99 != loadgen.Percentile(rep.Samples, 0.99) {
+		t.Fatalf("report p99 %v disagrees with Percentile over its own samples", rep.P99)
+	}
+}

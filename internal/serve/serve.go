@@ -225,20 +225,10 @@ func (s *Server) register(n workload.Network) {
 
 // MiniNet is the serving demo network: one layer of every type, small
 // enough that a functional secure inference completes in milliseconds —
-// the unit of work for load generation and smoke tests.
-func MiniNet() workload.Network {
-	return workload.Network{
-		Name: "Mini",
-		Note: "serving demo network (conv/pool/depthwise/pointwise/FC)",
-		Layers: []workload.Layer{
-			{Name: "c1", Type: workload.Conv, C: 3, H: 12, W: 12, K: 8, R: 3, S: 3, Stride: 1},
-			{Name: "p1", Type: workload.Pool, C: 8, H: 12, W: 12, K: 8, R: 2, S: 2, Stride: 2, Valid: true},
-			{Name: "dw", Type: workload.Depthwise, C: 8, H: 6, W: 6, K: 8, R: 3, S: 3, Stride: 1},
-			{Name: "pw", Type: workload.Pointwise, C: 8, H: 6, W: 6, K: 16, R: 1, S: 1, Stride: 1},
-			{Name: "fc", Type: workload.FC, C: 16 * 6 * 6, H: 1, W: 1, K: 10, R: 1, S: 1, Stride: 1},
-		},
-	}
-}
+// the unit of work for load generation and smoke tests. The definition
+// lives in workload (workload.Mini) so the mix registry can validate model
+// names without importing serve.
+func MiniNet() workload.Network { return workload.Mini() }
 
 // resolveNetwork looks a request's network up: a registry name, or
 // "Name/div" for a shrunk benchmark (workload.Shrink), so load tests can

@@ -1,0 +1,213 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"seculator/internal/workload"
+)
+
+// Every registered mix validates, resolves all its model shapes (shrunk
+// forms included), and the suite covers the intended shape space: bursts,
+// ramps, sessions, churn, attacks, multi-model keys and a gateway fleet.
+func TestMixRegistry(t *testing.T) {
+	mixes := workload.Mixes()
+	if len(mixes) != 6 {
+		t.Fatalf("registry has %d mixes, want 6", len(mixes))
+	}
+	seen := map[string]bool{}
+	var hasBurst, hasRamp, hasChurn, hasAttack, hasMulti, hasGateway bool
+	for _, m := range mixes {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mix %s invalid: %v", m.Name, err)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate mix name %s", m.Name)
+		}
+		seen[m.Name] = true
+		for _, ms := range m.Models {
+			if _, err := workload.ResolveShape(ms.Network); err != nil {
+				t.Errorf("mix %s: %v", m.Name, err)
+			}
+		}
+		switch m.Arrival.Kind {
+		case workload.ArrivalBurst:
+			hasBurst = true
+		case workload.ArrivalRamp:
+			hasRamp = true
+		}
+		if m.SessionEvery > 0 {
+			hasChurn = true
+		}
+		if m.AttackFraction > 0 {
+			hasAttack = true
+		}
+		if len(m.Models) > 1 {
+			hasMulti = true
+		}
+		if m.Replicas > 1 {
+			hasGateway = true
+		}
+	}
+	for name, ok := range map[string]bool{
+		"burst": hasBurst, "ramp": hasRamp, "churn": hasChurn,
+		"attack": hasAttack, "multi-model": hasMulti, "gateway": hasGateway,
+	} {
+		if !ok {
+			t.Errorf("no mix exercises the %s shape", name)
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	byKey, err := workload.MixByName("W4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTitle, err := workload.MixByName("attack-laced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byKey.Name != byTitle.Name {
+		t.Fatalf("W4 and attack-laced resolve differently: %s vs %s", byKey.Name, byTitle.Name)
+	}
+	if _, err := workload.MixByName("W99"); err == nil {
+		t.Fatal("unknown mix resolved")
+	}
+}
+
+// Curve expansion: phase fractions always sum to 1, ramps climb
+// monotonically from RPS to PeakRPS, bursts alternate low/high.
+func TestArrivalCurvePhases(t *testing.T) {
+	ramp := workload.ArrivalCurve{Kind: workload.ArrivalRamp, RPS: 30, PeakRPS: 120, Steps: 3}
+	ps := ramp.Phases()
+	if len(ps) != 3 {
+		t.Fatalf("ramp expanded to %d phases, want 3", len(ps))
+	}
+	if ps[0].RPS != 30 || ps[len(ps)-1].RPS != 120 {
+		t.Fatalf("ramp endpoints %v..%v, want 30..120", ps[0].RPS, ps[len(ps)-1].RPS)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].RPS <= ps[i-1].RPS {
+			t.Fatalf("ramp not monotonic at %d: %v", i, ps)
+		}
+	}
+
+	burst := workload.ArrivalCurve{Kind: workload.ArrivalBurst, RPS: 40, PeakRPS: 240, Steps: 2}
+	ps = burst.Phases()
+	if len(ps) != 4 {
+		t.Fatalf("burst expanded to %d phases, want 4", len(ps))
+	}
+	for i, p := range ps {
+		want := 40.0
+		if i%2 == 1 {
+			want = 240
+		}
+		if p.RPS != want {
+			t.Fatalf("burst phase %d at %v RPS, want %v", i, p.RPS, want)
+		}
+	}
+
+	flat := workload.ArrivalCurve{Kind: workload.ArrivalConstant, RPS: 60}
+	if ps = flat.Phases(); len(ps) != 1 || ps[0].RPS != 60 || ps[0].Frac != 1 {
+		t.Fatalf("constant curve expanded to %+v", ps)
+	}
+
+	for _, c := range []workload.ArrivalCurve{ramp, burst, flat} {
+		var f float64
+		for _, p := range c.Phases() {
+			f += p.Frac
+		}
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("%s phases cover %v of the run", c.Kind, f)
+		}
+	}
+}
+
+func TestMixValidateRejects(t *testing.T) {
+	base := workload.Mix{
+		Name:    "T",
+		Models:  []workload.ModelShare{{Network: "Mini", Weight: 1}},
+		Tenants: 1,
+		Arrival: workload.ArrivalCurve{Kind: workload.ArrivalConstant, RPS: 10},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base mix invalid: %v", err)
+	}
+	mutations := map[string]func(*workload.Mix){
+		"no models":       func(m *workload.Mix) { m.Models = nil },
+		"unknown model":   func(m *workload.Mix) { m.Models = []workload.ModelShare{{Network: "NoSuch", Weight: 1}} },
+		"zero weight":     func(m *workload.Mix) { m.Models[0].Weight = 0 },
+		"no tenants":      func(m *workload.Mix) { m.Tenants = 0 },
+		"session ratio":   func(m *workload.Mix) { m.SessionRatio = 1.5 },
+		"attack fraction": func(m *workload.Mix) { m.AttackFraction = 1 },
+		"zero rps":        func(m *workload.Mix) { m.Arrival.RPS = 0 },
+		"bad kind":        func(m *workload.Mix) { m.Arrival.Kind = "sawtooth" },
+		"peak below base": func(m *workload.Mix) {
+			m.Arrival = workload.ArrivalCurve{Kind: workload.ArrivalRamp, RPS: 100, PeakRPS: 10}
+		},
+	}
+	for name, mutate := range mutations {
+		m := base
+		m.Models = append([]workload.ModelShare(nil), base.Models...)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+// ResolveShape accepts the Mini serving net, registry networks and shrunk
+// "Name/div" forms, and the results validate.
+func TestResolveShape(t *testing.T) {
+	for _, name := range []string{"Mini", "MobileNet", "MobileNet/8", "ResNet18/16"} {
+		n, err := workload.ResolveShape(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s resolves to invalid network: %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "NoSuch", "NoSuch/4", "Mini/x"} {
+		if _, err := workload.ResolveShape(name); err == nil {
+			t.Fatalf("%q resolved", name)
+		}
+	}
+}
+
+func TestMixModelCycleAndDurations(t *testing.T) {
+	m, err := workload.MixByName("W5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := m.ModelCycle()
+	if len(cycle) != 4 {
+		t.Fatalf("W5 cycle %v, want 4 entries (Mini weighted 2)", cycle)
+	}
+	minis := 0
+	for _, n := range cycle {
+		if n == "Mini" {
+			minis++
+		}
+	}
+	if minis != 2 {
+		t.Fatalf("W5 cycle has %d Mini entries, want 2: %v", minis, cycle)
+	}
+
+	ds := m.PhaseDurations(3 * time.Second)
+	if len(ds) != len(m.Arrival.Phases()) {
+		t.Fatalf("%d durations for %d phases", len(ds), len(m.Arrival.Phases()))
+	}
+	var total time.Duration
+	for _, d := range ds {
+		if d <= 0 {
+			t.Fatalf("non-positive phase duration in %v", ds)
+		}
+		total += d
+	}
+	if diff := total - 3*time.Second; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("durations sum to %v, want ~3s", total)
+	}
+}

@@ -1,0 +1,219 @@
+// report.go — the serialized shape of a workload-suite run
+// (BENCH_workloads.json), the human summary table, and the regression gate
+// that compares a fresh run against the committed snapshot.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Suite is one full run of the workload mixes — the top-level document of
+// BENCH_workloads.json.
+type Suite struct {
+	Schema     int     `json:"schema"`
+	Suite      string  `json:"suite"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	DurationMs float64 `json:"duration_ms"`
+	// GeneratedAt is stamped by the CLI (RFC 3339); the library leaves it
+	// empty so library runs stay deterministic.
+	GeneratedAt string      `json:"generated_at,omitempty"`
+	Mixes       []MixResult `json:"mixes"`
+}
+
+// MixResult is one mix's trajectory: the per-phase results in curve order
+// plus the folded overall view the gate thresholds apply to.
+type MixResult struct {
+	Name      string        `json:"name"`
+	Title     string        `json:"title"`
+	Replicas  int           `json:"replicas,omitempty"`
+	ElapsedMs float64       `json:"elapsed_ms"`
+	Phases    []PhaseResult `json:"phases"`
+	Overall   PhaseResult   `json:"overall"`
+	Attack    *AttackResult `json:"attack,omitempty"`
+	GC        GCSummary     `json:"gc"`
+}
+
+// PhaseResult is the outcome of one constant-rate phase (or the overall
+// fold): client-side latency distribution and accounting merged across the
+// mix's streams, plus the server-side counter deltas read around the phase.
+type PhaseResult struct {
+	Name       string  `json:"name"`
+	TargetRPS  float64 `json:"target_rps,omitempty"`
+	DurationMs float64 `json:"duration_ms,omitempty"`
+
+	Sent           int            `json:"sent"`
+	OK             int            `json:"ok"`
+	Shed           int            `json:"shed"`
+	Errors         map[string]int `json:"errors,omitempty"`
+	SessionsOpened int            `json:"sessions_opened,omitempty"`
+
+	P50ms       float64 `json:"p50_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	// ShedRate is the refused share of offered load: generator concurrency
+	// shed plus server 429/451 classes, over sent.
+	ShedRate float64 `json:"shed_rate"`
+	// ShedByReason is the server-side shed counter delta (rate, queue,
+	// quarantine) summed across tenants and replicas.
+	ShedByReason map[string]int `json:"shed_by_reason,omitempty"`
+
+	// ResidencyHits counts OK requests that rode pinned weights (client
+	// view); ResidencyHitRate is hits/(hits+misses) from the server's
+	// residency counters over the phase window.
+	ResidencyHits    int     `json:"residency_hits,omitempty"`
+	ResidencyHitRate float64 `json:"residency_hit_rate"`
+	// Breaches is the server-side tenant breach counter delta.
+	Breaches int `json:"breaches,omitempty"`
+
+	// ByReplica counts completed requests per serving replica (gateway
+	// mixes only).
+	ByReplica map[string]int `json:"by_replica,omitempty"`
+}
+
+// AttackResult summarizes the adversarial stream of an attack-laced mix.
+type AttackResult struct {
+	Sent        int `json:"sent"`
+	Breached    int `json:"breached"`
+	Quarantined int `json:"quarantined"`
+	RateLimited int `json:"rate_limited"`
+}
+
+// GCSummary is the process allocation churn over a mix, normalized
+// per 1000 offered requests.
+type GCSummary struct {
+	AllocsPer1k float64 `json:"allocs_per_1k"`
+	KiBPer1k    float64 `json:"kib_per_1k"`
+	Cycles      uint32  `json:"gc_cycles"`
+}
+
+// Encode renders the suite as indented JSON.
+func (s Suite) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// DecodeSuite parses a BENCH_workloads.json document.
+func DecodeSuite(data []byte) (Suite, error) {
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Suite{}, fmt.Errorf("scenario: parsing suite: %w", err)
+	}
+	if s.Suite != "workloads" {
+		return Suite{}, fmt.Errorf("scenario: not a workload suite document (suite=%q)", s.Suite)
+	}
+	return s, nil
+}
+
+// Mix returns the named mix result, or nil.
+func (s Suite) Mix(name string) *MixResult {
+	for i := range s.Mixes {
+		if s.Mixes[i].Name == name {
+			return &s.Mixes[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the plotter-style summary: one row per phase plus an
+// overall row per mix.
+func (s Suite) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-18s %-9s %8s %8s %8s %8s %8s %7s %6s %7s\n",
+		"mix", "title", "phase", "rps", "p50ms", "p95ms", "p99ms", "ok/s", "shed%", "ok", "res-hit")
+	line := strings.Repeat("-", 102)
+	fmt.Fprintln(&b, line)
+	for _, m := range s.Mixes {
+		for _, ph := range m.Phases {
+			fmt.Fprintf(&b, "%-4s %-18s %-9s %8.1f %8.2f %8.2f %8.2f %8.1f %6.1f%% %6d %6.0f%%\n",
+				m.Name, m.Title, ph.Name, ph.TargetRPS, ph.P50ms, ph.P95ms, ph.P99ms,
+				ph.AchievedRPS, ph.ShedRate*100, ph.OK, ph.ResidencyHitRate*100)
+		}
+		o := m.Overall
+		fmt.Fprintf(&b, "%-4s %-18s %-9s %8s %8.2f %8.2f %8.2f %8.1f %6.1f%% %6d %6.0f%%\n",
+			m.Name, m.Title, "overall", "", o.P50ms, o.P95ms, o.P99ms,
+			o.AchievedRPS, o.ShedRate*100, o.OK, o.ResidencyHitRate*100)
+		if m.Attack != nil {
+			fmt.Fprintf(&b, "%-4s %-18s %-9s  attack: %d sent, %d breached, %d quarantined, %d rate-limited\n",
+				m.Name, m.Title, "", m.Attack.Sent, m.Attack.Breached, m.Attack.Quarantined, m.Attack.RateLimited)
+		}
+		if len(m.Overall.ByReplica) > 0 {
+			names := make([]string, 0, len(m.Overall.ByReplica))
+			for n := range m.Overall.ByReplica {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, "%-4s %-18s %-9s  replicas:", m.Name, m.Title, "")
+			for _, n := range names {
+				fmt.Fprintf(&b, " %s=%d", n, m.Overall.ByReplica[n])
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintln(&b, line)
+	}
+	return b.String()
+}
+
+// GateOptions are the regression tolerances. The defaults absorb CI-class
+// scheduling noise: latency must not regress past max(P99Factor × baseline,
+// baseline + P99SlackMs), and the shed rate must not grow by more than
+// ShedSlack absolute. The absolute slack is generous because short smoke
+// runs collect ~10² samples per mix, where p99 is effectively the max and
+// a single GC pause or container stall lands on it; a real queueing
+// regression moves p99 by far more than one stall.
+type GateOptions struct {
+	P99Factor  float64 // default 2.5
+	P99SlackMs float64 // default 50
+	ShedSlack  float64 // default 0.15
+}
+
+func (o *GateOptions) setDefaults() {
+	if o.P99Factor <= 0 {
+		o.P99Factor = 2.5
+	}
+	if o.P99SlackMs <= 0 {
+		o.P99SlackMs = 50
+	}
+	if o.ShedSlack <= 0 {
+		o.ShedSlack = 0.15
+	}
+}
+
+// Gate compares a fresh run against the committed baseline and returns one
+// violation string per breached threshold (empty = pass). Every baseline
+// mix must be present in the current run; per mix, the overall p99 and
+// shed rate are gated, and a mix that stopped completing work at all
+// (OK == 0 with baseline OK > 0) fails regardless of tolerances.
+func Gate(current, baseline Suite, opts GateOptions) []string {
+	opts.setDefaults()
+	var violations []string
+	for _, base := range baseline.Mixes {
+		cur := current.Mix(base.Name)
+		if cur == nil {
+			violations = append(violations, fmt.Sprintf("%s: missing from current run", base.Name))
+			continue
+		}
+		if base.Overall.OK > 0 && cur.Overall.OK == 0 {
+			violations = append(violations, fmt.Sprintf("%s: no requests completed (baseline %d ok)", base.Name, base.Overall.OK))
+			continue
+		}
+		p99Limit := base.Overall.P99ms * opts.P99Factor
+		if floor := base.Overall.P99ms + opts.P99SlackMs; floor > p99Limit {
+			p99Limit = floor
+		}
+		if cur.Overall.P99ms > p99Limit {
+			violations = append(violations, fmt.Sprintf("%s: p99 %.2fms exceeds limit %.2fms (baseline %.2fms)",
+				base.Name, cur.Overall.P99ms, p99Limit, base.Overall.P99ms))
+		}
+		if limit := base.Overall.ShedRate + opts.ShedSlack; cur.Overall.ShedRate > limit {
+			violations = append(violations, fmt.Sprintf("%s: shed rate %.3f exceeds limit %.3f (baseline %.3f)",
+				base.Name, cur.Overall.ShedRate, limit, base.Overall.ShedRate))
+		}
+	}
+	return violations
+}

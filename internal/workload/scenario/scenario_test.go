@@ -1,0 +1,218 @@
+package scenario_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"seculator/internal/workload"
+	"seculator/internal/workload/scenario"
+)
+
+// A short constant-rate mix end to end: phases come back in curve order
+// with a complete latency distribution, the overall fold accounts for the
+// phase traffic, and the residency counters show the hit path.
+func TestScenarioRunSteadyMix(t *testing.T) {
+	m := workload.Mix{
+		Name:         "T1",
+		Title:        "test-steady",
+		Models:       []workload.ModelShare{{Network: "Mini", Weight: 1}},
+		Tenants:      2,
+		SessionRatio: 0.5,
+		Arrival:      workload.ArrivalCurve{Kind: workload.ArrivalConstant, RPS: 60, Poisson: true},
+		Residency:    true,
+		FixedModel:   true,
+	}
+	res, err := scenario.Run(context.Background(), m, scenario.Options{
+		Duration: 600 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 1 || res.Phases[0].Name != "steady" {
+		t.Fatalf("phases %+v, want one steady phase", res.Phases)
+	}
+	o := res.Overall
+	if o.OK == 0 {
+		t.Fatalf("no requests completed: %+v", o)
+	}
+	if o.P50ms <= 0 || o.P95ms < o.P50ms || o.P99ms < o.P95ms || o.MaxMs < o.P99ms {
+		t.Fatalf("percentiles out of order: %+v", o)
+	}
+	if o.Sent != res.Phases[0].Sent || o.OK != res.Phases[0].OK {
+		t.Fatalf("overall fold disagrees with the single phase: %+v vs %+v", o, res.Phases[0])
+	}
+	if o.ResidencyHitRate == 0 && o.ResidencyHits == 0 {
+		t.Fatalf("fixed-model residency mix recorded no hits: %+v", o)
+	}
+	if o.SessionsOpened == 0 {
+		t.Fatalf("session-ratio mix opened no sessions: %+v", o)
+	}
+	if o.ShedRate < 0 || o.ShedRate > 1 {
+		t.Fatalf("shed rate %v out of range", o.ShedRate)
+	}
+}
+
+// A burst curve expands to calm/burst phases and each reports its own
+// distribution.
+func TestScenarioRunBurstPhases(t *testing.T) {
+	m := workload.Mix{
+		Name:       "T2",
+		Title:      "test-burst",
+		Models:     []workload.ModelShare{{Network: "Mini", Weight: 1}},
+		Tenants:    1,
+		Arrival:    workload.ArrivalCurve{Kind: workload.ArrivalBurst, RPS: 30, PeakRPS: 120, Steps: 1, Poisson: true},
+		Residency:  true,
+		FixedModel: true,
+	}
+	res, err := scenario.Run(context.Background(), m, scenario.Options{
+		Duration: 800 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("burst mix ran %d phases, want 2", len(res.Phases))
+	}
+	if res.Phases[0].Name != "calm-1" || res.Phases[1].Name != "burst-1" {
+		t.Fatalf("phase order %q, %q", res.Phases[0].Name, res.Phases[1].Name)
+	}
+	if res.Phases[1].TargetRPS <= res.Phases[0].TargetRPS {
+		t.Fatalf("burst phase rate %v not above calm %v", res.Phases[1].TargetRPS, res.Phases[0].TargetRPS)
+	}
+	for _, ph := range res.Phases {
+		if ph.OK == 0 {
+			t.Fatalf("phase %s completed nothing: %+v", ph.Name, ph)
+		}
+	}
+}
+
+// An attack-laced mix: the adversarial stream lands real breaches (server
+// counters move) while honest traffic keeps completing.
+func TestScenarioRunAttackMix(t *testing.T) {
+	m := workload.Mix{
+		Name:           "T3",
+		Title:          "test-attack",
+		Models:         []workload.ModelShare{{Network: "Mini", Weight: 1}},
+		Tenants:        1,
+		AttackFraction: 0.4,
+		Arrival:        workload.ArrivalCurve{Kind: workload.ArrivalConstant, RPS: 60, Poisson: true},
+		Residency:      true,
+		FixedModel:     true,
+	}
+	res, err := scenario.Run(context.Background(), m, scenario.Options{
+		Duration: 700 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.OK == 0 {
+		t.Fatalf("honest traffic starved: %+v", res.Overall)
+	}
+	if res.Attack == nil || res.Attack.Sent == 0 {
+		t.Fatalf("attack stream sent nothing: %+v", res.Attack)
+	}
+	if res.Attack.Breached == 0 && res.Attack.Quarantined == 0 {
+		t.Fatalf("attack stream neither breached nor got quarantined: %+v", res.Attack)
+	}
+	if res.Overall.Breaches == 0 {
+		t.Fatalf("server breach counters did not move: %+v", res.Overall)
+	}
+}
+
+// A 2-replica gateway mix attributes completed requests to replicas.
+func TestScenarioRunGatewayMix(t *testing.T) {
+	m := workload.Mix{
+		Name:       "T4",
+		Title:      "test-gateway",
+		Models:     []workload.ModelShare{{Network: "Mini", Weight: 1}},
+		Tenants:    2,
+		Arrival:    workload.ArrivalCurve{Kind: workload.ArrivalConstant, RPS: 80, Poisson: true},
+		Residency:  true,
+		FixedModel: true,
+		Replicas:   2,
+	}
+	res, err := scenario.Run(context.Background(), m, scenario.Options{
+		Duration: 600 * time.Millisecond, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall.OK == 0 {
+		t.Fatalf("no gateway traffic completed: %+v", res.Overall)
+	}
+	if len(res.Overall.ByReplica) == 0 {
+		t.Fatalf("gateway mix attributed nothing to replicas: %+v", res.Overall)
+	}
+	var attributed int
+	for _, n := range res.Overall.ByReplica {
+		attributed += n
+	}
+	if attributed != res.Overall.OK {
+		t.Fatalf("replica attribution %d != %d OK", attributed, res.Overall.OK)
+	}
+}
+
+func suiteWith(p99 float64, shed float64, ok int) scenario.Suite {
+	return scenario.Suite{
+		Schema: 1, Suite: "workloads",
+		Mixes: []scenario.MixResult{{
+			Name: "W1", Title: "t",
+			Overall: scenario.PhaseResult{Name: "overall", OK: ok, Sent: ok, P99ms: p99, ShedRate: shed},
+		}},
+	}
+}
+
+// The gate: passes inside tolerance, flags p99 blowups, shed-rate growth,
+// missing mixes, and total stalls.
+func TestGate(t *testing.T) {
+	base := suiteWith(10, 0.05, 100)
+
+	if v := scenario.Gate(suiteWith(20, 0.1, 90), base, scenario.GateOptions{}); len(v) != 0 {
+		t.Fatalf("in-tolerance run flagged: %v", v)
+	}
+	// 10ms baseline * 2.5 = 25ms, absolute floor 10+50 = 60ms; 70ms must fail.
+	if v := scenario.Gate(suiteWith(70, 0.05, 90), base, scenario.GateOptions{}); len(v) != 1 || !strings.Contains(v[0], "p99") {
+		t.Fatalf("p99 regression not flagged: %v", v)
+	}
+	if v := scenario.Gate(suiteWith(10, 0.3, 90), base, scenario.GateOptions{}); len(v) != 1 || !strings.Contains(v[0], "shed") {
+		t.Fatalf("shed regression not flagged: %v", v)
+	}
+	if v := scenario.Gate(scenario.Suite{Suite: "workloads"}, base, scenario.GateOptions{}); len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing mix not flagged: %v", v)
+	}
+	if v := scenario.Gate(suiteWith(1, 0, 0), base, scenario.GateOptions{}); len(v) != 1 || !strings.Contains(v[0], "no requests") {
+		t.Fatalf("stalled mix not flagged: %v", v)
+	}
+	// Tighter explicit tolerances bite where the defaults pass.
+	if v := scenario.Gate(suiteWith(20, 0.1, 90), base, scenario.GateOptions{P99Factor: 1.5, P99SlackMs: 1, ShedSlack: 0.01}); len(v) != 2 {
+		t.Fatalf("tight tolerances found %d violations, want 2: %v", len(v), v)
+	}
+}
+
+// Suite JSON round-trips and the summary table renders every mix row.
+func TestSuiteEncodeDecodeTable(t *testing.T) {
+	s := suiteWith(12.5, 0.02, 42)
+	s.Mixes[0].Phases = []scenario.PhaseResult{{Name: "steady", TargetRPS: 60, OK: 42, Sent: 42, P99ms: 12.5}}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := scenario.DecodeSuite(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mixes[0].Overall.P99ms != 12.5 || back.Mixes[0].Phases[0].Name != "steady" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if _, err := scenario.DecodeSuite([]byte(`{"suite":"other"}`)); err == nil {
+		t.Fatal("foreign document accepted")
+	}
+	tbl := s.Table()
+	for _, want := range []string{"W1", "steady", "overall", "p99ms"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

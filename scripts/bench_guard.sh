@@ -27,11 +27,26 @@
 #               an accidental O(n) admission scan or lock convoy).
 #   alloc_tolerance — allowed allocs/op growth factor for every gated
 #               serve benchmark (default 1.1: >10% regression fails).
+#
+# Workload-suite mode: scripts/bench_guard.sh workloads [duration] [scale]
+#   Runs the named workload mixes (W1–W6, cmd/seculator-workloads) and
+#   gates each mix's overall p99 and shed rate against the committed
+#   BENCH_workloads.json snapshot. The per-mix tolerances live in the Go
+#   gate (scenario.GateOptions defaults); this entry point just picks the
+#   run length. Regenerate the snapshot with:
+#     go run ./cmd/seculator-workloads -duration 3s -out BENCH_workloads.json
 set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "workloads" ]; then
+	exec go run ./cmd/seculator-workloads \
+		-duration "${2:-3s}" -scale "${3:-1}" -seed 1 \
+		-baseline BENCH_workloads.json
+fi
 
 tol="${1:-2.0}"
 atol="${2:-1.1}"
-cd "$(dirname "$0")/.."
 
 baseline_field() {
 	# Pull "Benchmark<name>": {..., "<field>": N, ...} out of the named
